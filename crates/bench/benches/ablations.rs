@@ -1,0 +1,120 @@
+//! Ablations of the Complete Data Scheduler's design choices (the
+//! decisions DESIGN.md calls out):
+//!
+//! * **TF ranking** vs size-descending vs FIFO retention ordering;
+//! * **context policy**: per-activation reload (the paper's model) vs
+//!   LRU Context Memory residency;
+//! * **RF cap**: how much of the win is loop fission alone.
+//!
+//! The simulated-quality results (what the ablation is scientifically
+//! about) are printed once; Criterion then measures the planning cost
+//! of each configuration.
+//!
+//! ```sh
+//! cargo bench -p mcds-bench --bench ablations
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcds_core::{
+    evaluate, BasicScheduler, CdsScheduler, ContextPolicy, DataScheduler, RetentionRanking,
+    SchedulerConfig,
+};
+use mcds_workloads::table1::table1_experiments;
+use std::hint::black_box;
+
+fn quality_report() {
+    eprintln!("=== Ablation: retention ranking (CDS improvement over Basic, %) ===");
+    eprintln!("{:<11} {:>6} {:>9} {:>6}", "experiment", "TF", "SizeDesc", "FIFO");
+    for e in table1_experiments() {
+        let Ok(basic) = BasicScheduler::new().plan(&e.app, &e.sched, &e.arch) else {
+            continue;
+        };
+        let t_basic = evaluate(&basic, &e.arch).expect("runs");
+        let run = |ranking: RetentionRanking| -> String {
+            CdsScheduler::with_config(SchedulerConfig {
+                retention_ranking: ranking,
+                ..SchedulerConfig::default()
+            })
+            .plan(&e.app, &e.sched, &e.arch)
+            .and_then(|p| evaluate(&p, &e.arch))
+            .map(|t| format!("{:.0}%", t.improvement_over(&t_basic) * 100.0))
+            .unwrap_or_else(|_| "-".to_owned())
+        };
+        eprintln!(
+            "{:<11} {:>6} {:>9} {:>6}",
+            e.name,
+            run(RetentionRanking::Tf),
+            run(RetentionRanking::SizeDesc),
+            run(RetentionRanking::Fifo),
+        );
+    }
+
+    eprintln!("\n=== Ablation: context policy / RF cap (CDS improvement, %) ===");
+    eprintln!(
+        "{:<11} {:>7} {:>7} {:>7}",
+        "experiment", "paper", "lru-cm", "rf<=1"
+    );
+    for e in table1_experiments() {
+        let Ok(basic) = BasicScheduler::new().plan(&e.app, &e.sched, &e.arch) else {
+            continue;
+        };
+        let t_basic = evaluate(&basic, &e.arch).expect("runs");
+        let run = |config: SchedulerConfig| -> String {
+            CdsScheduler::with_config(config)
+                .plan(&e.app, &e.sched, &e.arch)
+                .and_then(|p| evaluate(&p, &e.arch))
+                .map(|t| format!("{:.0}%", t.improvement_over(&t_basic) * 100.0))
+                .unwrap_or_else(|_| "-".to_owned())
+        };
+        eprintln!(
+            "{:<11} {:>7} {:>7} {:>7}",
+            e.name,
+            run(SchedulerConfig::default()),
+            run(SchedulerConfig {
+                context_policy: ContextPolicy::LruResidency,
+                ..SchedulerConfig::default()
+            }),
+            run(SchedulerConfig {
+                max_rf: Some(1),
+                ..SchedulerConfig::default()
+            }),
+        );
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    quality_report();
+
+    let exps = table1_experiments();
+    let e1 = exps.iter().find(|e| e.name == "E1*").expect("row exists");
+    let mut group = c.benchmark_group("ablations/planning-cost");
+    for (label, config) in [
+        ("tf", SchedulerConfig::default()),
+        (
+            "size-desc",
+            SchedulerConfig {
+                retention_ranking: RetentionRanking::SizeDesc,
+                ..SchedulerConfig::default()
+            },
+        ),
+        (
+            "lru-cm",
+            SchedulerConfig {
+                context_policy: ContextPolicy::LruResidency,
+                ..SchedulerConfig::default()
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    CdsScheduler::with_config(config).plan(&e1.app, &e1.sched, &e1.arch),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Scheduler planning throughput: how fast each scheduler produces a
+//! plan, and how planning scales with the number of iterations.
+//!
+//! ```sh
+//! cargo bench -p mcds-bench --bench schedulers
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcds_core::{BasicScheduler, CdsScheduler, DataScheduler, DsScheduler};
+use mcds_model::{ArchParams, Words};
+use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
+use mcds_workloads::synthetic::{SyntheticConfig, SyntheticGenerator};
+use std::hint::black_box;
+
+fn bench_plan_mpeg(c: &mut Criterion) {
+    let app = mpeg_app(48).expect("valid");
+    let sched = mpeg_schedule(&app).expect("valid");
+    let arch = ArchParams::m1_with_fb(Words::kilo(2));
+
+    let mut group = c.benchmark_group("plan/mpeg");
+    group.bench_function("basic", |b| {
+        b.iter(|| black_box(BasicScheduler::new().plan(&app, &sched, &arch)))
+    });
+    group.bench_function("ds", |b| {
+        b.iter(|| black_box(DsScheduler::new().plan(&app, &sched, &arch)))
+    });
+    group.bench_function("cds", |b| {
+        b.iter(|| black_box(CdsScheduler::new().plan(&app, &sched, &arch)))
+    });
+    group.finish();
+}
+
+fn bench_plan_scaling(c: &mut Criterion) {
+    let arch = ArchParams::m1_with_fb(Words::kilo(4));
+    let mut group = c.benchmark_group("plan/iterations-scaling");
+    group.sample_size(10);
+    for iters in [16u64, 64, 256, 1024] {
+        let cfg = SyntheticConfig {
+            clusters: 6,
+            iterations: iters,
+            ..SyntheticConfig::default()
+        };
+        let (app, sched) = SyntheticGenerator::new(1)
+            .generate(&cfg)
+            .expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, _| {
+            b.iter(|| black_box(CdsScheduler::new().plan(&app, &sched, &arch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_mpeg, bench_plan_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates Table 1 / Figure 6 (printed once) and benchmarks the
+//! full per-row pipeline: plan Basic + DS + CDS and simulate all three.
+//!
+//! ```sh
+//! cargo bench -p mcds-bench --bench table1
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcds_bench::{measure, pct};
+use mcds_core::Comparison;
+use mcds_workloads::table1::table1_experiments;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the reproduced table once, so `cargo bench` leaves the
+    // evaluation artifact in its log.
+    eprintln!("=== Table 1 (measured | paper) ===");
+    for e in table1_experiments() {
+        let m = measure(&e);
+        eprintln!(
+            "{:<11} RF={:<2} DS {:>4} CDS {:>4} | paper DS {:>4} CDS {:>4} RF={:?} splits={}",
+            m.row.name,
+            m.row.rf,
+            pct(m.row.ds_improvement),
+            pct(m.row.cds_improvement),
+            pct(m.paper_ds),
+            pct(m.paper_cds),
+            m.paper_rf,
+            m.splits,
+        );
+    }
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for e in table1_experiments() {
+        group.bench_function(e.name, |b| {
+            b.iter(|| {
+                let cmp = Comparison::run(
+                    black_box(&e.app),
+                    black_box(&e.sched),
+                    black_box(&e.arch),
+                );
+                black_box(cmp.cds_improvement())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

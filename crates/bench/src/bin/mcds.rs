@@ -1,0 +1,270 @@
+//! `mcds` — file-driven command-line front end to the scheduler stack.
+//!
+//! ```text
+//! mcds sample-app                          # print a sample application JSON
+//! mcds inspect  <app.json>                 # summary + dataflow
+//! mcds plan     <app.json> [options]       # plan + simulate
+//! mcds explore  <app.json> [options]       # kernel-scheduler partition search
+//!
+//! options:
+//!   --clusters "0,1;2;3"   kernel ids per cluster, ';'-separated (default: one per kernel)
+//!   --scheduler basic|ds|cds               (default: cds)
+//!   --fb-kw N              FB set size in kilowords (default: 1)
+//!   --cross-set            enable the dual-ported-FB extension
+//!   --gantt                print the execution Gantt chart
+//!   --program              print the generated transfer program (code generator output)
+//! ```
+
+use std::process::ExitCode;
+
+use mcds_core::{
+    evaluate, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, SchedulePlan,
+};
+use mcds_ksched::{KernelScheduler, SearchStrategy};
+use mcds_model::{
+    Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId,
+    Words,
+};
+use mcds_sim::{bottleneck, render_gantt, Simulator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("usage: mcds <sample-app|inspect|plan|explore> …".to_owned());
+    };
+    match cmd.as_str() {
+        "sample-app" => sample_app(),
+        "inspect" => inspect(args.get(1).ok_or("inspect needs an app.json path")?),
+        "plan" => plan(&args[1..]),
+        "explore" => explore(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_app(path: &str) -> Result<Application, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let app: Application =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    app.validate().map_err(|e| format!("invalid application: {e}"))?;
+    Ok(app)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn arch_from(args: &[String]) -> Result<ArchParams, String> {
+    let kw: u64 = opt(args, "--fb-kw")
+        .map(|v| v.parse().map_err(|e| format!("--fb-kw: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    Ok(ArchParams::m1()
+        .to_builder()
+        .fb_set_words(Words::kilo(kw))
+        .fb_cross_set_access(flag(args, "--cross-set"))
+        .build())
+}
+
+fn schedule_from(args: &[String], app: &Application) -> Result<ClusterSchedule, String> {
+    match opt(args, "--clusters") {
+        None => ClusterSchedule::singletons(app).map_err(|e| e.to_string()),
+        Some(spec) => {
+            let mut partition = Vec::new();
+            for cluster in spec.split(';') {
+                let mut kernels = Vec::new();
+                for id in cluster.split(',') {
+                    let id: u32 = id
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("--clusters `{id}`: {e}"))?;
+                    kernels.push(KernelId::new(id));
+                }
+                partition.push(kernels);
+            }
+            ClusterSchedule::new(app, partition).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn scheduler_from(args: &[String]) -> Result<Box<dyn DataScheduler>, String> {
+    match opt(args, "--scheduler").unwrap_or("cds") {
+        "basic" => Ok(Box::new(BasicScheduler::new())),
+        "ds" => Ok(Box::new(DsScheduler::new())),
+        "cds" => Ok(Box::new(CdsScheduler::new())),
+        other => Err(format!("unknown scheduler `{other}`")),
+    }
+}
+
+fn sample_app() -> Result<(), String> {
+    let mut b = ApplicationBuilder::new("sample");
+    let table = b.data("table", Words::new(96), DataKind::ExternalInput);
+    let input = b.data("input", Words::new(128), DataKind::ExternalInput);
+    let mid = b.data("mid", Words::new(128), DataKind::Intermediate);
+    let out = b.data("out", Words::new(64), DataKind::FinalResult);
+    b.kernel("stage0", 96, Cycles::new(240), &[input, table], &[mid]);
+    b.kernel("stage1", 128, Cycles::new(200), &[mid, table], &[out]);
+    let app = b.iterations(32).build().map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&app).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn inspect(path: &str) -> Result<(), String> {
+    let app = load_app(path)?;
+    let df = app.dataflow();
+    println!(
+        "{}: {} kernels, {} data objects, {} iterations, {} per iteration, {} context words",
+        app.name(),
+        app.kernels().len(),
+        app.data().len(),
+        app.iterations(),
+        app.total_data_per_iteration(),
+        app.total_contexts()
+    );
+    println!("\nkernels:");
+    for k in app.kernels() {
+        let ins: Vec<&str> = k.inputs().iter().map(|&d| app.data_object(d).name()).collect();
+        let outs: Vec<&str> = k.outputs().iter().map(|&d| app.data_object(d).name()).collect();
+        println!(
+            "  {} {:<10} {:>4} ctx {:>7} reads {:?} writes {:?}",
+            k.id(),
+            k.name(),
+            k.contexts(),
+            k.exec_cycles().to_string(),
+            ins,
+            outs
+        );
+    }
+    println!("\ndata:");
+    for d in app.data() {
+        println!(
+            "  {} {:<12} {:>7} {:?} consumers {:?}",
+            d.id(),
+            d.name(),
+            d.size().to_string(),
+            d.kind(),
+            df.consumers(d.id())
+        );
+    }
+    Ok(())
+}
+
+fn print_plan(
+    app: &Application,
+    sched: &ClusterSchedule,
+    plan: &SchedulePlan,
+    arch: &ArchParams,
+    gantt: bool,
+    program: bool,
+) -> Result<(), String> {
+    let report = evaluate(plan, arch).map_err(|e| e.to_string())?;
+    println!(
+        "{}: RF={} stages={} data={} contexts={}w time={}",
+        plan.scheduler(),
+        plan.rf(),
+        plan.stages().len(),
+        plan.total_data_words(),
+        plan.total_context_words(),
+        report.total()
+    );
+    println!(
+        "dma {:.0}% busy, rc {:.0}% busy, bottleneck: {:?}",
+        report.dma_utilization() * 100.0,
+        report.rc_utilization() * 100.0,
+        bottleneck(&report, 0.9)
+    );
+    if !plan.retention().is_empty() {
+        println!("retained (DT = {}/iteration):", plan.dt_avoided_per_iter());
+        for c in plan.retention().candidates() {
+            println!(
+                "  {} on {} for {:?} (TF={:.3}{})",
+                app.data_object(c.data()).name(),
+                c.set(),
+                c.skippers(),
+                c.tf(),
+                if c.is_cross_set() { ", cross-set" } else { "" }
+            );
+        }
+    }
+    let alloc = plan.allocation();
+    println!(
+        "allocation: peaks {}/{}, splits {}, regular {}, irregular {}",
+        alloc.peak()[0],
+        alloc.peak()[1],
+        alloc.splits(),
+        alloc.regular_hits(),
+        alloc.irregular()
+    );
+    if gantt {
+        let sim_report = Simulator::new(*arch)
+            .run(plan.ops())
+            .map_err(|e| e.to_string())?;
+        println!("\n{}", render_gantt(plan.ops(), sim_report.timeline(), 100));
+    }
+    if program {
+        let prog =
+            mcds_core::generate_program(app, sched, plan).map_err(|e| e.to_string())?;
+        println!("\n; warm-up round");
+        for op in prog.warmup() {
+            println!("  {}", op.display(app));
+        }
+        println!("; steady-state round (x{})", prog.steady_rounds());
+        for op in prog.steady() {
+            println!("  {}", op.display(app));
+        }
+    }
+    Ok(())
+}
+
+fn plan(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("plan needs an app.json path")?;
+    let app = load_app(path)?;
+    let arch = arch_from(args)?;
+    let sched = schedule_from(args, &app)?;
+    let scheduler = scheduler_from(args)?;
+    let plan = scheduler
+        .plan(&app, &sched, &arch)
+        .map_err(|e| e.to_string())?;
+    print_plan(&app, &sched, &plan, &arch, flag(args, "--gantt"), flag(args, "--program"))
+}
+
+fn explore(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("explore needs an app.json path")?;
+    let app = load_app(path)?;
+    let arch = arch_from(args)?;
+    let sched = KernelScheduler::new(SearchStrategy::Exhaustive)
+        .schedule(&app, &arch)
+        .map_err(|e| e.to_string())?;
+    println!("best partition ({} clusters):", sched.len());
+    for c in sched.clusters() {
+        let names: Vec<&str> = c
+            .kernels()
+            .iter()
+            .map(|&k| app.kernel(k).name())
+            .collect();
+        println!("  {} on {}: {:?}", c.id(), sched.fb_set(c.id()), names);
+    }
+    let plan = CdsScheduler::new()
+        .plan(&app, &sched, &arch)
+        .map_err(|e| e.to_string())?;
+    print_plan(&app, &sched, &plan, &arch, false, false)
+}

@@ -1,0 +1,222 @@
+//! Reproduces the paper's evaluation artifacts.
+//!
+//! ```text
+//! reproduce table1            # Table 1: measured vs paper
+//! reproduce fig6              # Figure 6: improvement bars
+//! reproduce fig5              # Figure 5: allocation map snapshots
+//! reproduce rf-sweep          # Figure 3 companion: RF vs FB size
+//! reproduce mpeg-feasibility  # §6 claim: Basic cannot run MPEG at 1K
+//! reproduce future-work       # §7: cross-set retention extension
+//! reproduce gantt             # pipeline Gantt charts for the three schedulers
+//! reproduce json              # Table 1 as machine-readable JSON
+//! reproduce all               # everything above
+//! ```
+
+use mcds_bench::{measure_all, pct};
+use mcds_core::{
+    table_header, AllocationWalk, CdsScheduler, DataScheduler, DsScheduler, FootprintModel,
+    Lifetimes, ScheduleError,
+};
+use mcds_model::{ArchParams, Words};
+use mcds_workloads::e_series::e1;
+use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    match mode.as_str() {
+        "table1" => table1(),
+        "fig6" => fig6(),
+        "fig5" => fig5(),
+        "rf-sweep" => rf_sweep(),
+        "mpeg-feasibility" => mpeg_feasibility(),
+        "future-work" => future_work(),
+        "gantt" => gantt(),
+        "json" => json(),
+        "all" => {
+            table1();
+            println!();
+            fig6();
+            println!();
+            fig5();
+            println!();
+            rf_sweep();
+            println!();
+            mpeg_feasibility();
+            println!();
+            future_work();
+            println!();
+            gantt();
+        }
+        other => {
+            eprintln!("unknown mode `{other}`; see the module docs for the list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    println!("=== Table 1: measured (this reproduction) vs paper ===");
+    println!("{}   | paper: DS%  CDS%  RF | splits", table_header());
+    for m in measure_all() {
+        println!(
+            "{}   | {:>10} {:>5} {:>3} | {}",
+            m.row,
+            pct(m.paper_ds),
+            pct(m.paper_cds),
+            m.paper_rf.map_or("-".to_owned(), |r| r.to_string()),
+            m.splits,
+        );
+    }
+}
+
+fn fig6() {
+    println!("=== Figure 6: relative execution improvement over Basic (%) ===");
+    for m in measure_all() {
+        let bar = |v: Option<f64>| {
+            let n = (v.unwrap_or(0.0) * 50.0).round().max(0.0) as usize;
+            "#".repeat(n)
+        };
+        println!("{:<11} CDS {:>5} |{}", m.row.name, pct(m.row.cds_improvement), bar(m.row.cds_improvement));
+        println!("{:<11} DS  {:>5} |{}", "", pct(m.row.ds_improvement), bar(m.row.ds_improvement));
+    }
+}
+
+fn fig5() {
+    println!("=== Figure 5 companion: FB set occupancy maps (E1, CDS) ===");
+    let (app, sched) = e1(8).expect("E1 is valid");
+    let arch = ArchParams::m1_with_fb(Words::kilo(1));
+    let plan = CdsScheduler::new()
+        .plan(&app, &sched, &arch)
+        .expect("E1 fits a 1K set");
+    let lifetimes = Lifetimes::analyze(&app, &sched);
+    let walk = AllocationWalk::new(
+        &app,
+        &sched,
+        &lifetimes,
+        plan.retention(),
+        plan.rf(),
+        arch.fb_set_words(),
+        FootprintModel::Replacement,
+    );
+    let report = walk.run(1, true).expect("fits");
+    let maps = report.maps().expect("traced");
+    println!("--- FB set 0 (top = high addresses) ---");
+    println!("{}", maps[0]);
+    println!("--- FB set 1 ---");
+    println!("{}", maps[1]);
+    println!(
+        "regular placements: {}, irregular: {}, splits: {}",
+        report.regular_hits(),
+        report.irregular(),
+        report.splits()
+    );
+}
+
+fn rf_sweep() {
+    println!("=== RF vs Frame Buffer size (loop fission, Figure 3 companion) ===");
+    let (app, sched) = e1(256).expect("E1 is valid");
+    print!("FB (Kw):");
+    for kw in [1u64, 2, 3, 4, 6, 8] {
+        print!(" {kw:>5}");
+    }
+    println!();
+    print!("RF     :");
+    for kw in [1u64, 2, 3, 4, 6, 8] {
+        let arch = ArchParams::m1_with_fb(Words::kilo(kw));
+        let rf = DsScheduler::new()
+            .plan(&app, &sched, &arch)
+            .map(|p| p.rf().to_string())
+            .unwrap_or_else(|_| "-".to_owned());
+        print!(" {rf:>5}");
+    }
+    println!();
+}
+
+fn mpeg_feasibility() {
+    println!("=== §6 claim: MPEG feasibility at FB = 1K ===");
+    let app = mpeg_app(16).expect("valid");
+    let sched = mpeg_schedule(&app).expect("valid");
+    let arch = ArchParams::m1_with_fb(Words::kilo(1));
+    for (name, result) in [
+        ("basic", mcds_core::BasicScheduler::new().plan(&app, &sched, &arch).map(|p| p.rf())),
+        ("ds", DsScheduler::new().plan(&app, &sched, &arch).map(|p| p.rf())),
+        ("cds", CdsScheduler::new().plan(&app, &sched, &arch).map(|p| p.rf())),
+    ] {
+        match result {
+            Ok(rf) => println!("{name:<6} runs (RF = {rf})"),
+            Err(ScheduleError::Infeasible { required, capacity, .. }) => {
+                println!("{name:<6} INFEASIBLE (needs {required}, set holds {capacity})");
+            }
+            Err(e) => println!("{name:<6} error: {e}"),
+        }
+    }
+}
+
+fn gantt() {
+    println!("=== Pipeline Gantt charts: MPEG at FB = 2K, 4 macroblocks ===");
+    println!("(L/S = data load/store, C = context load, # = RC array compute)\n");
+    let app = mpeg_app(4).expect("valid");
+    let sched = mpeg_schedule(&app).expect("valid");
+    let arch = ArchParams::m1_with_fb(Words::kilo(2));
+    for scheduler in [
+        &mcds_core::BasicScheduler::new() as &dyn DataScheduler,
+        &DsScheduler::new(),
+        &CdsScheduler::new(),
+    ] {
+        match scheduler.plan(&app, &sched, &arch) {
+            Ok(plan) => {
+                let report = mcds_sim::Simulator::new(arch)
+                    .run(plan.ops())
+                    .expect("plans simulate");
+                println!("-- {} (RF = {}) --", plan.scheduler(), plan.rf());
+                println!(
+                    "{}",
+                    mcds_sim::render_gantt(plan.ops(), report.timeline(), 100)
+                );
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+}
+
+fn future_work() {
+    println!("=== §7 future work: retention across FB sets (dual-ported FB) ===");
+    println!("CDS improvement over Basic, per experiment:");
+    println!("{:<11} {:>8} {:>11} {:>9}", "experiment", "M1", "dual-port", "extra DT");
+    for e in mcds_workloads::table1::table1_experiments() {
+        let Ok(basic) = mcds_core::BasicScheduler::new().plan(&e.app, &e.sched, &e.arch) else {
+            continue;
+        };
+        let t_basic = match mcds_core::evaluate(&basic, &e.arch) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        let dual_arch = e.arch.to_builder().fb_cross_set_access(true).build();
+        let run = |arch: &ArchParams| {
+            CdsScheduler::new()
+                .plan(&e.app, &e.sched, arch)
+                .and_then(|p| Ok((p.dt_avoided_per_iter(), mcds_core::evaluate(&p, arch)?)))
+                .ok()
+        };
+        let (Some((dt_m1, t_m1)), Some((dt_dual, t_dual))) =
+            (run(&e.arch), run(&dual_arch))
+        else {
+            continue;
+        };
+        println!(
+            "{:<11} {:>7.0}% {:>10.0}% {:>9}",
+            e.name,
+            t_m1.improvement_over(&t_basic) * 100.0,
+            t_dual.improvement_over(&t_basic) * 100.0,
+            (dt_dual.saturating_sub(dt_m1)).to_string(),
+        );
+    }
+}
+
+fn json() {
+    let rows = measure_all();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("rows serialize")
+    );
+}

@@ -1,0 +1,55 @@
+//! Experiment-reproduction helpers shared by the `reproduce` binary,
+//! the Criterion benches and the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mcds_core::{Comparison, ExperimentRow};
+use mcds_workloads::table1::{table1_experiments, Experiment};
+use serde::Serialize;
+
+/// One experiment's measured-vs-paper record.
+#[derive(Debug, Serialize)]
+pub struct MeasuredRow {
+    /// The measured Table 1 row.
+    #[serde(flatten)]
+    pub row: ExperimentRow,
+    /// The paper's reported DS improvement, if legible.
+    pub paper_ds: Option<f64>,
+    /// The paper's reported CDS improvement, if legible.
+    pub paper_cds: Option<f64>,
+    /// The paper's reported reuse factor, if legible.
+    pub paper_rf: Option<u64>,
+    /// Splits during allocation (paper: zero everywhere).
+    pub splits: u64,
+}
+
+/// Runs one experiment end to end.
+#[must_use]
+pub fn measure(e: &Experiment) -> MeasuredRow {
+    let cmp = Comparison::run(&e.app, &e.sched, &e.arch);
+    let splits = cmp
+        .cds
+        .as_ref()
+        .map(|(p, _)| p.allocation().splits())
+        .unwrap_or(0);
+    MeasuredRow {
+        row: cmp.to_row(e.name, &e.app, &e.sched, &e.arch),
+        paper_ds: e.paper.ds_improvement,
+        paper_cds: e.paper.cds_improvement,
+        paper_rf: e.paper.rf,
+        splits,
+    }
+}
+
+/// Runs all twelve Table 1 experiments.
+#[must_use]
+pub fn measure_all() -> Vec<MeasuredRow> {
+    table1_experiments().iter().map(measure).collect()
+}
+
+/// Formats a fraction as `NN%` (or `-` when unavailable).
+#[must_use]
+pub fn pct(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_owned(), |x| format!("{:.0}%", x * 100.0))
+}

@@ -1,0 +1,597 @@
+//! Execution of the paper's §5 allocation algorithm (Figure 4) against
+//! the Frame Buffer allocator.
+//!
+//! While [`cluster_peak`](crate::cluster_peak) gives the *analytic*
+//! footprint, this walk actually places every object with the two-ended
+//! first-fit policy, exercising fragmentation, regularity and splitting
+//! — the properties §6 of the paper reports on ("for all examples no
+//! data or result has to be split into several parts").
+
+use std::collections::{HashMap, HashSet};
+
+use mcds_fballoc::{render_peak_map, AllocError, AllocHandle, Direction, FbAllocator, PlacementMemory};
+use mcds_model::{Application, ClusterId, ClusterSchedule, DataId, Words};
+use serde::{Deserialize, Serialize};
+
+use crate::sharing::RetainedKind;
+use crate::{FootprintModel, Lifetimes, RetentionSet};
+
+/// The placement role of an allocated instance — which branch of the
+/// paper's Figure 4 allocated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementRole {
+    /// `allocate_shared_data`: a retained shared input (upper).
+    SharedData,
+    /// `allocate_kernel_data`: an ordinary cluster input (upper).
+    KernelData,
+    /// `allocate_shared_result`: a retained result (upper).
+    SharedResult,
+    /// `allocate_final_result`: a result leaving the cluster (lower).
+    FinalResult,
+    /// `allocate_intermediate_result`: a cluster-local result (lower).
+    Intermediate,
+}
+
+/// Where one instance of one object landed: the concrete addresses the
+/// code generator turns into DMA descriptors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementRecord {
+    /// Zero-based round index.
+    pub round: u64,
+    /// The cluster whose stage performed the allocation.
+    pub cluster: ClusterId,
+    /// The placed object.
+    pub data: DataId,
+    /// Iteration slot within the round (`0..iters`).
+    pub slot: u64,
+    /// The Frame Buffer set holding the instance.
+    pub set: mcds_model::FbSet,
+    /// The address range(s); more than one segment only if split.
+    pub segments: Vec<mcds_fballoc::Segment>,
+    /// Which Figure 4 branch placed it.
+    pub role: PlacementRole,
+}
+
+/// Outcome of an allocation walk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocationReport {
+    peak: [Words; 2],
+    splits: u64,
+    regular_hits: u64,
+    irregular: u64,
+    allocs: u64,
+    maps: Option<[String; 2]>,
+}
+
+impl Default for AllocationReport {
+    /// An empty report (no walk performed).
+    fn default() -> Self {
+        AllocationReport {
+            peak: [Words::ZERO; 2],
+            splits: 0,
+            regular_hits: 0,
+            irregular: 0,
+            allocs: 0,
+            maps: None,
+        }
+    }
+}
+
+impl AllocationReport {
+    /// Peak occupancy per Frame Buffer set.
+    #[must_use]
+    pub fn peak(&self) -> [Words; 2] {
+        self.peak
+    }
+
+    /// Number of objects that had to be split across free blocks — the
+    /// paper reports zero for all of its experiments.
+    #[must_use]
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Allocations that landed on the address of the object's previous
+    /// iteration (regular placements).
+    #[must_use]
+    pub fn regular_hits(&self) -> u64 {
+        self.regular_hits
+    }
+
+    /// Allocations that had a remembered address but could not reuse it.
+    #[must_use]
+    pub fn irregular(&self) -> u64 {
+        self.irregular
+    }
+
+    /// Total successful allocations.
+    #[must_use]
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Rendered occupancy maps (one per set) if the walk was traced.
+    #[must_use]
+    pub fn maps(&self) -> Option<&[String; 2]> {
+        self.maps.as_ref()
+    }
+}
+
+/// Replays the Figure 4 allocation order for a schedule.
+#[derive(Debug)]
+pub struct AllocationWalk<'a> {
+    app: &'a Application,
+    sched: &'a ClusterSchedule,
+    lifetimes: &'a Lifetimes,
+    retention: &'a RetentionSet,
+    rf: u64,
+    capacity: Words,
+    model: FootprintModel,
+}
+
+impl<'a> AllocationWalk<'a> {
+    /// Prepares a walk over `rounds` rounds of the schedule at reuse
+    /// factor `rf` with Frame Buffer sets of `capacity` words.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        app: &'a Application,
+        sched: &'a ClusterSchedule,
+        lifetimes: &'a Lifetimes,
+        retention: &'a RetentionSet,
+        rf: u64,
+        capacity: Words,
+        model: FootprintModel,
+    ) -> Self {
+        AllocationWalk {
+            app,
+            sched,
+            lifetimes,
+            retention,
+            rf,
+            capacity,
+            model,
+        }
+    }
+
+    /// Runs the walk for `rounds` rounds (clamped to the application's
+    /// real round count). `traced` additionally renders occupancy maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`AllocError`] if an object cannot be
+    /// placed even with splitting — i.e. the schedule genuinely does not
+    /// fit the Frame Buffer.
+    pub fn run(&self, rounds: u64, traced: bool) -> Result<AllocationReport, AllocError> {
+        Ok(self.execute(rounds, traced, false)?.0)
+    }
+
+    /// Like [`run`](Self::run), but also returns the concrete placement
+    /// of every allocated instance — the input of the code generator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_placements(
+        &self,
+        rounds: u64,
+    ) -> Result<(AllocationReport, Vec<PlacementRecord>), AllocError> {
+        self.execute(rounds, false, true)
+    }
+
+    fn execute(
+        &self,
+        rounds: u64,
+        traced: bool,
+        record: bool,
+    ) -> Result<(AllocationReport, Vec<PlacementRecord>), AllocError> {
+        let total_rounds = self.app.iterations().div_ceil(self.rf);
+        let rounds = rounds.min(total_rounds);
+        let mut state = WalkState::new(self.capacity, traced, record);
+
+        for round in 0..rounds {
+            let iters = self.rf.min(self.app.iterations() - round * self.rf);
+            for cluster in self.sched.clusters() {
+                self.walk_stage(&mut state, round, cluster.id(), iters)?;
+            }
+        }
+
+        let placements = std::mem::take(&mut state.placements);
+        Ok((state.into_report(traced), placements))
+    }
+
+    fn walk_stage(
+        &self,
+        state: &mut WalkState,
+        round: u64,
+        c: ClusterId,
+        iters: u64,
+    ) -> Result<(), AllocError> {
+        state.at = (round, c);
+        let set = self.sched.fb_set(c);
+        let si = set.index();
+        let replacement = self.model == FootprintModel::Replacement;
+
+        // The previous same-set stage's stores have been drained by now.
+        state.drain_pending(si)?;
+
+        // (a) Shared data held by this cluster, farthest consumer first
+        //     ("For v = last cluster down to c+2 do
+        //       allocated_shared_data(c,v,RF)").
+        let mut done: HashSet<DataId> = HashSet::new();
+        let mut held: Vec<_> = self
+            .retention
+            .candidates()
+            .iter()
+            .filter(|cand| cand.holder() == c && cand.kind() == RetainedKind::SharedData)
+            .collect();
+        held.sort_by_key(|cand| std::cmp::Reverse(cand.last()));
+        for cand in held {
+            let d = cand.data();
+            state.alloc_instances(self.app, si, d, iters, Direction::FromUpper, PlacementRole::SharedData)?;
+            done.insert(d);
+        }
+
+        // (b) Remaining kernel input data, last kernel first
+        //     ("For k = last kernel down to first do
+        //       allocate_kernel_data(c,k,RF)").
+        for &k in self.sched.cluster(c).kernels().iter().rev() {
+            for &d in self.app.kernel(k).inputs() {
+                if !self.lifetimes.loads(c).contains(&d) || !done.insert(d) {
+                    continue;
+                }
+                if self.retention.skips_load(c, d) || state.is_live(si, d) {
+                    // Retained copy already resident (possibly on the
+                    // other set, with cross-set access).
+                    continue;
+                }
+                state.alloc_instances(self.app, si, d, iters, Direction::FromUpper, PlacementRole::KernelData)?;
+            }
+        }
+
+        // (c) Execute: iteration-major kernel sweep, allocating results
+        //     and releasing dead objects.
+        for slot in 0..iters {
+            for (pos, &k) in self.sched.cluster(c).kernels().iter().enumerate() {
+                let kernel = self.app.kernel(k);
+                for &d in kernel.outputs() {
+                    let shared_result =
+                        self.retention.interval(d, set).is_some_and(|(h, _)| h == c);
+                    let (dir, role) = if shared_result {
+                        (Direction::FromUpper, PlacementRole::SharedResult)
+                    } else if self.lifetimes.stores(c).contains(&d) {
+                        (Direction::FromLower, PlacementRole::FinalResult)
+                    } else {
+                        (Direction::FromLower, PlacementRole::Intermediate)
+                    };
+                    state.alloc_instance(self.app, si, d, slot, dir, role)?;
+                }
+                if replacement {
+                    for &d in kernel.inputs() {
+                        if self.lifetimes.last_use_in(c, d) != Some(pos) {
+                            continue;
+                        }
+                        if self.retention.release_after(d, set).is_some_and(|rel| rel > c) {
+                            continue; // retained for a later cluster
+                        }
+                        state.free_instance(si, d, slot)?;
+                    }
+                }
+            }
+        }
+
+        // (d) Stage end: results leaving the cluster become pending
+        //     stores (their space frees once the DMA has drained them,
+        //     i.e. before the next same-set stage); everything dead is
+        //     released; retained objects whose last consumer was `c`
+        //     are released too.
+        for &d in self.lifetimes.stores(c) {
+            if self.retention.release_after(d, set).is_some_and(|rel| rel > c) {
+                continue; // retained result stays resident
+            }
+            state.make_pending(si, d, iters);
+        }
+        if !replacement {
+            // Basic model: inputs and locals die at stage end.
+            for &d in self.lifetimes.loads(c) {
+                if self.retention.release_after(d, set).is_some_and(|rel| rel > c) {
+                    continue;
+                }
+                state.free_all_instances(si, d, iters)?;
+            }
+            for &d in self.lifetimes.locals(c) {
+                state.free_all_instances(si, d, iters)?;
+            }
+        }
+        // Retained objects released after their last consumer.
+        let expired: Vec<(usize, DataId)> = self
+            .retention
+            .candidates()
+            .iter()
+            .filter(|cand| cand.last() == c)
+            .map(|cand| (cand.set().index(), cand.data()))
+            .collect();
+        for (owner_si, d) in expired {
+            // The retained copy lives on the candidate's set, which for
+            // a cross-set candidate differs from this cluster's set.
+            state.free_all_instances(owner_si, d, iters)?;
+        }
+        Ok(())
+    }
+}
+
+/// Mutable walk state: allocators, live instances, deferred frees.
+struct WalkState {
+    fbs: [FbAllocator; 2],
+    mems: [PlacementMemory<(DataId, u64)>; 2],
+    /// (round, cluster) of the stage being walked.
+    at: (u64, ClusterId),
+    record: bool,
+    placements: Vec<PlacementRecord>,
+    /// Live instances keyed by (set index, object, iteration slot) — a
+    /// table retained on both sets has an independent copy per set.
+    live: HashMap<(usize, DataId, u64), AllocHandle>,
+    pending: [Vec<AllocHandle>; 2],
+    splits: u64,
+}
+
+impl WalkState {
+    fn new(capacity: Words, traced: bool, record: bool) -> Self {
+        let mk = || {
+            if traced {
+                FbAllocator::with_trace(capacity)
+            } else {
+                FbAllocator::new(capacity)
+            }
+        };
+        WalkState {
+            fbs: [mk(), mk()],
+            mems: [PlacementMemory::new(), PlacementMemory::new()],
+            at: (0, ClusterId::new(0)),
+            record,
+            placements: Vec::new(),
+            live: HashMap::new(),
+            pending: [Vec::new(), Vec::new()],
+            splits: 0,
+        }
+    }
+
+    fn is_live(&self, si: usize, d: DataId) -> bool {
+        self.live.keys().any(|&(s, id, _)| s == si && id == d)
+    }
+
+    fn drain_pending(&mut self, si: usize) -> Result<(), AllocError> {
+        for handle in std::mem::take(&mut self.pending[si]) {
+            self.fbs[si].free_handle(handle)?;
+        }
+        Ok(())
+    }
+
+    fn alloc_instances(
+        &mut self,
+        app: &Application,
+        si: usize,
+        d: DataId,
+        iters: u64,
+        dir: Direction,
+        role: PlacementRole,
+    ) -> Result<(), AllocError> {
+        for slot in 0..iters {
+            self.alloc_instance(app, si, d, slot, dir, role)?;
+        }
+        Ok(())
+    }
+
+    fn alloc_instance(
+        &mut self,
+        app: &Application,
+        si: usize,
+        d: DataId,
+        slot: u64,
+        dir: Direction,
+        role: PlacementRole,
+    ) -> Result<(), AllocError> {
+        let size = app.size_of(d);
+        let label = format!("{}#{}", app.data_object(d).name(), slot);
+        let alloc = match self.mems[si].alloc(&mut self.fbs[si], (d, slot), label.clone(), size, dir)
+        {
+            Ok(a) => a,
+            Err(AllocError::NoContiguousBlock { .. }) => {
+                // Last resort: split across free blocks.
+                let a = self.fbs[si].alloc_split(label, size, dir)?;
+                self.splits += 1;
+                a
+            }
+            Err(e) => return Err(e),
+        };
+        if self.record {
+            self.placements.push(PlacementRecord {
+                round: self.at.0,
+                cluster: self.at.1,
+                data: d,
+                slot,
+                set: if si == 0 {
+                    mcds_model::FbSet::Set0
+                } else {
+                    mcds_model::FbSet::Set1
+                },
+                segments: alloc.segments().to_vec(),
+                role,
+            });
+        }
+        let prev = self.live.insert((si, d, slot), alloc.handle());
+        debug_assert!(prev.is_none(), "instance double-allocated");
+        Ok(())
+    }
+
+    fn free_instance(&mut self, si: usize, d: DataId, slot: u64) -> Result<(), AllocError> {
+        if let Some(handle) = self.live.remove(&(si, d, slot)) {
+            self.fbs[si].free_handle(handle)?;
+        }
+        Ok(())
+    }
+
+    fn free_all_instances(&mut self, si: usize, d: DataId, iters: u64) -> Result<(), AllocError> {
+        for slot in 0..iters {
+            self.free_instance(si, d, slot)?;
+        }
+        Ok(())
+    }
+
+    fn make_pending(&mut self, si: usize, d: DataId, iters: u64) {
+        for slot in 0..iters {
+            if let Some(handle) = self.live.remove(&(si, d, slot)) {
+                self.pending[si].push(handle);
+            }
+        }
+    }
+
+    fn into_report(self, traced: bool) -> AllocationReport {
+        let maps = if traced {
+            // The peak-occupancy snapshot is the most informative
+            // single frame (cf. the paper's Figure 5 sequence).
+            let render = |fb: &FbAllocator| {
+                fb.trace()
+                    .map(|t| render_peak_map(t, fb.capacity(), 16))
+                    .unwrap_or_default()
+            };
+            Some([render(&self.fbs[0]), render(&self.fbs[1])])
+        } else {
+            None
+        };
+        // The allocators' own stats are authoritative for split counts
+        // (self.splits tracks the same events for debug assertions).
+        debug_assert_eq!(
+            self.splits,
+            self.fbs[0].stats().split_allocs() + self.fbs[1].stats().split_allocs()
+        );
+        AllocationReport {
+            peak: [self.fbs[0].stats().peak_used(), self.fbs[1].stats().peak_used()],
+            splits: self.fbs[0].stats().split_allocs() + self.fbs[1].stats().split_allocs(),
+            regular_hits: self.mems[0].regular_hits() + self.mems[1].regular_hits(),
+            irregular: self.mems[0].irregular_placements() + self.mems[1].irregular_placements(),
+            allocs: self.fbs[0].stats().allocs() + self.fbs[1].stats().allocs(),
+            maps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_candidates, select_greedy, RetentionRanking};
+    use mcds_model::{ApplicationBuilder, Cycles, DataKind};
+
+    fn pipeline() -> (Application, ClusterSchedule) {
+        let mut b = ApplicationBuilder::new("aw");
+        let a = b.data("a", Words::new(40), DataKind::ExternalInput);
+        let m = b.data("m", Words::new(20), DataKind::Intermediate);
+        let f = b.data("f", Words::new(30), DataKind::FinalResult);
+        let k0 = b.kernel("k0", 1, Cycles::new(10), &[a], &[m]);
+        let k1 = b.kernel("k1", 1, Cycles::new(10), &[m], &[f]);
+        let app = b.iterations(6).build().expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1]]).expect("valid");
+        (app, sched)
+    }
+
+    #[test]
+    fn walk_fits_when_footprint_fits() {
+        let (app, sched) = pipeline();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let ret = RetentionSet::empty();
+        let walk = AllocationWalk::new(
+            &app, &sched, &lt, &ret, 2, Words::new(200), FootprintModel::Replacement,
+        );
+        let report = walk.run(3, false).expect("fits");
+        assert_eq!(report.splits(), 0);
+        assert!(report.peak()[0] <= Words::new(200));
+        assert!(report.peak()[1] <= Words::new(200));
+        assert!(report.allocs() > 0);
+    }
+
+    #[test]
+    fn walk_fails_when_too_small() {
+        let (app, sched) = pipeline();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let ret = RetentionSet::empty();
+        let walk = AllocationWalk::new(
+            &app, &sched, &lt, &ret, 1, Words::new(30), FootprintModel::Replacement,
+        );
+        assert!(walk.run(1, false).is_err());
+    }
+
+    #[test]
+    fn regularity_across_rounds() {
+        let (app, sched) = pipeline();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let ret = RetentionSet::empty();
+        let walk = AllocationWalk::new(
+            &app, &sched, &lt, &ret, 2, Words::new(300), FootprintModel::Replacement,
+        );
+        let report = walk.run(3, false).expect("fits");
+        // From round 2 on every placement should be regular.
+        assert!(report.regular_hits() > 0, "report: {report:?}");
+        assert_eq!(report.irregular(), 0);
+    }
+
+    #[test]
+    fn retained_objects_stay_across_stages() {
+        // shared input used by C0 and C2 (both set 0).
+        let mut b = ApplicationBuilder::new("r");
+        let shared = b.data("shared", Words::new(50), DataKind::ExternalInput);
+        let f0 = b.data("f0", Words::new(5), DataKind::FinalResult);
+        let f1 = b.data("f1", Words::new(5), DataKind::FinalResult);
+        let f2 = b.data("f2", Words::new(5), DataKind::FinalResult);
+        let k0 = b.kernel("k0", 1, Cycles::new(10), &[shared], &[f0]);
+        let k1 = b.kernel("k1", 1, Cycles::new(10), &[], &[f1]);
+        let k2 = b.kernel("k2", 1, Cycles::new(10), &[shared], &[f2]);
+        let app = b.iterations(4).build().expect("valid");
+        let sched =
+            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        let ret = select_greedy(&cands, RetentionRanking::Tf, |d| app.size_of(d), |_| true);
+        assert!(!ret.is_empty());
+        let walk = AllocationWalk::new(
+            &app, &sched, &lt, &ret, 2, Words::new(200), FootprintModel::Replacement,
+        );
+        let report = walk.run(2, false).expect("fits");
+        assert_eq!(report.splits(), 0);
+        // Set 0 peak must cover shared(50)·2 slots + results.
+        assert!(report.peak()[0] >= Words::new(100));
+    }
+
+    #[test]
+    fn traced_walk_produces_maps() {
+        let (app, sched) = pipeline();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let ret = RetentionSet::empty();
+        let walk = AllocationWalk::new(
+            &app, &sched, &lt, &ret, 1, Words::new(300), FootprintModel::Replacement,
+        );
+        let report = walk.run(1, true).expect("fits");
+        let maps = report.maps().expect("traced");
+        assert!(!maps[0].is_empty());
+        assert!(!maps[1].is_empty());
+    }
+
+    #[test]
+    fn basic_model_needs_more_space() {
+        let (app, sched) = pipeline();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let ret = RetentionSet::empty();
+        // Replacement fits 90 words per iteration cluster 0 (a+m), but
+        // the no-replacement model keeps a, m simultaneously anyway for
+        // this tiny pipeline — use cluster sizes that differ: skip
+        // formal assert on equality, check monotonicity of peaks.
+        let run = |model| {
+            AllocationWalk::new(&app, &sched, &lt, &ret, 1, Words::new(300), model)
+                .run(2, false)
+                .expect("fits")
+        };
+        let rep = run(FootprintModel::Replacement);
+        let basic = run(FootprintModel::NoReplacement);
+        assert!(basic.peak()[0] >= rep.peak()[0]);
+        assert!(basic.peak()[1] >= rep.peak()[1]);
+    }
+}

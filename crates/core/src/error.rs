@@ -1,0 +1,102 @@
+//! Scheduler errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mcds_fballoc::AllocError;
+use mcds_model::{ClusterId, ModelError, Words};
+use mcds_sim::SimError;
+
+/// Errors raised while planning or evaluating a data schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A cluster's minimum working set exceeds the Frame Buffer set —
+    /// the application cannot run under this scheduler at this memory
+    /// size (e.g. MPEG under the Basic Scheduler with a 1K FB).
+    Infeasible {
+        /// The scheduler that failed.
+        scheduler: String,
+        /// The first cluster that does not fit.
+        cluster: ClusterId,
+        /// Its minimum footprint.
+        required: Words,
+        /// The Frame Buffer set capacity.
+        capacity: Words,
+    },
+    /// The application or cluster schedule is malformed.
+    Model(ModelError),
+    /// The emitted op schedule failed validation.
+    Sim(SimError),
+    /// The §5 allocation walk failed even with splitting.
+    Alloc(AllocError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Infeasible {
+                scheduler,
+                cluster,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "{scheduler}: cluster {cluster} needs {required} but the frame buffer set holds {capacity}"
+            ),
+            ScheduleError::Model(e) => write!(f, "model error: {e}"),
+            ScheduleError::Sim(e) => write!(f, "simulation error: {e}"),
+            ScheduleError::Alloc(e) => write!(f, "allocation error: {e}"),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Model(e) => Some(e),
+            ScheduleError::Sim(e) => Some(e),
+            ScheduleError::Alloc(e) => Some(e),
+            ScheduleError::Infeasible { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for ScheduleError {
+    fn from(e: ModelError) -> Self {
+        ScheduleError::Model(e)
+    }
+}
+
+impl From<SimError> for ScheduleError {
+    fn from(e: SimError) -> Self {
+        ScheduleError::Sim(e)
+    }
+}
+
+impl From<AllocError> for ScheduleError {
+    fn from(e: AllocError) -> Self {
+        ScheduleError::Alloc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ScheduleError::Infeasible {
+            scheduler: "basic".to_owned(),
+            cluster: ClusterId::new(2),
+            required: Words::kilo(2),
+            capacity: Words::kilo(1),
+        };
+        assert!(e.to_string().contains("C2"));
+        assert!(e.source().is_none());
+
+        let wrapped: ScheduleError = ModelError::NoKernels.into();
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("no kernels"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Data lifetime analysis relative to cluster boundaries.
+//!
+//! Classifies every data object of an application against a cluster
+//! schedule: where it is produced, which clusters consume it, and hence
+//! which transfers a scheduler that does *not* retain anything must
+//! perform. This is the paper's `d_j` / `rout_j` / `r_jt` bookkeeping
+//! generalised to whole clusters.
+
+use mcds_model::{Application, ClusterId, ClusterSchedule, DataId, DataKind, KernelId, Words};
+
+/// Producer/consumer relations at cluster granularity, plus the baseline
+/// per-cluster load/store sets.
+///
+/// For every cluster `c`:
+///
+/// * [`loads`](Self::loads) — objects that must be in the Frame Buffer
+///   before `c` executes and are *not* produced inside `c` (external
+///   inputs plus cross-cluster intermediates). A non-retaining scheduler
+///   transfers each of them from external memory, every iteration.
+/// * [`stores`](Self::stores) — objects produced in `c` that must reach
+///   external memory: final results, plus intermediates consumed by some
+///   *other* cluster (which will reload them).
+/// * [`locals`](Self::locals) — intermediates produced and fully
+///   consumed inside `c`; they never cause external traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lifetimes {
+    producer_cluster: Vec<Option<ClusterId>>,
+    consumer_clusters: Vec<Vec<ClusterId>>,
+    loads: Vec<Vec<DataId>>,
+    stores: Vec<Vec<DataId>>,
+    locals: Vec<Vec<DataId>>,
+    /// `last_use[c][d]` style map flattened: position of the last kernel
+    /// of cluster `c` consuming `d`, if any.
+    last_use_pos: Vec<Vec<Option<usize>>>,
+    /// Position of the producing kernel of `d` within its cluster.
+    producer_pos: Vec<Option<usize>>,
+}
+
+impl Lifetimes {
+    /// Analyses `app` against `sched`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sched` does not cover exactly the kernels of `app`
+    /// (which [`ClusterSchedule::new`] guarantees).
+    #[must_use]
+    pub fn analyze(app: &Application, sched: &ClusterSchedule) -> Self {
+        let df = app.dataflow();
+        let n_data = app.data().len();
+        let n_clusters = sched.len();
+
+        let cluster_of = |k: KernelId| sched.cluster_of(k).expect("kernel covered by schedule");
+
+        let mut producer_cluster: Vec<Option<ClusterId>> = vec![None; n_data];
+        let mut consumer_clusters: Vec<Vec<ClusterId>> = vec![Vec::new(); n_data];
+        let mut producer_pos: Vec<Option<usize>> = vec![None; n_data];
+        for d in app.data() {
+            if let Some(p) = df.producer(d.id()) {
+                let pc = cluster_of(p);
+                producer_cluster[d.id().index()] = Some(pc);
+                producer_pos[d.id().index()] =
+                    Some(sched.cluster(pc).position(p).expect("producer in cluster"));
+            }
+            let mut cs: Vec<ClusterId> = df.consumers(d.id()).iter().map(|&k| cluster_of(k)).collect();
+            cs.sort_unstable();
+            cs.dedup();
+            consumer_clusters[d.id().index()] = cs;
+        }
+
+        let mut loads: Vec<Vec<DataId>> = vec![Vec::new(); n_clusters];
+        let mut stores: Vec<Vec<DataId>> = vec![Vec::new(); n_clusters];
+        let mut locals: Vec<Vec<DataId>> = vec![Vec::new(); n_clusters];
+        for d in app.data() {
+            let id = d.id();
+            let prod = producer_cluster[id.index()];
+            let consumers = &consumer_clusters[id.index()];
+            match prod {
+                None => {
+                    // External input: every consuming cluster loads it.
+                    for &c in consumers {
+                        loads[c.index()].push(id);
+                    }
+                }
+                Some(p) => {
+                    let escapes = consumers.iter().any(|&c| c != p);
+                    let must_store = d.kind() == DataKind::FinalResult || escapes;
+                    if must_store {
+                        stores[p.index()].push(id);
+                    } else {
+                        locals[p.index()].push(id);
+                    }
+                    for &c in consumers {
+                        if c != p {
+                            loads[c.index()].push(id);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut last_use_pos: Vec<Vec<Option<usize>>> = vec![vec![None; n_data]; n_clusters];
+        for cluster in sched.clusters() {
+            for (pos, &k) in cluster.kernels().iter().enumerate() {
+                for &d in app.kernel(k).inputs() {
+                    last_use_pos[cluster.id().index()][d.index()] = Some(pos);
+                }
+            }
+        }
+
+        Lifetimes {
+            producer_cluster,
+            consumer_clusters,
+            loads,
+            stores,
+            locals,
+            last_use_pos,
+            producer_pos,
+        }
+    }
+
+    /// The cluster that produces `data`, or `None` for external inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is out of range.
+    #[must_use]
+    pub fn producer_cluster(&self, data: DataId) -> Option<ClusterId> {
+        self.producer_cluster[data.index()]
+    }
+
+    /// Position of the producing kernel within its cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is out of range.
+    #[must_use]
+    pub fn producer_pos(&self, data: DataId) -> Option<usize> {
+        self.producer_pos[data.index()]
+    }
+
+    /// Clusters containing at least one consumer of `data`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is out of range.
+    #[must_use]
+    pub fn consumer_clusters(&self, data: DataId) -> &[ClusterId] {
+        &self.consumer_clusters[data.index()]
+    }
+
+    /// Objects cluster `c` must obtain from outside itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn loads(&self, c: ClusterId) -> &[DataId] {
+        &self.loads[c.index()]
+    }
+
+    /// Objects cluster `c` must (baseline) push to external memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn stores(&self, c: ClusterId) -> &[DataId] {
+        &self.stores[c.index()]
+    }
+
+    /// Intermediates living entirely inside cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn locals(&self, c: ClusterId) -> &[DataId] {
+        &self.locals[c.index()]
+    }
+
+    /// Position (within cluster `c`) of the last kernel consuming
+    /// `data`, or `None` if no kernel of `c` reads it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` or `data` is out of range.
+    #[must_use]
+    pub fn last_use_in(&self, c: ClusterId, data: DataId) -> Option<usize> {
+        self.last_use_pos[c.index()][data.index()]
+    }
+
+    /// Baseline external-traffic volume of cluster `c` per iteration:
+    /// `(load_words, store_words)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn baseline_volume(&self, app: &Application, c: ClusterId) -> (Words, Words) {
+        let l = self.loads[c.index()].iter().map(|&d| app.size_of(d)).sum();
+        let s = self.stores[c.index()].iter().map(|&d| app.size_of(d)).sum();
+        (l, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_model::{ApplicationBuilder, ClusterSchedule, Cycles, DataKind, Words};
+
+    /// Four kernels, two clusters: {k0,k1} and {k2,k3}.
+    /// - `ext`    : external input used by k0 and k2 (cross-cluster shared data)
+    /// - `local01`: intermediate k0 -> k1 (cluster-local)
+    /// - `cross`  : intermediate k1 -> k2 (cross-cluster)
+    /// - `fin`    : final result of k3
+    fn fixture() -> (Application, ClusterSchedule) {
+        let mut b = ApplicationBuilder::new("fx");
+        let ext = b.data("ext", Words::new(10), DataKind::ExternalInput);
+        let local01 = b.data("local01", Words::new(20), DataKind::Intermediate);
+        let cross = b.data("cross", Words::new(30), DataKind::Intermediate);
+        let fin = b.data("fin", Words::new(40), DataKind::FinalResult);
+        let mid = b.data("mid", Words::new(5), DataKind::Intermediate);
+        let k0 = b.kernel("k0", 1, Cycles::new(10), &[ext], &[local01]);
+        let k1 = b.kernel("k1", 1, Cycles::new(10), &[local01], &[cross]);
+        let k2 = b.kernel("k2", 1, Cycles::new(10), &[ext, cross], &[mid]);
+        let k3 = b.kernel("k3", 1, Cycles::new(10), &[mid], &[fin]);
+        let app = b.iterations(8).build().expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0, k1], vec![k2, k3]]).expect("valid");
+        (app, sched)
+    }
+
+    use mcds_model::Application;
+
+    #[test]
+    fn classification() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let c0 = ClusterId::new(0);
+        let c1 = ClusterId::new(1);
+        let d = |i: u32| DataId::new(i);
+
+        // ext(0) loaded by both clusters.
+        assert_eq!(lt.loads(c0), &[d(0)]);
+        assert!(lt.loads(c1).contains(&d(0)));
+        // cross(2) stored by cluster 0, loaded by cluster 1.
+        assert!(lt.stores(c0).contains(&d(2)));
+        assert!(lt.loads(c1).contains(&d(2)));
+        // local01(1) and mid(4) are cluster-local.
+        assert_eq!(lt.locals(c0), &[d(1)]);
+        assert_eq!(lt.locals(c1), &[d(4)]);
+        // fin(3) stored by cluster 1.
+        assert!(lt.stores(c1).contains(&d(3)));
+    }
+
+    #[test]
+    fn producer_and_consumers() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        assert_eq!(lt.producer_cluster(DataId::new(0)), None);
+        assert_eq!(lt.producer_cluster(DataId::new(2)), Some(ClusterId::new(0)));
+        assert_eq!(
+            lt.consumer_clusters(DataId::new(0)),
+            &[ClusterId::new(0), ClusterId::new(1)]
+        );
+        assert_eq!(lt.consumer_clusters(DataId::new(3)), &[] as &[ClusterId]);
+        assert_eq!(lt.producer_pos(DataId::new(2)), Some(1));
+    }
+
+    #[test]
+    fn last_use_positions() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        // In cluster 0: ext used by k0 (pos 0), local01 by k1 (pos 1).
+        assert_eq!(lt.last_use_in(ClusterId::new(0), DataId::new(0)), Some(0));
+        assert_eq!(lt.last_use_in(ClusterId::new(0), DataId::new(1)), Some(1));
+        // cross not consumed in cluster 0.
+        assert_eq!(lt.last_use_in(ClusterId::new(0), DataId::new(2)), None);
+        // In cluster 1: ext and cross used by k2 (pos 0), mid by k3 (pos 1).
+        assert_eq!(lt.last_use_in(ClusterId::new(1), DataId::new(2)), Some(0));
+        assert_eq!(lt.last_use_in(ClusterId::new(1), DataId::new(4)), Some(1));
+    }
+
+    #[test]
+    fn baseline_volumes() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        // Cluster 0: load ext(10); store cross(30).
+        assert_eq!(
+            lt.baseline_volume(&app, ClusterId::new(0)),
+            (Words::new(10), Words::new(30))
+        );
+        // Cluster 1: load ext(10) + cross(30); store fin(40).
+        assert_eq!(
+            lt.baseline_volume(&app, ClusterId::new(1)),
+            (Words::new(40), Words::new(40))
+        );
+    }
+
+    #[test]
+    fn final_result_consumed_by_later_cluster() {
+        // A FinalResult that is also consumed downstream must be stored
+        // by its producer and loaded by the consumer.
+        let mut b = ApplicationBuilder::new("fr");
+        let a = b.data("a", Words::new(4), DataKind::ExternalInput);
+        let f = b.data("f", Words::new(8), DataKind::FinalResult);
+        let g = b.data("g", Words::new(8), DataKind::FinalResult);
+        let k0 = b.kernel("k0", 1, Cycles::new(5), &[a], &[f]);
+        let k1 = b.kernel("k1", 1, Cycles::new(5), &[f], &[g]);
+        let app = b.build().expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1]]).expect("valid");
+        let lt = Lifetimes::analyze(&app, &sched);
+        assert!(lt.stores(ClusterId::new(0)).contains(&DataId::new(1)));
+        assert!(lt.loads(ClusterId::new(1)).contains(&DataId::new(1)));
+        assert!(lt.stores(ClusterId::new(1)).contains(&DataId::new(2)));
+    }
+
+    #[test]
+    fn final_result_consumed_same_cluster_not_loaded() {
+        let mut b = ApplicationBuilder::new("fr2");
+        let a = b.data("a", Words::new(4), DataKind::ExternalInput);
+        let f = b.data("f", Words::new(8), DataKind::FinalResult);
+        let g = b.data("g", Words::new(8), DataKind::FinalResult);
+        let k0 = b.kernel("k0", 1, Cycles::new(5), &[a], &[f]);
+        let k1 = b.kernel("k1", 1, Cycles::new(5), &[f], &[g]);
+        let app = b.build().expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0, k1]]).expect("valid");
+        let lt = Lifetimes::analyze(&app, &sched);
+        let c0 = ClusterId::new(0);
+        // f is stored (it is a FinalResult) but never loaded.
+        assert!(lt.stores(c0).contains(&DataId::new(1)));
+        assert_eq!(lt.loads(c0), &[DataId::new(0)]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Retention set selection: the greedy TF-ordered algorithm of §4.
+//!
+//! "The Complete Data Scheduler sorts the shared data and results
+//! according to TF. It starts checking that `DS(C_c) ≤ FBS` for all
+//! clusters assigned to that FB set for shared data or results with the
+//! highest TF. Scheduling continues with shared data or results with
+//! less TF. If `DS(C_c) > FBS` for some shared data or results, these
+//! are not kept."
+
+use std::collections::{HashMap, HashSet};
+
+use mcds_model::{ClusterId, ClusterSchedule, DataId, FbSet, Words};
+use serde::{Deserialize, Serialize};
+
+use crate::sharing::{Candidate, RetainedKind};
+
+/// How candidates are ordered before the greedy fit check. The paper
+/// uses [`Tf`](RetentionRanking::Tf); the others exist for the ablation
+/// benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RetentionRanking {
+    /// Descending time factor — the paper's policy.
+    #[default]
+    Tf,
+    /// Descending raw size (big objects first, ignoring reuse counts).
+    SizeDesc,
+    /// Discovery order (no ranking).
+    Fifo,
+}
+
+/// The set of shared objects the Complete Data Scheduler keeps in the
+/// Frame Buffer, with the derived skip/passthrough queries the planner
+/// and footprint model need.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetentionSet {
+    chosen: Vec<Candidate>,
+    skip_load: HashSet<(ClusterId, DataId)>,
+    skip_store: HashSet<(ClusterId, DataId)>,
+    /// (data, set) -> (holder, last cluster) of the retention interval.
+    /// An external input consumed on both sets may be retained once per
+    /// set, each copy with its own interval.
+    interval: HashMap<(DataId, FbSet), (ClusterId, ClusterId)>,
+}
+
+impl RetentionSet {
+    /// The empty retention set (what Basic and DS use).
+    #[must_use]
+    pub fn empty() -> Self {
+        RetentionSet::default()
+    }
+
+    /// Adds a candidate (assumed non-duplicate).
+    pub fn add(&mut self, candidate: Candidate) {
+        for &c in candidate.skippers() {
+            self.skip_load.insert((c, candidate.data()));
+        }
+        if let RetainedKind::SharedResult {
+            store_avoided: true,
+        } = candidate.kind()
+        {
+            self.skip_store.insert((candidate.holder(), candidate.data()));
+        }
+        self.interval.insert(
+            (candidate.data(), candidate.set()),
+            (candidate.holder(), candidate.last()),
+        );
+        self.chosen.push(candidate);
+    }
+
+    /// Removes the most recently added candidate (used during greedy
+    /// trial-and-error).
+    pub fn pop(&mut self) -> Option<Candidate> {
+        let candidate = self.chosen.pop()?;
+        for &c in candidate.skippers() {
+            self.skip_load.remove(&(c, candidate.data()));
+        }
+        self.skip_store.remove(&(candidate.holder(), candidate.data()));
+        self.interval.remove(&(candidate.data(), candidate.set()));
+        Some(candidate)
+    }
+
+    /// The retained candidates, in selection order.
+    #[must_use]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.chosen
+    }
+
+    /// `true` if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chosen.is_empty()
+    }
+
+    /// Does cluster `c` skip loading `d` because a retained copy is
+    /// already resident?
+    #[must_use]
+    pub fn skips_load(&self, c: ClusterId, d: DataId) -> bool {
+        self.skip_load.contains(&(c, d))
+    }
+
+    /// Does cluster `c` skip storing `d` because retention made the
+    /// external copy unnecessary?
+    #[must_use]
+    pub fn skips_store(&self, c: ClusterId, d: DataId) -> bool {
+        self.skip_store.contains(&(c, d))
+    }
+
+    /// Is `d` retained on any set?
+    #[must_use]
+    pub fn is_retained(&self, d: DataId) -> bool {
+        self.interval.keys().any(|&(id, _)| id == d)
+    }
+
+    /// The retention interval of `d`'s copy on `set`: from the holder
+    /// cluster (which loads or produces it) to the last same-set
+    /// consumer.
+    #[must_use]
+    pub fn interval(&self, d: DataId, set: FbSet) -> Option<(ClusterId, ClusterId)> {
+        self.interval.get(&(d, set)).copied()
+    }
+
+    /// The last cluster that reads the retained copy of `d` on `set`;
+    /// the space is released after it.
+    #[must_use]
+    pub fn release_after(&self, d: DataId, set: FbSet) -> Option<ClusterId> {
+        self.interval.get(&(d, set)).map(|&(_, last)| last)
+    }
+
+    /// Words of retained objects that are merely *passing through*
+    /// cluster `c` (same set, live across `c`, but neither loaded,
+    /// produced nor consumed by it). They occupy Frame Buffer space for
+    /// the whole of `c`'s execution and must be charged to its
+    /// footprint.
+    ///
+    /// `uses` reports whether `c` reads the object (then it is part of
+    /// `c`'s normal input working set instead).
+    #[must_use]
+    pub fn passthrough_words(
+        &self,
+        sched: &ClusterSchedule,
+        c: ClusterId,
+        sizes: impl Fn(DataId) -> Words,
+        uses: impl Fn(ClusterId, DataId) -> bool,
+    ) -> Words {
+        let set: FbSet = sched.fb_set(c);
+        let mut total = Words::ZERO;
+        for cand in &self.chosen {
+            if cand.set() != set {
+                continue;
+            }
+            let d = cand.data();
+            let (from, to) = (cand.holder(), cand.last());
+            // For a cross-set candidate the last consumer sits on the
+            // other set; its execution overlaps the next same-set
+            // stage's transfers, so the charge extends one cluster
+            // further on the resident set.
+            let upper = if cand.is_cross_set() {
+                to.index() + 1
+            } else {
+                to.index()
+            };
+            if c > from && c.index() <= upper && !uses(c, d) {
+                total += sizes(d);
+            }
+        }
+        total
+    }
+
+    /// Total external-memory words avoided per application iteration —
+    /// `DT` in Table 1 of the paper.
+    #[must_use]
+    pub fn avoided_per_iter(&self) -> Words {
+        self.chosen.iter().map(Candidate::avoided_per_iter).sum()
+    }
+}
+
+/// Greedy selection: walk `candidates` in ranking order, keep each one
+/// whose addition still satisfies `fits` (typically "every cluster's
+/// footprint at the chosen RF stays within the FB set").
+///
+/// Candidates are deduplicated per `(data, set)` pair in ranking order,
+/// so a table consumed on both Frame Buffer sets may be retained once
+/// per set.
+#[must_use]
+pub fn select_greedy(
+    candidates: &[Candidate],
+    ranking: RetentionRanking,
+    sizes: impl Fn(DataId) -> Words,
+    mut fits: impl FnMut(&RetentionSet) -> bool,
+) -> RetentionSet {
+    let mut ordered: Vec<&Candidate> = candidates.iter().collect();
+    match ranking {
+        RetentionRanking::Tf => { /* already sorted by find_candidates */ }
+        RetentionRanking::SizeDesc => {
+            ordered.sort_by(|a, b| {
+                sizes(b.data())
+                    .cmp(&sizes(a.data()))
+                    .then_with(|| a.data().cmp(&b.data()))
+            });
+        }
+        RetentionRanking::Fifo => {
+            ordered.sort_by(|a, b| a.data().cmp(&b.data()).then(a.set().cmp(&b.set())));
+        }
+    }
+
+    let mut set = RetentionSet::empty();
+    let mut taken: HashSet<(DataId, FbSet)> = HashSet::new();
+    for cand in ordered {
+        if taken.contains(&(cand.data(), cand.set())) {
+            continue;
+        }
+        set.add(cand.clone());
+        if fits(&set) {
+            taken.insert((cand.data(), cand.set()));
+        } else {
+            set.pop();
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_candidates, Lifetimes};
+    use mcds_model::{Application, ApplicationBuilder, Cycles, DataKind};
+
+    fn fixture() -> (Application, ClusterSchedule) {
+        let mut b = ApplicationBuilder::new("ret");
+        let big = b.data("big", Words::new(100), DataKind::ExternalInput);
+        let small = b.data("small", Words::new(10), DataKind::ExternalInput);
+        let f0 = b.data("f0", Words::new(1), DataKind::FinalResult);
+        let f1 = b.data("f1", Words::new(1), DataKind::FinalResult);
+        let f2 = b.data("f2", Words::new(1), DataKind::FinalResult);
+        let k0 = b.kernel("k0", 1, Cycles::new(10), &[big, small], &[f0]);
+        let k1 = b.kernel("k1", 1, Cycles::new(10), &[], &[f1]);
+        let k2 = b.kernel("k2", 1, Cycles::new(10), &[big, small], &[f2]);
+        let app = b.build().expect("valid");
+        let sched =
+            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        (app, sched)
+    }
+
+    #[test]
+    fn greedy_keeps_everything_when_fits() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        assert_eq!(cands.len(), 2);
+        let set = select_greedy(&cands, RetentionRanking::Tf, |d| app.size_of(d), |_| true);
+        assert_eq!(set.candidates().len(), 2);
+        // DT = (2-1)*100 + (2-1)*10.
+        assert_eq!(set.avoided_per_iter(), Words::new(110));
+        assert!(set.skips_load(ClusterId::new(2), DataId::new(0)));
+        assert!(!set.skips_load(ClusterId::new(0), DataId::new(0)));
+    }
+
+    #[test]
+    fn greedy_respects_fit_predicate() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        // Allow at most one retained object.
+        let set = select_greedy(
+            &cands,
+            RetentionRanking::Tf,
+            |d| app.size_of(d),
+            |s| s.candidates().len() <= 1,
+        );
+        assert_eq!(set.candidates().len(), 1);
+        // The highest-TF candidate (the big one) wins.
+        assert_eq!(set.candidates()[0].data(), DataId::new(0));
+    }
+
+    #[test]
+    fn greedy_skips_unfitting_but_continues() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        // Reject any set containing the big object.
+        let set = select_greedy(
+            &cands,
+            RetentionRanking::Tf,
+            |d| app.size_of(d),
+            |s| !s.candidates().iter().any(|c| c.data() == DataId::new(0)),
+        );
+        assert_eq!(set.candidates().len(), 1);
+        assert_eq!(set.candidates()[0].data(), DataId::new(1));
+    }
+
+    #[test]
+    fn rankings_change_order() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        let by_size = select_greedy(
+            &cands,
+            RetentionRanking::SizeDesc,
+            |d| app.size_of(d),
+            |s| s.candidates().len() <= 1,
+        );
+        assert_eq!(by_size.candidates()[0].data(), DataId::new(0));
+        let fifo = select_greedy(
+            &cands,
+            RetentionRanking::Fifo,
+            |d| app.size_of(d),
+            |s| s.candidates().len() <= 1,
+        );
+        assert_eq!(fifo.candidates()[0].data(), DataId::new(0));
+    }
+
+    #[test]
+    fn passthrough_counts_spanning_objects() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        let set = select_greedy(&cands, RetentionRanking::Tf, |d| app.size_of(d), |_| true);
+        // Cluster 1 is on the other set: nothing passes through it.
+        let pt1 = set.passthrough_words(&sched, ClusterId::new(1), |d| app.size_of(d), |_, _| false);
+        assert_eq!(pt1, Words::ZERO);
+        // A hypothetical same-set cluster between holder and last that
+        // does not use the data would be charged. Cluster 2 *uses* both
+        // retained objects, so nothing is passthrough there either.
+        let uses = |c: ClusterId, d: DataId| {
+            lt.loads(c).contains(&d)
+        };
+        let pt2 = set.passthrough_words(&sched, ClusterId::new(2), |d| app.size_of(d), uses);
+        assert_eq!(pt2, Words::ZERO);
+        // If cluster 2 claimed not to use them, they would be charged.
+        let pt2_forced =
+            set.passthrough_words(&sched, ClusterId::new(2), |d| app.size_of(d), |_, _| false);
+        assert_eq!(pt2_forced, Words::new(110));
+    }
+
+    #[test]
+    fn cross_set_passthrough_extends_one_cluster() {
+        use crate::find_candidates_with;
+        use mcds_model::{ApplicationBuilder, Cycles, DataKind};
+        // shared consumed by C0 (set 0) and C3 (set 1): with cross-set
+        // access it is retained on set 0 until C3 finishes, so C2 and
+        // C4 (set-0 clusters at and just past the interval end) carry
+        // the passthrough.
+        let mut b = ApplicationBuilder::new("xpt");
+        let shared = b.data("shared", Words::new(50), DataKind::ExternalInput);
+        let x = b.data("x", Words::new(1), DataKind::ExternalInput);
+        let mut kernels = Vec::new();
+        for i in 0..5u32 {
+            let f = b.data(format!("f{i}"), Words::new(1), DataKind::FinalResult);
+            let inputs = if i == 0 || i == 3 { vec![shared] } else { vec![x] };
+            kernels.push(vec![b.kernel(format!("k{i}"), 1, Cycles::new(10), &inputs, &[f])]);
+        }
+        let app = b.build().expect("valid");
+        let sched = ClusterSchedule::new(&app, kernels).expect("valid");
+        let lt = crate::Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates_with(&app, &sched, &lt, true);
+        let shared_cand = cands
+            .iter()
+            .find(|c| c.data() == DataId::new(0))
+            .expect("cross-set group");
+        assert!(shared_cand.is_cross_set());
+        assert_eq!(shared_cand.holder(), ClusterId::new(0));
+        assert_eq!(shared_cand.last(), ClusterId::new(3));
+        let mut set = RetentionSet::empty();
+        set.add(shared_cand.clone());
+        let pt = |c: u32| {
+            set.passthrough_words(&sched, ClusterId::new(c), |d| app.size_of(d), |_, _| false)
+        };
+        // C2 (set 0, inside the interval): charged.
+        assert_eq!(pt(2), Words::new(50));
+        // C4 (set 0, one past the cross-set end): still charged -- the
+        // last consumer executes on the other set while C4's transfers
+        // begin.
+        assert_eq!(pt(4), Words::new(50));
+        // C1/C3 are on set 1: never charged on their own set.
+        assert_eq!(pt(1), Words::ZERO);
+        assert_eq!(pt(3), Words::ZERO);
+    }
+
+    #[test]
+    fn empty_set_queries() {
+        let set = RetentionSet::empty();
+        assert!(set.is_empty());
+        assert!(!set.skips_load(ClusterId::new(0), DataId::new(0)));
+        assert!(!set.skips_store(ClusterId::new(0), DataId::new(0)));
+        assert!(!set.is_retained(DataId::new(0)));
+        assert_eq!(set.release_after(DataId::new(0), mcds_model::FbSet::Set0), None);
+        assert_eq!(set.avoided_per_iter(), Words::ZERO);
+    }
+
+    #[test]
+    fn add_pop_roundtrip() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        let mut set = RetentionSet::empty();
+        set.add(cands[0].clone());
+        assert!(set.is_retained(cands[0].data()));
+        let popped = set.pop().expect("one element");
+        assert_eq!(popped.data(), cands[0].data());
+        assert!(set.is_empty());
+        assert!(!set.is_retained(cands[0].data()));
+        assert!(set.pop().is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! The Context Memory residency model.
+
+/// LRU residency model of the Context Memory.
+///
+/// Tracks which clusters' context sets are currently resident. Clusters
+/// are identified by their index into a context-size table supplied at
+/// construction. Activating a cluster either *hits* (contexts already
+/// resident, no transfer) or *misses* (least-recently-used clusters are
+/// evicted until the new context set fits, and its size must be
+/// transferred).
+///
+/// # Example
+///
+/// ```
+/// use mcds_csched::CmModel;
+///
+/// let mut cm = CmModel::new(250, vec![100, 100, 100]);
+/// assert_eq!(cm.activate(0), 100); // miss: load 100 words
+/// assert_eq!(cm.activate(1), 100); // miss
+/// assert_eq!(cm.activate(0), 0);   // hit
+/// assert_eq!(cm.activate(2), 100); // miss: evicts cluster 1 (LRU)
+/// assert_eq!(cm.activate(1), 100); // miss again
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmModel {
+    capacity: u32,
+    sizes: Vec<u32>,
+    /// Resident cluster indices, most recently used last.
+    resident: Vec<usize>,
+}
+
+impl CmModel {
+    /// A model with `capacity` context words and the given per-cluster
+    /// context sizes.
+    #[must_use]
+    pub fn new(capacity: u32, sizes: Vec<u32>) -> Self {
+        CmModel {
+            capacity,
+            sizes,
+            resident: Vec::new(),
+        }
+    }
+
+    /// The Context Memory capacity in context words.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Context words currently resident.
+    #[must_use]
+    pub fn used(&self) -> u32 {
+        self.resident.iter().map(|&c| self.sizes[c]).sum()
+    }
+
+    /// Returns `true` if `cluster`'s contexts are resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    #[must_use]
+    pub fn is_resident(&self, cluster: usize) -> bool {
+        assert!(cluster < self.sizes.len(), "cluster index out of range");
+        self.resident.contains(&cluster)
+    }
+
+    /// Activates `cluster`: returns the context words that must be
+    /// loaded (0 on a hit). A cluster larger than the whole CM is
+    /// reloaded in full on every activation and never cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn activate(&mut self, cluster: usize) -> u32 {
+        assert!(cluster < self.sizes.len(), "cluster index out of range");
+        let size = self.sizes[cluster];
+        if let Some(pos) = self.resident.iter().position(|&c| c == cluster) {
+            // Hit: refresh recency.
+            self.resident.remove(pos);
+            self.resident.push(cluster);
+            return 0;
+        }
+        if size > self.capacity {
+            // Streams through the CM; nothing stays resident.
+            return size;
+        }
+        while self.used() + size > self.capacity {
+            // Evict the least recently used (front).
+            self.resident.remove(0);
+        }
+        self.resident.push(cluster);
+        size
+    }
+
+    /// Empties the Context Memory.
+    pub fn clear(&mut self) {
+        self.resident.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fit_no_reloads() {
+        let mut cm = CmModel::new(1000, vec![100, 200, 300]);
+        assert_eq!(cm.activate(0), 100);
+        assert_eq!(cm.activate(1), 200);
+        assert_eq!(cm.activate(2), 300);
+        assert_eq!(cm.used(), 600);
+        for _ in 0..3 {
+            assert_eq!(cm.activate(0), 0);
+            assert_eq!(cm.activate(1), 0);
+            assert_eq!(cm.activate(2), 0);
+        }
+    }
+
+    #[test]
+    fn thrashing_when_working_set_exceeds_capacity() {
+        let mut cm = CmModel::new(250, vec![100, 100, 100]);
+        // Round-robin over three 100-word clusters in a 250-word CM:
+        // every activation after warm-up misses (LRU worst case).
+        assert_eq!(cm.activate(0), 100);
+        assert_eq!(cm.activate(1), 100);
+        assert_eq!(cm.activate(2), 100); // evicts 0
+        assert_eq!(cm.activate(0), 100); // evicts 1
+        assert_eq!(cm.activate(1), 100);
+    }
+
+    #[test]
+    fn oversized_cluster_streams() {
+        let mut cm = CmModel::new(100, vec![500, 50]);
+        assert_eq!(cm.activate(0), 500);
+        assert!(!cm.is_resident(0));
+        assert_eq!(cm.activate(1), 50);
+        assert!(cm.is_resident(1));
+        // The small one stays resident across the big one's streaming.
+        assert_eq!(cm.activate(0), 500);
+        assert_eq!(cm.activate(1), 0);
+    }
+
+    #[test]
+    fn clear_evicts_everything() {
+        let mut cm = CmModel::new(100, vec![50]);
+        assert_eq!(cm.activate(0), 50);
+        cm.clear();
+        assert_eq!(cm.used(), 0);
+        assert_eq!(cm.activate(0), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn activate_out_of_range_panics() {
+        let mut cm = CmModel::new(100, vec![50]);
+        cm.activate(1);
+    }
+}

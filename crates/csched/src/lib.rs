@@ -1,0 +1,37 @@
+//! Context scheduling for multi-context reconfigurable architectures.
+//!
+//! Reproduces the role of the context scheduler of Maestre et al. (ISSS
+//! 1999): decide *when* each cluster's contexts are (re)loaded into the
+//! Context Memory so that loads overlap computation and redundant
+//! reloads are avoided.
+//!
+//! The Context Memory of MorphoSys "may store a set of different
+//! configurations for the entire reconfigurable chip (contexts) in an
+//! internal memory"; when the working set of clusters fits, a cluster's
+//! contexts are loaded once and reused for every later activation.
+//! When it does not fit, the [`CmModel`] evicts least-recently-used
+//! clusters and the activation pays a reload.
+//!
+//! # Example
+//!
+//! ```
+//! use mcds_csched::{ContextScheduler, CmModel};
+//!
+//! // Two clusters of 100 context words each, CM holds 512: after the
+//! // first round everything is resident and no reloads happen.
+//! let scheduler = ContextScheduler::new(512);
+//! let plan = scheduler.plan(&[100, 100], &[0, 1, 0, 1, 0, 1]);
+//! assert_eq!(plan.loads(), &[100, 100, 0, 0, 0, 0]);
+//! assert_eq!(plan.total_context_words(), 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cm;
+mod plan;
+mod scheduler;
+
+pub use cm::CmModel;
+pub use plan::ContextPlan;
+pub use scheduler::ContextScheduler;

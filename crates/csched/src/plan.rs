@@ -1,0 +1,47 @@
+//! The context scheduler's output.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-stage context load decisions: `loads()[s]` is the number of
+/// context words the DMA must bring in before stage `s` can execute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextPlan {
+    loads: Vec<u32>,
+}
+
+impl ContextPlan {
+    pub(crate) fn new(loads: Vec<u32>) -> Self {
+        ContextPlan { loads }
+    }
+
+    /// Context words to load per stage (0 = contexts already resident).
+    #[must_use]
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Total context words transferred over the whole execution.
+    #[must_use]
+    pub fn total_context_words(&self) -> u64 {
+        self.loads.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Number of stages that required a (re)load.
+    #[must_use]
+    pub fn reload_count(&self) -> usize {
+        self.loads.iter().filter(|&&l| l > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let p = ContextPlan::new(vec![100, 0, 50, 0]);
+        assert_eq!(p.loads(), &[100, 0, 50, 0]);
+        assert_eq!(p.total_context_words(), 150);
+        assert_eq!(p.reload_count(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! The context scheduler proper.
+
+use crate::{CmModel, ContextPlan};
+
+/// Plans Context Memory loads for a stage sequence.
+///
+/// The goal, per Maestre et al., "is to minimize the number of context
+/// loads that do not overlap with computation"; the first half of that
+/// battle is not reloading contexts that are still resident. The
+/// scheduler walks the stage sequence through an LRU [`CmModel`] and
+/// reports, per stage, how many context words must be transferred.
+///
+/// (Overlapping the remaining loads with computation is the simulator's
+/// job: context loads are emitted ahead of the stage they serve and the
+/// DMA performs them while the previous stage computes.)
+#[derive(Debug, Clone)]
+pub struct ContextScheduler {
+    cm_capacity: u32,
+}
+
+impl ContextScheduler {
+    /// A scheduler for a Context Memory of `cm_capacity` context words.
+    #[must_use]
+    pub fn new(cm_capacity: u32) -> Self {
+        ContextScheduler { cm_capacity }
+    }
+
+    /// Plans loads for `stages`, a sequence of cluster indices into
+    /// `cluster_contexts` (context words per cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage references a cluster index out of range.
+    #[must_use]
+    pub fn plan(&self, cluster_contexts: &[u32], stages: &[usize]) -> ContextPlan {
+        let mut cm = CmModel::new(self.cm_capacity, cluster_contexts.to_vec());
+        let loads = stages.iter().map(|&c| cm.activate(c)).collect();
+        ContextPlan::new(loads)
+    }
+
+    /// Worst-case plan that reloads every stage — the Basic Scheduler's
+    /// behaviour, also used as an ablation baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage references a cluster index out of range.
+    #[must_use]
+    pub fn plan_reload_always(&self, cluster_contexts: &[u32], stages: &[usize]) -> ContextPlan {
+        let loads = stages.iter().map(|&c| cluster_contexts[c]).collect();
+        ContextPlan::new(loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_clusters_not_reloaded() {
+        let s = ContextScheduler::new(512);
+        let plan = s.plan(&[100, 200], &[0, 1, 0, 1]);
+        assert_eq!(plan.loads(), &[100, 200, 0, 0]);
+        assert_eq!(plan.reload_count(), 2);
+    }
+
+    #[test]
+    fn small_cm_thrashes() {
+        let s = ContextScheduler::new(150);
+        let plan = s.plan(&[100, 100], &[0, 1, 0, 1]);
+        assert_eq!(plan.loads(), &[100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn reload_always_matches_sizes() {
+        let s = ContextScheduler::new(512);
+        let plan = s.plan_reload_always(&[100, 200], &[0, 1, 0, 1]);
+        assert_eq!(plan.loads(), &[100, 200, 100, 200]);
+        assert_eq!(plan.total_context_words(), 600);
+    }
+
+    #[test]
+    fn empty_stages() {
+        let s = ContextScheduler::new(512);
+        let plan = s.plan(&[100], &[]);
+        assert!(plan.loads().is_empty());
+        assert_eq!(plan.total_context_words(), 0);
+    }
+
+    #[test]
+    fn mixed_sizes_partial_eviction() {
+        // CM 300: clusters of 150/150/100. After 0,1 the CM is full;
+        // activating 2 evicts 0 only.
+        let s = ContextScheduler::new(300);
+        let plan = s.plan(&[150, 150, 100], &[0, 1, 2, 1, 0]);
+        assert_eq!(plan.loads(), &[150, 150, 100, 0, 150]);
+    }
+}

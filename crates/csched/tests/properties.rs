@@ -1,0 +1,67 @@
+//! Property tests for the Context Memory model and scheduler.
+
+use mcds_csched::{CmModel, ContextScheduler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LRU residency never transfers more than reload-always, and never
+    /// less than loading each distinct cluster once.
+    #[test]
+    fn lru_bounded_by_extremes(
+        capacity in 1u32..2000,
+        sizes in prop::collection::vec(1u32..400, 1..6),
+        stages in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+    ) {
+        let stages: Vec<usize> = stages.iter().map(|i| i.index(sizes.len())).collect();
+        let cs = ContextScheduler::new(capacity);
+        let lru = cs.plan(&sizes, &stages);
+        let always = cs.plan_reload_always(&sizes, &stages);
+        prop_assert!(lru.total_context_words() <= always.total_context_words());
+
+        let distinct: u64 = {
+            let mut seen: Vec<usize> = stages.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.iter().map(|&c| u64::from(sizes[c])).sum()
+        };
+        prop_assert!(lru.total_context_words() >= distinct,
+            "must at least cold-load each distinct cluster once");
+        prop_assert_eq!(lru.loads().len(), stages.len());
+    }
+
+    /// The CM never holds more than its capacity (oversized clusters
+    /// stream and are never resident).
+    #[test]
+    fn residency_never_exceeds_capacity(
+        capacity in 1u32..500,
+        sizes in prop::collection::vec(1u32..600, 1..6),
+        stages in prop::collection::vec(any::<prop::sample::Index>(), 1..40),
+    ) {
+        let mut cm = CmModel::new(capacity, sizes.clone());
+        for ix in stages {
+            let c = ix.index(sizes.len());
+            let _ = cm.activate(c);
+            prop_assert!(cm.used() <= capacity, "CM over capacity: {} > {capacity}", cm.used());
+        }
+    }
+
+    /// Re-activating the most recent cluster is always a hit (when it
+    /// fits at all).
+    #[test]
+    fn immediate_reactivation_hits(
+        capacity in 1u32..500,
+        sizes in prop::collection::vec(1u32..600, 1..6),
+        first in any::<prop::sample::Index>(),
+    ) {
+        let c = first.index(sizes.len());
+        let mut cm = CmModel::new(capacity, sizes.clone());
+        let _ = cm.activate(c);
+        if sizes[c] <= capacity {
+            prop_assert_eq!(cm.activate(c), 0, "hot cluster reloaded");
+        } else {
+            prop_assert_eq!(cm.activate(c), sizes[c], "oversized cluster must stream");
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The Frame Buffer allocator: two-ended first-fit with splitting.
+
+use std::collections::HashMap;
+
+use mcds_model::Words;
+use serde::{Deserialize, Serialize};
+
+use crate::free_list::FreeList;
+use crate::stats::AllocStats;
+use crate::trace::{TraceEvent, TraceKind};
+use crate::AllocError;
+
+/// Which free block a contiguous allocation picks.
+///
+/// The paper chooses first-fit "as FB is not a large memory and as data
+/// and result sizes are similar"; best-fit exists for the ablation that
+/// tests that argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FitPolicy {
+    /// Take the first block (in direction order) that fits — the
+    /// paper's choice.
+    #[default]
+    FirstFit,
+    /// Take the smallest block that fits.
+    BestFit,
+}
+
+/// Growth direction of an allocation request.
+///
+/// The paper places long-lived objects (shared data, kernel input data,
+/// shared results) "following the first-fit algorithm from upper free
+/// addresses" and short-lived ones (final and intermediate results)
+/// "from lower free addresses", so the two populations grow towards each
+/// other and the middle of the set stays contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// First-fit scanning from the highest free addresses downwards.
+    FromUpper,
+    /// First-fit scanning from the lowest free addresses upwards.
+    FromLower,
+}
+
+/// A contiguous piece of an allocation: `[start, start + len)` word
+/// addresses within one Frame Buffer set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// First word address.
+    pub start: u64,
+    /// Length in words.
+    pub len: Words,
+}
+
+impl Segment {
+    /// One-past-the-end word address.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.start + self.len.get()
+    }
+}
+
+/// Opaque handle naming a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AllocHandle(u64);
+
+/// A completed allocation: one segment normally, several if the object
+/// had to be split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    handle: AllocHandle,
+    label: String,
+    segments: Vec<Segment>,
+}
+
+impl Allocation {
+    /// The handle to later [`free`](FbAllocator::free) this allocation.
+    #[must_use]
+    pub fn handle(&self) -> AllocHandle {
+        self.handle
+    }
+
+    /// The label given at allocation time (e.g. `"r13"`).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The segments, in ascending address order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total allocated size.
+    #[must_use]
+    pub fn size(&self) -> Words {
+        self.segments.iter().map(|s| s.len).sum()
+    }
+
+    /// `true` if the object had to be split across multiple free blocks.
+    #[must_use]
+    pub fn is_split(&self) -> bool {
+        self.segments.len() > 1
+    }
+
+    /// Start address — meaningful for contiguous allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation has no segments (cannot happen for
+    /// allocations produced by [`FbAllocator`]).
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.segments.first().expect("non-empty allocation").start
+    }
+}
+
+/// Allocator for one Frame Buffer set.
+///
+/// Implements the paper's `FB_list`-based first-fit with two growth
+/// directions, exact placement for regularity, last-resort splitting,
+/// and full accounting. See the [crate docs](crate) for the policy
+/// rationale and an example.
+#[derive(Debug, Clone)]
+pub struct FbAllocator {
+    free: FreeList,
+    live: HashMap<AllocHandle, Allocation>,
+    next_handle: u64,
+    stats: AllocStats,
+    trace: Option<Vec<TraceEvent>>,
+    policy: FitPolicy,
+}
+
+impl FbAllocator {
+    /// An empty allocator over a set of `capacity` words.
+    #[must_use]
+    pub fn new(capacity: Words) -> Self {
+        FbAllocator {
+            free: FreeList::new(capacity),
+            live: HashMap::new(),
+            next_handle: 0,
+            stats: AllocStats::default(),
+            trace: None,
+            policy: FitPolicy::FirstFit,
+        }
+    }
+
+    /// An allocator with an explicit block-selection policy.
+    #[must_use]
+    pub fn with_policy(capacity: Words, policy: FitPolicy) -> Self {
+        let mut a = FbAllocator::new(capacity);
+        a.policy = policy;
+        a
+    }
+
+    /// The block-selection policy in use.
+    #[must_use]
+    pub fn policy(&self) -> FitPolicy {
+        self.policy
+    }
+
+    /// Like [`new`](Self::new), but records a [`TraceEvent`] per
+    /// allocation and free for later rendering.
+    #[must_use]
+    pub fn with_trace(capacity: Words) -> Self {
+        let mut a = FbAllocator::new(capacity);
+        a.trace = Some(Vec::new());
+        a
+    }
+
+    /// Capacity of the underlying set.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        self.free.capacity()
+    }
+
+    /// Words currently allocated.
+    #[must_use]
+    pub fn used(&self) -> Words {
+        self.capacity() - self.free.total_free()
+    }
+
+    /// Words currently free.
+    #[must_use]
+    pub fn free_space(&self) -> Words {
+        self.free.total_free()
+    }
+
+    /// Size of the largest contiguous free block.
+    #[must_use]
+    pub fn largest_free_block(&self) -> Words {
+        self.free.largest_block()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&[TraceEvent]> {
+        self.trace.as_deref()
+    }
+
+    /// Live allocations in no particular order.
+    pub fn live(&self) -> impl Iterator<Item = &Allocation> + '_ {
+        self.live.values()
+    }
+
+    /// Contiguous first-fit allocation in the given direction.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroSize`] for empty requests;
+    /// [`AllocError::NoContiguousBlock`] if no single free block holds
+    /// `size` (the caller may then retry with
+    /// [`alloc_split`](Self::alloc_split)).
+    pub fn alloc(
+        &mut self,
+        label: impl Into<String>,
+        size: Words,
+        direction: Direction,
+    ) -> Result<Allocation, AllocError> {
+        if size.is_zero() {
+            return Err(AllocError::ZeroSize);
+        }
+        let from_upper = matches!(direction, Direction::FromUpper);
+        let taken = match self.policy {
+            FitPolicy::FirstFit => self.free.take_first_fit(size, from_upper),
+            FitPolicy::BestFit => self.free.take_best_fit(size, from_upper),
+        };
+        let Some(start) = taken else {
+            self.stats.record_failure();
+            return Err(AllocError::NoContiguousBlock {
+                requested: size,
+                largest_block: self.free.largest_block(),
+            });
+        };
+        Ok(self.commit(label.into(), vec![Segment { start, len: size }]))
+    }
+
+    /// Exact placement at `start` — the regularity fast path: "to
+    /// maintain regularity, data and results are allocated from the
+    /// addresses where was placed previous iteration of them".
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroSize`], [`AllocError::OutOfBounds`], or
+    /// [`AllocError::RangeNotFree`] if another object holds part of the
+    /// range.
+    pub fn alloc_at(
+        &mut self,
+        label: impl Into<String>,
+        start: u64,
+        size: Words,
+    ) -> Result<Allocation, AllocError> {
+        if size.is_zero() {
+            return Err(AllocError::ZeroSize);
+        }
+        if start + size.get() > self.capacity().get() {
+            return Err(AllocError::OutOfBounds {
+                start,
+                size,
+                capacity: self.capacity(),
+            });
+        }
+        if !self.free.take_at(start, size) {
+            return Err(AllocError::RangeNotFree { start, size });
+        }
+        Ok(self.commit(label.into(), vec![Segment { start, len: size }]))
+    }
+
+    /// Allocation that may split the object across several free blocks —
+    /// the paper's last resort "to improve memory usage". Segments are
+    /// carved first-fit in `direction` order until `size` is covered.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroSize`] or [`AllocError::OutOfMemory`] if even
+    /// the sum of all free blocks is smaller than `size` (in which case
+    /// nothing is allocated).
+    pub fn alloc_split(
+        &mut self,
+        label: impl Into<String>,
+        size: Words,
+        direction: Direction,
+    ) -> Result<Allocation, AllocError> {
+        if size.is_zero() {
+            return Err(AllocError::ZeroSize);
+        }
+        if self.free.total_free() < size {
+            self.stats.record_failure();
+            return Err(AllocError::OutOfMemory {
+                requested: size,
+                available: self.free.total_free(),
+            });
+        }
+        // Fast path: contiguous fit.
+        let from_upper = matches!(direction, Direction::FromUpper);
+        if let Some(start) = self.free.take_first_fit(size, from_upper) {
+            return Ok(self.commit(label.into(), vec![Segment { start, len: size }]));
+        }
+        // Split: greedily consume whole extremal blocks in direction
+        // order until the request is covered. Total free space was
+        // checked above, so this terminates.
+        let mut segments = Vec::new();
+        let mut remaining = size;
+        while !remaining.is_zero() {
+            let piece = remaining.min(self.free.largest_block());
+            debug_assert!(!piece.is_zero(), "free accounting violated");
+            let start = self
+                .free
+                .take_first_fit(piece, from_upper)
+                .expect("a block of at least largest_block size exists");
+            segments.push(Segment { start, len: piece });
+            remaining -= piece;
+        }
+        Ok(self.commit(label.into(), segments))
+    }
+
+    /// Frees an allocation, returning its space to the free list with
+    /// coalescing — the paper's `release(c,k,iter)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::UnknownHandle`] if the allocation is not live.
+    pub fn free(&mut self, allocation: Allocation) -> Result<(), AllocError> {
+        self.free_handle(allocation.handle())
+    }
+
+    /// Frees by handle (useful when the `Allocation` was stored
+    /// elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::UnknownHandle`] if the handle is not live.
+    pub fn free_handle(&mut self, handle: AllocHandle) -> Result<(), AllocError> {
+        let Some(alloc) = self.live.remove(&handle) else {
+            return Err(AllocError::UnknownHandle);
+        };
+        for seg in alloc.segments() {
+            self.free.insert(seg.start, seg.len);
+        }
+        self.stats.record_free(alloc.size());
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::new(
+                TraceKind::Free,
+                alloc.label().to_owned(),
+                alloc.segments().to_vec(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, label: String, mut segments: Vec<Segment>) -> Allocation {
+        segments.sort_by_key(|s| s.start);
+        let handle = AllocHandle(self.next_handle);
+        self.next_handle += 1;
+        let alloc = Allocation {
+            handle,
+            label,
+            segments,
+        };
+        // The free list was already carved, so used() includes this
+        // allocation.
+        self.stats
+            .record_alloc(alloc.size(), alloc.is_split(), self.used());
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::new(
+                TraceKind::Alloc,
+                alloc.label().to_owned(),
+                alloc.segments().to_vec(),
+            ));
+        }
+        self.live.insert(handle, alloc.clone());
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_ended_growth() {
+        let mut fb = FbAllocator::new(Words::new(100));
+        let a = fb.alloc("upper", Words::new(10), Direction::FromUpper).expect("fits");
+        let b = fb.alloc("lower", Words::new(10), Direction::FromLower).expect("fits");
+        assert_eq!(a.start(), 90);
+        assert_eq!(b.start(), 0);
+        assert_eq!(fb.used(), Words::new(20));
+        assert_eq!(fb.largest_free_block(), Words::new(80));
+    }
+
+    #[test]
+    fn free_restores_space() {
+        let mut fb = FbAllocator::new(Words::new(50));
+        let a = fb.alloc("x", Words::new(50), Direction::FromUpper).expect("fits");
+        assert_eq!(fb.free_space(), Words::ZERO);
+        fb.free(a).expect("live");
+        assert_eq!(fb.free_space(), Words::new(50));
+        assert_eq!(fb.largest_free_block(), Words::new(50));
+    }
+
+    #[test]
+    fn alloc_at_regularity() {
+        let mut fb = FbAllocator::new(Words::new(64));
+        let a = fb.alloc("obj", Words::new(16), Direction::FromUpper).expect("fits");
+        let at = a.start();
+        fb.free(a).expect("live");
+        let again = fb.alloc_at("obj", at, Words::new(16)).expect("free range");
+        assert_eq!(again.start(), at);
+        let conflict = fb.alloc_at("clash", at, Words::new(16));
+        assert_eq!(
+            conflict.unwrap_err(),
+            AllocError::RangeNotFree {
+                start: at,
+                size: Words::new(16)
+            }
+        );
+    }
+
+    #[test]
+    fn alloc_at_out_of_bounds() {
+        let mut fb = FbAllocator::new(Words::new(10));
+        let err = fb.alloc_at("x", 5, Words::new(10)).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut fb = FbAllocator::new(Words::new(10));
+        assert_eq!(
+            fb.alloc("z", Words::ZERO, Direction::FromUpper).unwrap_err(),
+            AllocError::ZeroSize
+        );
+        assert_eq!(fb.alloc_at("z", 0, Words::ZERO).unwrap_err(), AllocError::ZeroSize);
+        assert_eq!(
+            fb.alloc_split("z", Words::ZERO, Direction::FromUpper).unwrap_err(),
+            AllocError::ZeroSize
+        );
+    }
+
+    #[test]
+    fn contiguous_failure_reports_largest_block() {
+        let mut fb = FbAllocator::new(Words::new(30));
+        let _a = fb.alloc("a", Words::new(10), Direction::FromLower).expect("fits");
+        let b = fb.alloc("b", Words::new(10), Direction::FromUpper).expect("fits");
+        let _ = b;
+        let err = fb.alloc("c", Words::new(15), Direction::FromUpper).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::NoContiguousBlock {
+                requested: Words::new(15),
+                largest_block: Words::new(10)
+            }
+        );
+        assert_eq!(fb.stats().failed_allocs(), 1);
+    }
+
+    #[test]
+    fn double_free_by_handle() {
+        let mut fb = FbAllocator::new(Words::new(10));
+        let a = fb.alloc("a", Words::new(5), Direction::FromUpper).expect("fits");
+        let h = a.handle();
+        fb.free(a).expect("live");
+        assert_eq!(fb.free_handle(h).unwrap_err(), AllocError::UnknownHandle);
+    }
+
+    #[test]
+    fn split_allocation_spans_holes() {
+        let mut fb = FbAllocator::new(Words::new(30));
+        // Pin the middle so the two 10-word ends are separate holes.
+        let pin = fb.alloc_at("pin", 10, Words::new(10)).expect("free");
+        let split = fb
+            .alloc_split("wide", Words::new(20), Direction::FromUpper)
+            .expect("total free suffices");
+        assert!(split.is_split());
+        assert_eq!(split.segments().len(), 2);
+        assert_eq!(split.size(), Words::new(20));
+        assert_eq!(fb.free_space(), Words::ZERO);
+        assert_eq!(fb.stats().split_allocs(), 1);
+        fb.free(split).expect("live");
+        fb.free(pin).expect("live");
+        assert_eq!(fb.largest_free_block(), Words::new(30));
+    }
+
+    #[test]
+    fn split_prefers_contiguous_when_possible() {
+        let mut fb = FbAllocator::new(Words::new(40));
+        let a = fb
+            .alloc_split("a", Words::new(25), Direction::FromUpper)
+            .expect("fits");
+        assert!(!a.is_split());
+        assert_eq!(fb.stats().split_allocs(), 0);
+    }
+
+    #[test]
+    fn split_out_of_memory_leaves_state_untouched() {
+        let mut fb = FbAllocator::new(Words::new(10));
+        let _a = fb.alloc("a", Words::new(6), Direction::FromLower).expect("fits");
+        let err = fb
+            .alloc_split("big", Words::new(5), Direction::FromUpper)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::OutOfMemory {
+                requested: Words::new(5),
+                available: Words::new(4)
+            }
+        );
+        assert_eq!(fb.free_space(), Words::new(4));
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_hole() {
+        let mut fb = FbAllocator::with_policy(Words::new(100), FitPolicy::BestFit);
+        assert_eq!(fb.policy(), FitPolicy::BestFit);
+        // Holes: [0,10) free, [10,40) pinned, [40,48) free, [48,90) pinned, [90,100) free.
+        let _p1 = fb.alloc_at("p1", 10, Words::new(30)).expect("free");
+        let _p2 = fb.alloc_at("p2", 48, Words::new(42)).expect("free");
+        // 8 words: best fit is the [40,48) hole, regardless of direction.
+        let a = fb.alloc("a", Words::new(8), Direction::FromLower).expect("fits");
+        assert_eq!(a.start(), 40);
+        // First-fit from lower would have used [0,10).
+        let mut ff = FbAllocator::new(Words::new(100));
+        let _p1 = ff.alloc_at("p1", 10, Words::new(30)).expect("free");
+        let _p2 = ff.alloc_at("p2", 48, Words::new(42)).expect("free");
+        let b = ff.alloc("b", Words::new(8), Direction::FromLower).expect("fits");
+        assert_eq!(b.start(), 0);
+    }
+
+    #[test]
+    fn best_fit_tie_break_follows_direction() {
+        // Two equal 10-word holes at [0,10) and [90,100).
+        let mut fb = FbAllocator::with_policy(Words::new(100), FitPolicy::BestFit);
+        let _pin = fb.alloc_at("pin", 10, Words::new(80)).expect("free");
+        let hi = fb.alloc("hi", Words::new(4), Direction::FromUpper).expect("fits");
+        assert_eq!(hi.start(), 96, "equal holes: upper direction wins the tie");
+        // Holes now 10w at [0,10) and 6w at [90,96): best fit is the 6w one.
+        let lo = fb.alloc("lo", Words::new(4), Direction::FromLower).expect("fits");
+        assert_eq!(lo.start(), 90);
+    }
+
+    #[test]
+    fn peak_usage_tracked() {
+        let mut fb = FbAllocator::new(Words::new(100));
+        let a = fb.alloc("a", Words::new(60), Direction::FromUpper).expect("fits");
+        fb.free(a).expect("live");
+        let _b = fb.alloc("b", Words::new(10), Direction::FromUpper).expect("fits");
+        assert_eq!(fb.stats().peak_used(), Words::new(60));
+        assert_eq!(fb.used(), Words::new(10));
+    }
+}

@@ -1,0 +1,108 @@
+//! Allocation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mcds_model::Words;
+
+/// Errors raised by the Frame Buffer allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The request cannot be satisfied even by splitting: less total
+    /// free space than requested.
+    OutOfMemory {
+        /// Words requested.
+        requested: Words,
+        /// Total free words available.
+        available: Words,
+    },
+    /// No single free block can hold the request (a contiguous
+    /// allocation was required).
+    NoContiguousBlock {
+        /// Words requested.
+        requested: Words,
+        /// Size of the largest free block.
+        largest_block: Words,
+    },
+    /// The specific address range requested via `alloc_at` is not
+    /// entirely free.
+    RangeNotFree {
+        /// Requested start address (in words).
+        start: u64,
+        /// Requested size.
+        size: Words,
+    },
+    /// The requested range extends beyond the Frame Buffer set.
+    OutOfBounds {
+        /// Requested start address (in words).
+        start: u64,
+        /// Requested size.
+        size: Words,
+        /// Capacity of the set.
+        capacity: Words,
+    },
+    /// A zero-sized allocation was requested.
+    ZeroSize,
+    /// The handle passed to `free` does not name a live allocation.
+    UnknownHandle,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of frame buffer memory: requested {requested}, only {available} free"
+            ),
+            AllocError::NoContiguousBlock {
+                requested,
+                largest_block,
+            } => write!(
+                f,
+                "no contiguous free block of {requested} (largest is {largest_block})"
+            ),
+            AllocError::RangeNotFree { start, size } => {
+                write!(f, "range [{start}, +{size}) is not entirely free")
+            }
+            AllocError::OutOfBounds {
+                start,
+                size,
+                capacity,
+            } => write!(
+                f,
+                "range [{start}, +{size}) exceeds the {capacity} frame buffer set"
+            ),
+            AllocError::ZeroSize => write!(f, "zero-sized allocation requested"),
+            AllocError::UnknownHandle => write!(f, "handle does not name a live allocation"),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AllocError::OutOfMemory {
+            requested: Words::new(10),
+            available: Words::new(3),
+        };
+        assert!(e.to_string().contains("10w"));
+        assert!(e.to_string().contains("3w"));
+        assert!(!AllocError::ZeroSize.to_string().is_empty());
+        assert!(AllocError::UnknownHandle.to_string().contains("handle"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        fn assert_err<E: Error + Send + Sync + 'static>(_: E) {}
+        assert_err(AllocError::ZeroSize);
+    }
+}

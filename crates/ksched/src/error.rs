@@ -1,0 +1,64 @@
+//! Kernel scheduler errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mcds_model::{ModelError, Words};
+
+/// Errors raised during cluster formation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KschedError {
+    /// No partition of the kernel sequence fits the Frame Buffer: even
+    /// single-kernel clusters exceed the set size.
+    NoFeasiblePartition {
+        /// The Frame Buffer set capacity that was exceeded.
+        capacity: Words,
+    },
+    /// The application model rejected a constructed schedule.
+    Model(ModelError),
+}
+
+impl fmt::Display for KschedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KschedError::NoFeasiblePartition { capacity } => {
+                write!(
+                    f,
+                    "no cluster partition fits the {capacity} frame buffer set"
+                )
+            }
+            KschedError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for KschedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KschedError::Model(e) => Some(e),
+            KschedError::NoFeasiblePartition { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for KschedError {
+    fn from(e: ModelError) -> Self {
+        KschedError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = KschedError::NoFeasiblePartition {
+            capacity: Words::kilo(1),
+        };
+        assert!(e.to_string().contains("1Kw"));
+        let m: KschedError = ModelError::NoKernels.into();
+        assert!(m.source().is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! Kernel scheduling for multi-context reconfigurable architectures.
+//!
+//! Reproduces the role of the kernel scheduler of Maestre et al. (DATE
+//! 2000 / ICCD 2000) in the MorphoSys compilation framework: "explore
+//! the design space to find a sequence of kernels that minimizes the
+//! execution time … It decides which is the best sequence of kernels and
+//! performs clusters."
+//!
+//! Given an [`Application`](mcds_model::Application), the scheduler
+//! picks a topological kernel order and partitions it into contiguous
+//! clusters assigned to alternating Frame Buffer sets, minimising an
+//! estimated execution time (a tentative context + data schedule, as the
+//! paper describes) subject to each cluster fitting the Frame Buffer.
+//!
+//! # Example
+//!
+//! ```
+//! use mcds_ksched::{KernelScheduler, SearchStrategy};
+//! use mcds_model::{ApplicationBuilder, ArchParams, Cycles, DataKind, Words};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ApplicationBuilder::new("pipe");
+//! let mut prev = b.data("in", Words::new(64), DataKind::ExternalInput);
+//! for i in 0..4 {
+//!     let kind = if i == 3 { DataKind::FinalResult } else { DataKind::Intermediate };
+//!     let next = b.data(format!("d{i}"), Words::new(64), kind);
+//!     b.kernel(format!("k{i}"), 16, Cycles::new(200), &[prev], &[next]);
+//!     prev = next;
+//! }
+//! let app = b.iterations(32).build()?;
+//! let sched = KernelScheduler::new(SearchStrategy::Exhaustive)
+//!     .schedule(&app, &ArchParams::m1())?;
+//! assert!(!sched.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod estimate;
+mod partition;
+mod scheduler;
+
+pub use error::KschedError;
+pub use estimate::estimate_round_time;
+pub use partition::{enumerate_partitions, greedy_partition, linear_extensions};
+pub use scheduler::{KernelScheduler, Objective, SearchStrategy};

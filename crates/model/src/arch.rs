@@ -1,0 +1,306 @@
+//! MorphoSys M1 architecture parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Application, Cycles, ModelError, Words};
+
+/// Parameters of the target multi-context reconfigurable architecture
+/// (MorphoSys M1 by default).
+///
+/// The schedulers and the simulator share this description:
+///
+/// * the Frame Buffer has two sets of [`fb_set_words`](Self::fb_set_words)
+///   each (the paper sweeps 1K–8K);
+/// * the Context Memory holds
+///   [`cm_context_words`](Self::cm_context_words) 32-bit context words in
+///   two blocks, so loading one block can overlap execution from the
+///   other;
+/// * the single DMA channel moves one data word per
+///   [`data_cycles_per_word`](Self::data_cycles_per_word) cycles and one
+///   context word per
+///   [`context_cycles_per_word`](Self::context_cycles_per_word) cycles —
+///   "simultaneous transfers of data and contexts are not possible";
+/// * the TinyRISC control processor adds
+///   [`kernel_setup_cycles`](Self::kernel_setup_cycles) per kernel
+///   activation.
+///
+/// # Example
+///
+/// ```
+/// use mcds_model::{ArchParams, Words};
+///
+/// let m1 = ArchParams::m1();
+/// assert_eq!(m1.fb_set_words(), Words::kilo(1));
+/// let big = ArchParams::m1().to_builder().fb_set_words(Words::kilo(8)).build();
+/// assert_eq!(big.fb_set_words(), Words::kilo(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchParams {
+    fb_set_words: Words,
+    cm_context_words: u32,
+    cm_blocks: u32,
+    data_cycles_per_word: u64,
+    context_cycles_per_word: u64,
+    kernel_setup_cycles: u64,
+    fb_cross_set_access: bool,
+}
+
+impl ArchParams {
+    /// The first MorphoSys implementation (M1): two 1K-word FB sets, a
+    /// 512-context-word CM in two blocks, 1 cycle/word DMA for data and
+    /// contexts, 4 control cycles per kernel activation.
+    #[must_use]
+    pub const fn m1() -> Self {
+        ArchParams {
+            fb_set_words: Words::kilo(1),
+            cm_context_words: 512,
+            cm_blocks: 2,
+            data_cycles_per_word: 1,
+            context_cycles_per_word: 1,
+            kernel_setup_cycles: 4,
+            fb_cross_set_access: false,
+        }
+    }
+
+    /// M1 with a different Frame Buffer set size — the paper's
+    /// memory-size sweeps (MPEG vs MPEG*, E1 vs E1*, …).
+    #[must_use]
+    pub fn m1_with_fb(fb_set_words: Words) -> Self {
+        ArchParams {
+            fb_set_words,
+            ..ArchParams::m1()
+        }
+    }
+
+    /// Capacity of one Frame Buffer set, in words (`FB` in Table 1).
+    #[must_use]
+    pub fn fb_set_words(&self) -> Words {
+        self.fb_set_words
+    }
+
+    /// Total Context Memory capacity in 32-bit context words.
+    #[must_use]
+    pub fn cm_context_words(&self) -> u32 {
+        self.cm_context_words
+    }
+
+    /// Number of independently loadable Context Memory blocks.
+    #[must_use]
+    pub fn cm_blocks(&self) -> u32 {
+        self.cm_blocks
+    }
+
+    /// DMA cost of one data word.
+    #[must_use]
+    pub fn data_cycles_per_word(&self) -> u64 {
+        self.data_cycles_per_word
+    }
+
+    /// DMA cost of one context word.
+    #[must_use]
+    pub fn context_cycles_per_word(&self) -> u64 {
+        self.context_cycles_per_word
+    }
+
+    /// Control-processor overhead per kernel activation.
+    #[must_use]
+    pub fn kernel_setup_cycles(&self) -> u64 {
+        self.kernel_setup_cycles
+    }
+
+    /// Whether the RC array can read data resident in the *other*
+    /// Frame Buffer set (a dual-ported FB). `false` on M1; enabling it
+    /// unlocks the paper's future-work optimisation, "data and results
+    /// reuse among clusters assigned to different sets of the FB when
+    /// the architecture allows it".
+    #[must_use]
+    pub fn fb_cross_set_access(&self) -> bool {
+        self.fb_cross_set_access
+    }
+
+    /// DMA time to move `words` of data.
+    #[must_use]
+    pub fn data_transfer_time(&self, words: Words) -> Cycles {
+        Cycles::new(words.get() * self.data_cycles_per_word)
+    }
+
+    /// DMA time to load `context_words` context words into the CM.
+    #[must_use]
+    pub fn context_load_time(&self, context_words: u32) -> Cycles {
+        Cycles::new(u64::from(context_words) * self.context_cycles_per_word)
+    }
+
+    /// Checks that every kernel of `app` fits the Context Memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ContextsExceedMemory`] for the first kernel
+    /// whose context count exceeds the CM capacity.
+    pub fn check_kernels_fit(&self, app: &Application) -> Result<(), ModelError> {
+        for k in app.kernels() {
+            if k.contexts() > self.cm_context_words {
+                return Err(ModelError::ContextsExceedMemory {
+                    kernel: k.id(),
+                    required: k.contexts(),
+                    capacity: self.cm_context_words,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a builder initialised from `self`.
+    #[must_use]
+    pub fn to_builder(self) -> ArchParamsBuilder {
+        ArchParamsBuilder { params: self }
+    }
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        ArchParams::m1()
+    }
+}
+
+/// Builder for [`ArchParams`] variations.
+#[derive(Debug, Clone)]
+pub struct ArchParamsBuilder {
+    params: ArchParams,
+}
+
+impl ArchParamsBuilder {
+    /// Starts from the M1 defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        ArchParams::m1().to_builder()
+    }
+
+    /// Sets the Frame Buffer set capacity.
+    #[must_use]
+    pub fn fb_set_words(mut self, words: Words) -> Self {
+        self.params.fb_set_words = words;
+        self
+    }
+
+    /// Sets the Context Memory capacity in context words.
+    #[must_use]
+    pub fn cm_context_words(mut self, words: u32) -> Self {
+        self.params.cm_context_words = words;
+        self
+    }
+
+    /// Sets the number of CM blocks.
+    #[must_use]
+    pub fn cm_blocks(mut self, blocks: u32) -> Self {
+        self.params.cm_blocks = blocks;
+        self
+    }
+
+    /// Sets the DMA cost per data word.
+    #[must_use]
+    pub fn data_cycles_per_word(mut self, cycles: u64) -> Self {
+        self.params.data_cycles_per_word = cycles;
+        self
+    }
+
+    /// Sets the DMA cost per context word.
+    #[must_use]
+    pub fn context_cycles_per_word(mut self, cycles: u64) -> Self {
+        self.params.context_cycles_per_word = cycles;
+        self
+    }
+
+    /// Sets the per-activation control overhead.
+    #[must_use]
+    pub fn kernel_setup_cycles(mut self, cycles: u64) -> Self {
+        self.params.kernel_setup_cycles = cycles;
+        self
+    }
+
+    /// Enables or disables cross-set Frame Buffer reads (dual-ported
+    /// FB — beyond M1).
+    #[must_use]
+    pub fn fb_cross_set_access(mut self, enabled: bool) -> Self {
+        self.params.fb_cross_set_access = enabled;
+        self
+    }
+
+    /// Finalises the parameters.
+    #[must_use]
+    pub fn build(self) -> ArchParams {
+        self.params
+    }
+}
+
+impl Default for ArchParamsBuilder {
+    fn default() -> Self {
+        ArchParamsBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApplicationBuilder, DataKind};
+
+    #[test]
+    fn m1_defaults() {
+        let p = ArchParams::m1();
+        assert_eq!(p.fb_set_words(), Words::kilo(1));
+        assert_eq!(p.cm_context_words(), 512);
+        assert_eq!(p.cm_blocks(), 2);
+        assert_eq!(p, ArchParams::default());
+    }
+
+    #[test]
+    fn transfer_times() {
+        let p = ArchParamsBuilder::new()
+            .data_cycles_per_word(2)
+            .context_cycles_per_word(3)
+            .build();
+        assert_eq!(p.data_transfer_time(Words::new(10)), Cycles::new(20));
+        assert_eq!(p.context_load_time(10), Cycles::new(30));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = ArchParamsBuilder::new()
+            .fb_set_words(Words::kilo(8))
+            .cm_context_words(1024)
+            .cm_blocks(4)
+            .kernel_setup_cycles(0)
+            .build();
+        assert_eq!(p.fb_set_words(), Words::kilo(8));
+        assert_eq!(p.cm_context_words(), 1024);
+        assert_eq!(p.cm_blocks(), 4);
+        assert_eq!(p.kernel_setup_cycles(), 0);
+    }
+
+    #[test]
+    fn m1_with_fb_only_changes_fb() {
+        let p = ArchParams::m1_with_fb(Words::kilo(3));
+        assert_eq!(p.fb_set_words(), Words::kilo(3));
+        assert_eq!(p.cm_context_words(), ArchParams::m1().cm_context_words());
+    }
+
+    #[test]
+    fn cross_set_access_flag() {
+        assert!(!ArchParams::m1().fb_cross_set_access());
+        let dual = ArchParamsBuilder::new().fb_cross_set_access(true).build();
+        assert!(dual.fb_cross_set_access());
+    }
+
+    #[test]
+    fn kernels_fit_check() {
+        let mut b = ApplicationBuilder::new("big");
+        let a = b.data("a", Words::new(1), DataKind::ExternalInput);
+        let r = b.data("r", Words::new(1), DataKind::FinalResult);
+        b.kernel("huge", 9999, Cycles::new(1), &[a], &[r]);
+        let app = b.build().expect("valid");
+        let err = ArchParams::m1().check_kernels_fit(&app).unwrap_err();
+        assert!(matches!(err, ModelError::ContextsExceedMemory { .. }));
+
+        let big_cm = ArchParamsBuilder::new().cm_context_words(10_000).build();
+        assert!(big_cm.check_kernels_fit(&app).is_ok());
+    }
+}

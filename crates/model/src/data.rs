@@ -1,0 +1,135 @@
+//! Data objects: the unit of transfer between external memory and the
+//! Frame Buffer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DataId, Words};
+
+/// Where a data object originates and where it must ultimately live.
+///
+/// The three kinds drive the scheduler's transfer decisions:
+///
+/// * [`ExternalInput`](DataKind::ExternalInput) must be loaded from
+///   external memory before its first consumer executes;
+/// * [`Intermediate`](DataKind::Intermediate) is produced by one kernel
+///   and consumed by later kernels — it only needs external-memory
+///   traffic when it crosses between clusters that cannot retain it in
+///   the Frame Buffer;
+/// * [`FinalResult`](DataKind::FinalResult) must be stored to external
+///   memory after it is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataKind {
+    /// Application input residing in external memory.
+    ExternalInput,
+    /// Produced by a kernel and consumed by other kernel(s); never needed
+    /// outside the application.
+    Intermediate,
+    /// Produced by a kernel and required in external memory after
+    /// execution.
+    FinalResult,
+}
+
+impl DataKind {
+    /// Returns `true` for data that starts in external memory.
+    #[must_use]
+    pub const fn is_external_input(self) -> bool {
+        matches!(self, DataKind::ExternalInput)
+    }
+
+    /// Returns `true` for data that must end up in external memory.
+    #[must_use]
+    pub const fn is_final_result(self) -> bool {
+        matches!(self, DataKind::FinalResult)
+    }
+}
+
+/// A block of data with a known compile-time size.
+///
+/// The paper targets applications "such that data and result sizes are
+/// known before cluster execution, which is the typical case for a wide
+/// range of multimedia applications"; a `DataObject` captures exactly
+/// that static knowledge. One `DataObject` describes the data of a single
+/// iteration — under loop fission with reuse factor `RF`, `RF` instances
+/// of it are resident simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataObject {
+    id: DataId,
+    name: String,
+    size: Words,
+    kind: DataKind,
+}
+
+impl DataObject {
+    /// Creates a data object. Prefer
+    /// [`ApplicationBuilder::data`](crate::ApplicationBuilder::data),
+    /// which assigns the id.
+    #[must_use]
+    pub fn new(id: DataId, name: impl Into<String>, size: Words, kind: DataKind) -> Self {
+        DataObject {
+            id,
+            name: name.into(),
+            size,
+            kind,
+        }
+    }
+
+    /// The object's id within its application.
+    #[must_use]
+    pub fn id(&self) -> DataId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"macroblock"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of one iteration's instance, in Frame Buffer words.
+    #[must_use]
+    pub fn size(&self) -> Words {
+        self.size
+    }
+
+    /// The object's kind.
+    #[must_use]
+    pub fn kind(&self) -> DataKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(DataKind::ExternalInput.is_external_input());
+        assert!(!DataKind::ExternalInput.is_final_result());
+        assert!(DataKind::FinalResult.is_final_result());
+        assert!(!DataKind::Intermediate.is_external_input());
+        assert!(!DataKind::Intermediate.is_final_result());
+    }
+
+    #[test]
+    fn data_object_accessors() {
+        let d = DataObject::new(
+            DataId::new(4),
+            "mb",
+            Words::new(384),
+            DataKind::ExternalInput,
+        );
+        assert_eq!(d.id(), DataId::new(4));
+        assert_eq!(d.name(), "mb");
+        assert_eq!(d.size(), Words::new(384));
+        assert_eq!(d.kind(), DataKind::ExternalInput);
+    }
+
+    #[test]
+    fn data_object_serde_roundtrip() {
+        let d = DataObject::new(DataId::new(1), "x", Words::new(8), DataKind::Intermediate);
+        let json = serde_json::to_string(&d).expect("serialize");
+        let back: DataObject = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, d);
+    }
+}

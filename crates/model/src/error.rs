@@ -1,0 +1,174 @@
+//! Error type for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ClusterId, DataId, KernelId};
+
+/// Errors raised while building or validating an
+/// [`Application`](crate::Application) or a
+/// [`ClusterSchedule`](crate::ClusterSchedule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An application must contain at least one kernel.
+    NoKernels,
+    /// The application must execute at least one iteration.
+    ZeroIterations,
+    /// A data object has size zero.
+    ZeroSizeData(DataId),
+    /// A kernel references a data object that does not exist.
+    UnknownData {
+        /// The referencing kernel.
+        kernel: KernelId,
+        /// The dangling reference.
+        data: DataId,
+    },
+    /// A kernel lists the same data object twice among its inputs or
+    /// outputs.
+    DuplicateReference {
+        /// The offending kernel.
+        kernel: KernelId,
+        /// The repeated data object.
+        data: DataId,
+    },
+    /// Two kernels claim to produce the same data object.
+    MultipleProducers {
+        /// The doubly-produced data object.
+        data: DataId,
+        /// The first producer encountered.
+        first: KernelId,
+        /// The second producer encountered.
+        second: KernelId,
+    },
+    /// An intermediate or final result has no producer.
+    NoProducer(DataId),
+    /// An external input is listed as a kernel output.
+    ProducedInput {
+        /// The producing kernel.
+        kernel: KernelId,
+        /// The external input it claims to produce.
+        data: DataId,
+    },
+    /// An intermediate result is never consumed.
+    DeadIntermediate(DataId),
+    /// The kernel dataflow contains a cycle.
+    DependencyCycle,
+    /// A cluster schedule contains an empty cluster.
+    EmptyCluster(ClusterId),
+    /// A kernel appears in more than one cluster (or twice in one).
+    KernelRepeated(KernelId),
+    /// A kernel of the application appears in no cluster.
+    KernelMissing(KernelId),
+    /// The cluster schedule executes a consumer before its producer.
+    OrderViolation {
+        /// The producing kernel (scheduled too late).
+        producer: KernelId,
+        /// The consuming kernel (scheduled too early).
+        consumer: KernelId,
+    },
+    /// A kernel needs more contexts than the Context Memory holds.
+    ContextsExceedMemory {
+        /// The oversized kernel.
+        kernel: KernelId,
+        /// Context words required.
+        required: u32,
+        /// Context Memory capacity in context words.
+        capacity: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoKernels => write!(f, "application has no kernels"),
+            ModelError::ZeroIterations => write!(f, "application executes zero iterations"),
+            ModelError::ZeroSizeData(d) => write!(f, "data object {d} has size zero"),
+            ModelError::UnknownData { kernel, data } => {
+                write!(f, "kernel {kernel} references unknown data object {data}")
+            }
+            ModelError::DuplicateReference { kernel, data } => {
+                write!(f, "kernel {kernel} references data object {data} twice")
+            }
+            ModelError::MultipleProducers {
+                data,
+                first,
+                second,
+            } => write!(
+                f,
+                "data object {data} is produced by both {first} and {second}"
+            ),
+            ModelError::NoProducer(d) => {
+                write!(f, "non-input data object {d} has no producer")
+            }
+            ModelError::ProducedInput { kernel, data } => write!(
+                f,
+                "kernel {kernel} lists external input {data} as an output"
+            ),
+            ModelError::DeadIntermediate(d) => {
+                write!(f, "intermediate result {d} is never consumed")
+            }
+            ModelError::DependencyCycle => write!(f, "kernel dataflow contains a cycle"),
+            ModelError::EmptyCluster(c) => write!(f, "cluster {c} is empty"),
+            ModelError::KernelRepeated(k) => {
+                write!(f, "kernel {k} appears more than once in the schedule")
+            }
+            ModelError::KernelMissing(k) => {
+                write!(f, "kernel {k} appears in no cluster of the schedule")
+            }
+            ModelError::OrderViolation { producer, consumer } => write!(
+                f,
+                "schedule executes consumer {consumer} before producer {producer}"
+            ),
+            ModelError::ContextsExceedMemory {
+                kernel,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "kernel {kernel} needs {required} context words but the context memory holds {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let cases: Vec<ModelError> = vec![
+            ModelError::NoKernels,
+            ModelError::ZeroIterations,
+            ModelError::ZeroSizeData(DataId::new(1)),
+            ModelError::UnknownData {
+                kernel: KernelId::new(0),
+                data: DataId::new(9),
+            },
+            ModelError::DependencyCycle,
+            ModelError::EmptyCluster(ClusterId::new(2)),
+            ModelError::OrderViolation {
+                producer: KernelId::new(1),
+                consumer: KernelId::new(0),
+            },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "message ends with period: {msg}");
+            assert!(
+                msg.chars().next().is_some_and(|c| c.is_lowercase()),
+                "message not lowercase: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&ModelError::NoKernels);
+    }
+}

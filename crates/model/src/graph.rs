@@ -1,0 +1,247 @@
+//! Producer/consumer relations derived from an [`Application`].
+//!
+//! This is the information the paper's *information extractor* computes
+//! once per application: "kernel execution time, data reuse among
+//! kernels, as well as, data size and number of contexts for each
+//! kernel". The timing/size facts live on the [`Kernel`](crate::Kernel)s
+//! themselves; [`DataflowInfo`] adds the reuse relations.
+
+use crate::{Application, DataId, KernelId};
+
+/// Producer and consumer maps for every data object, plus the induced
+/// kernel dependency edges.
+///
+/// # Example
+///
+/// ```
+/// use mcds_model::{ApplicationBuilder, DataKind, Words, Cycles};
+///
+/// # fn main() -> Result<(), mcds_model::ModelError> {
+/// let mut b = ApplicationBuilder::new("x");
+/// let a = b.data("a", Words::new(4), DataKind::ExternalInput);
+/// let r = b.data("r", Words::new(4), DataKind::FinalResult);
+/// let k0 = b.kernel("k0", 1, Cycles::new(10), &[a], &[r]);
+/// let k1 = b.kernel("k1", 1, Cycles::new(10), &[a, r], &[]);
+/// let df = b.build()?.dataflow();
+/// assert_eq!(df.producer(a), None);
+/// assert_eq!(df.producer(r), Some(k0));
+/// assert_eq!(df.consumers(a), &[k0, k1]);
+/// assert!(df.depends_on(k1, k0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowInfo {
+    producer: Vec<Option<KernelId>>,
+    consumers: Vec<Vec<KernelId>>,
+    /// `succ[k]` = kernels that consume an output of `k`.
+    succ: Vec<Vec<KernelId>>,
+}
+
+impl DataflowInfo {
+    /// Computes the dataflow relations of `app`.
+    #[must_use]
+    pub fn compute(app: &Application) -> Self {
+        let n_data = app.data().len();
+        let mut producer: Vec<Option<KernelId>> = vec![None; n_data];
+        let mut consumers: Vec<Vec<KernelId>> = vec![Vec::new(); n_data];
+        for k in app.kernels() {
+            for &d in k.outputs() {
+                producer[d.index()] = Some(k.id());
+            }
+            for &d in k.inputs() {
+                consumers[d.index()].push(k.id());
+            }
+        }
+        let mut succ: Vec<Vec<KernelId>> = vec![Vec::new(); app.kernels().len()];
+        for (d, p) in producer.iter().enumerate() {
+            if let Some(p) = p {
+                for &c in &consumers[d] {
+                    if !succ[p.index()].contains(&c) {
+                        succ[p.index()].push(c);
+                    }
+                }
+            }
+        }
+        DataflowInfo {
+            producer,
+            consumers,
+            succ,
+        }
+    }
+
+    /// The kernel that produces `data`, or `None` for external inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is out of range for the source application.
+    #[must_use]
+    pub fn producer(&self, data: DataId) -> Option<KernelId> {
+        self.producer[data.index()]
+    }
+
+    /// The kernels that read `data`, in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is out of range for the source application.
+    #[must_use]
+    pub fn consumers(&self, data: DataId) -> &[KernelId] {
+        &self.consumers[data.index()]
+    }
+
+    /// Direct dataflow successors of `kernel` (kernels consuming any of
+    /// its outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is out of range for the source application.
+    #[must_use]
+    pub fn successors(&self, kernel: KernelId) -> &[KernelId] {
+        &self.succ[kernel.index()]
+    }
+
+    /// Returns `true` if `later` transitively depends on `earlier`.
+    #[must_use]
+    pub fn depends_on(&self, later: KernelId, earlier: KernelId) -> bool {
+        let mut stack = vec![earlier];
+        let mut seen = vec![false; self.succ.len()];
+        while let Some(k) = stack.pop() {
+            if k == later {
+                return true;
+            }
+            if std::mem::replace(&mut seen[k.index()], true) {
+                continue;
+            }
+            stack.extend(self.succ[k.index()].iter().copied().filter(|s| *s != k));
+        }
+        false
+    }
+
+    /// Verifies that the kernel sequence `order` respects all dataflow
+    /// dependencies (every producer precedes all of its consumers).
+    ///
+    /// Kernels absent from `order` are ignored; this lets callers check
+    /// partial sequences such as a single cluster.
+    #[must_use]
+    pub fn respects_order(&self, order: &[KernelId]) -> bool {
+        let mut pos = vec![usize::MAX; self.succ.len()];
+        for (i, &k) in order.iter().enumerate() {
+            pos[k.index()] = i;
+        }
+        for (p, succs) in self.succ.iter().enumerate() {
+            if pos[p] == usize::MAX {
+                continue;
+            }
+            for c in succs {
+                if pos[c.index()] != usize::MAX && pos[c.index()] < pos[p] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A topological order of all kernels that keeps declaration order
+    /// among independent kernels (stable Kahn's algorithm).
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<KernelId> {
+        let n = self.succ.len();
+        let mut indeg = vec![0usize; n];
+        for succs in &self.succ {
+            for s in succs {
+                indeg[s.index()] += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        while !ready.is_empty() {
+            // Stable: pick the smallest ready index.
+            let i = *ready.iter().min().expect("non-empty");
+            ready.retain(|&x| x != i);
+            order.push(KernelId::new(u32::try_from(i).expect("kernel index fits u32")));
+            for s in &self.succ[i] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push(s.index());
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApplicationBuilder, Cycles, DataKind, Words};
+
+    /// Diamond: k0 -> {k1, k2} -> k3.
+    fn diamond() -> Application {
+        let mut b = ApplicationBuilder::new("diamond");
+        let a = b.data("a", Words::new(4), DataKind::ExternalInput);
+        let x = b.data("x", Words::new(4), DataKind::Intermediate);
+        let y = b.data("y", Words::new(4), DataKind::Intermediate);
+        let z = b.data("z", Words::new(4), DataKind::Intermediate);
+        let r = b.data("r", Words::new(4), DataKind::FinalResult);
+        b.kernel("k0", 1, Cycles::new(10), &[a], &[x, y]);
+        b.kernel("k1", 1, Cycles::new(10), &[x], &[z]);
+        b.kernel("k2", 1, Cycles::new(10), &[y], &[]);
+        b.kernel("k3", 1, Cycles::new(10), &[z], &[r]);
+        // k2 produces nothing; make it consume y only. But y must be
+        // consumed (it is) and z flows k1 -> k3.
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn producers_and_consumers() {
+        let app = diamond();
+        let df = app.dataflow();
+        assert_eq!(df.producer(DataId::new(0)), None);
+        assert_eq!(df.producer(DataId::new(1)), Some(KernelId::new(0)));
+        assert_eq!(df.consumers(DataId::new(1)), &[KernelId::new(1)]);
+        assert_eq!(df.consumers(DataId::new(0)), &[KernelId::new(0)]);
+        assert_eq!(
+            df.successors(KernelId::new(0)),
+            &[KernelId::new(1), KernelId::new(2)]
+        );
+    }
+
+    #[test]
+    fn transitive_dependency() {
+        let app = diamond();
+        let df = app.dataflow();
+        assert!(df.depends_on(KernelId::new(3), KernelId::new(0)));
+        assert!(df.depends_on(KernelId::new(3), KernelId::new(1)));
+        assert!(!df.depends_on(KernelId::new(3), KernelId::new(2)));
+        assert!(!df.depends_on(KernelId::new(0), KernelId::new(3)));
+        assert!(df.depends_on(KernelId::new(0), KernelId::new(0)));
+    }
+
+    #[test]
+    fn order_checking() {
+        let app = diamond();
+        let df = app.dataflow();
+        let ids = |v: &[u32]| v.iter().map(|&i| KernelId::new(i)).collect::<Vec<_>>();
+        assert!(df.respects_order(&ids(&[0, 1, 2, 3])));
+        assert!(df.respects_order(&ids(&[0, 2, 1, 3])));
+        assert!(!df.respects_order(&ids(&[1, 0, 2, 3])));
+        assert!(!df.respects_order(&ids(&[0, 3, 1, 2])));
+        // Partial orders only check the mentioned kernels.
+        assert!(df.respects_order(&ids(&[1, 3])));
+        assert!(!df.respects_order(&ids(&[3, 1])));
+    }
+
+    #[test]
+    fn topological_order_is_valid_and_stable() {
+        let app = diamond();
+        let df = app.dataflow();
+        let order = df.topological_order();
+        assert_eq!(order.len(), 4);
+        assert!(df.respects_order(&order));
+        // Stability: k1 (declared before k2) comes first among the two
+        // independent middle kernels.
+        let pos = |k: u32| order.iter().position(|&x| x == KernelId::new(k)).unwrap();
+        assert!(pos(1) < pos(2));
+    }
+}

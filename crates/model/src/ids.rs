@@ -1,0 +1,96 @@
+//! Typed indices for the entities of an application.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id with the given raw index.
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// Returns the raw index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a [`Kernel`](crate::Kernel) within an
+    /// [`Application`](crate::Application).
+    ///
+    /// Ids are dense: they index into [`Application::kernels`](crate::Application::kernels).
+    KernelId,
+    "k"
+);
+
+define_id!(
+    /// Identifies a [`DataObject`](crate::DataObject) within an
+    /// [`Application`](crate::Application).
+    DataId,
+    "d"
+);
+
+define_id!(
+    /// Identifies a [`Cluster`](crate::Cluster) within a
+    /// [`ClusterSchedule`](crate::ClusterSchedule).
+    ClusterId,
+    "C"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        assert_eq!(KernelId::new(3).index(), 3);
+        assert_eq!(DataId::new(0).index(), 0);
+        assert_eq!(ClusterId::new(7).index(), 7);
+        assert_eq!(usize::from(KernelId::new(9)), 9);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(KernelId::new(1).to_string(), "k1");
+        assert_eq!(DataId::new(2).to_string(), "d2");
+        assert_eq!(ClusterId::new(3).to_string(), "C3");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        assert!(KernelId::new(1) < KernelId::new(2));
+        let set: HashSet<DataId> = [DataId::new(1), DataId::new(1), DataId::new(2)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Kernels: the macro-tasks of a MorphoSys application.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cycles, DataId, KernelId};
+
+/// A macro-task mapped onto the 8×8 reconfigurable-cell array.
+///
+/// At the abstraction level of the paper, "a kernel is characterized by
+/// its contexts, as well as, its input and output data": the scheduler
+/// never looks inside the computation, only at
+///
+/// * how many 32-bit context words must be resident in the Context
+///   Memory before it can run,
+/// * how long one iteration of it computes on the RC array, and
+/// * which [`DataObject`](crate::DataObject)s it reads and writes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kernel {
+    id: KernelId,
+    name: String,
+    contexts: u32,
+    exec_cycles: Cycles,
+    inputs: Vec<DataId>,
+    outputs: Vec<DataId>,
+}
+
+impl Kernel {
+    /// Creates a kernel. Prefer
+    /// [`ApplicationBuilder::kernel`](crate::ApplicationBuilder::kernel),
+    /// which assigns the id and cross-checks the data references.
+    #[must_use]
+    pub fn new(
+        id: KernelId,
+        name: impl Into<String>,
+        contexts: u32,
+        exec_cycles: Cycles,
+        inputs: Vec<DataId>,
+        outputs: Vec<DataId>,
+    ) -> Self {
+        Kernel {
+            id,
+            name: name.into(),
+            contexts,
+            exec_cycles,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// The kernel's id within its application.
+    #[must_use]
+    pub fn id(&self) -> KernelId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"dct"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of 32-bit context words the kernel's configuration
+    /// occupies in the Context Memory.
+    #[must_use]
+    pub fn contexts(&self) -> u32 {
+        self.contexts
+    }
+
+    /// Computation time of one iteration on the RC array.
+    #[must_use]
+    pub fn exec_cycles(&self) -> Cycles {
+        self.exec_cycles
+    }
+
+    /// Data objects the kernel reads.
+    #[must_use]
+    pub fn inputs(&self) -> &[DataId] {
+        &self.inputs
+    }
+
+    /// Data objects the kernel writes. Each listed object is produced by
+    /// exactly this kernel.
+    #[must_use]
+    pub fn outputs(&self) -> &[DataId] {
+        &self.outputs
+    }
+
+    /// Returns `true` if the kernel reads `data`.
+    #[must_use]
+    pub fn reads(&self, data: DataId) -> bool {
+        self.inputs.contains(&data)
+    }
+
+    /// Returns `true` if the kernel writes `data`.
+    #[must_use]
+    pub fn writes(&self, data: DataId) -> bool {
+        self.outputs.contains(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Kernel {
+        Kernel::new(
+            KernelId::new(2),
+            "dct",
+            12,
+            Cycles::new(640),
+            vec![DataId::new(0), DataId::new(1)],
+            vec![DataId::new(2)],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let k = sample();
+        assert_eq!(k.id(), KernelId::new(2));
+        assert_eq!(k.name(), "dct");
+        assert_eq!(k.contexts(), 12);
+        assert_eq!(k.exec_cycles(), Cycles::new(640));
+        assert_eq!(k.inputs(), &[DataId::new(0), DataId::new(1)]);
+        assert_eq!(k.outputs(), &[DataId::new(2)]);
+    }
+
+    #[test]
+    fn reads_writes() {
+        let k = sample();
+        assert!(k.reads(DataId::new(0)));
+        assert!(!k.reads(DataId::new(2)));
+        assert!(k.writes(DataId::new(2)));
+        assert!(!k.writes(DataId::new(0)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = sample();
+        let json = serde_json::to_string(&k).expect("serialize");
+        let back: Kernel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, k);
+    }
+}

@@ -1,0 +1,58 @@
+//! Domain model for the MorphoSys M1 multi-context reconfigurable
+//! architecture and the applications scheduled onto it.
+//!
+//! This crate is the foundation of the `mcds` workspace, a reproduction of
+//! *"A Complete Data Scheduler for Multi-Context Reconfigurable
+//! Architectures"* (Sanchez-Elez et al., DATE 2002). It defines:
+//!
+//! * [`Kernel`] — a macro-task characterised by its contexts, execution
+//!   time and its input/output data (the abstraction level of the paper);
+//! * [`DataObject`] — a block of data moved between external memory and
+//!   the on-chip Frame Buffer (FB);
+//! * [`Application`] — a dataflow DAG of kernels executed over a stream of
+//!   iterations;
+//! * [`Cluster`] / [`ClusterSchedule`] — the output of the kernel
+//!   scheduler: groups of consecutively executed kernels assigned to
+//!   alternating FB sets;
+//! * [`ArchParams`] — the MorphoSys M1 architecture parameters (FB set
+//!   size, context memory capacity, DMA costs).
+//!
+//! # Example
+//!
+//! ```
+//! use mcds_model::{ApplicationBuilder, DataKind, Words, Cycles};
+//!
+//! # fn main() -> Result<(), mcds_model::ModelError> {
+//! let mut b = ApplicationBuilder::new("fir");
+//! let input = b.data("samples", Words::new(64), DataKind::ExternalInput);
+//! let taps = b.data("taps", Words::new(16), DataKind::ExternalInput);
+//! let out = b.data("filtered", Words::new(64), DataKind::FinalResult);
+//! b.kernel("fir", 8, Cycles::new(256), &[input, taps], &[out]);
+//! let app = b.iterations(128).build()?;
+//! assert_eq!(app.kernels().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod application;
+mod arch;
+mod cluster;
+mod data;
+mod error;
+mod graph;
+mod ids;
+mod kernel;
+mod units;
+
+pub use application::{Application, ApplicationBuilder};
+pub use arch::{ArchParams, ArchParamsBuilder};
+pub use cluster::{Cluster, ClusterSchedule, FbSet};
+pub use data::{DataKind, DataObject};
+pub use error::ModelError;
+pub use graph::DataflowInfo;
+pub use ids::{ClusterId, DataId, KernelId};
+pub use kernel::Kernel;
+pub use units::{Cycles, Words};

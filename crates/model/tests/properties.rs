@@ -1,0 +1,116 @@
+//! Property tests for the application model: builder-constructed
+//! applications always validate, survive Serde round-trips, and their
+//! dataflow queries are mutually consistent.
+
+use mcds_model::{
+    Application, ApplicationBuilder, ClusterSchedule, Cycles, DataId, DataKind, KernelId, Words,
+};
+use proptest::prelude::*;
+
+/// Random layered pipeline: `layers` kernels in a chain, each kernel
+/// optionally reading extra external inputs and emitting extra final
+/// results.
+fn app_strategy() -> impl Strategy<Value = Application> {
+    (
+        2usize..8,
+        prop::collection::vec((1u64..300, 0usize..3, 0usize..2), 8),
+        1u64..100,
+    )
+        .prop_map(|(layers, params, iterations)| {
+            let mut b = ApplicationBuilder::new("prop");
+            let mut carry = b.data("in", Words::new(7), DataKind::ExternalInput);
+            for i in 0..layers {
+                let (size, extra_in, extra_out) = params[i % params.len()];
+                let mut inputs = vec![carry];
+                for e in 0..extra_in {
+                    inputs.push(b.data(
+                        format!("x{i}_{e}"),
+                        Words::new(size),
+                        DataKind::ExternalInput,
+                    ));
+                }
+                let kind = if i + 1 == layers {
+                    DataKind::FinalResult
+                } else {
+                    DataKind::Intermediate
+                };
+                let next = b.data(format!("d{i}"), Words::new(size), kind);
+                let mut outputs = vec![next];
+                for e in 0..extra_out {
+                    outputs.push(b.data(
+                        format!("f{i}_{e}"),
+                        Words::new(size),
+                        DataKind::FinalResult,
+                    ));
+                }
+                b.kernel(format!("k{i}"), 8, Cycles::new(size), &inputs, &outputs);
+                carry = next;
+            }
+            b.iterations(iterations).build().expect("constructed valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn built_apps_revalidate(app in app_strategy()) {
+        prop_assert!(app.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_everything(app in app_strategy()) {
+        let json = serde_json::to_string(&app).expect("serialize");
+        let back: Application = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &app);
+        prop_assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn dataflow_queries_are_consistent(app in app_strategy()) {
+        let df = app.dataflow();
+        for d in app.data() {
+            // Producer/consumer agree with the kernels' own lists.
+            if let Some(p) = df.producer(d.id()) {
+                prop_assert!(app.kernel(p).writes(d.id()));
+            }
+            for &c in df.consumers(d.id()) {
+                prop_assert!(app.kernel(c).reads(d.id()));
+            }
+        }
+        for k in app.kernels() {
+            for &s in df.successors(k.id()) {
+                prop_assert!(df.depends_on(s, k.id()));
+            }
+        }
+        // The topological order is a valid execution order.
+        let order = df.topological_order();
+        prop_assert_eq!(order.len(), app.kernels().len());
+        prop_assert!(df.respects_order(&order));
+    }
+
+    #[test]
+    fn singleton_schedule_always_valid(app in app_strategy()) {
+        // Declaration order is a chain here, so singletons validate.
+        let sched = ClusterSchedule::singletons(&app).expect("valid");
+        prop_assert_eq!(sched.len(), app.kernels().len());
+        let covered: usize = sched.clusters().iter().map(|c| c.len()).sum();
+        prop_assert_eq!(covered, app.kernels().len());
+        // Alternation invariant.
+        for c in sched.clusters() {
+            prop_assert_eq!(
+                sched.fb_set(c.id()).index(),
+                c.id().index() % 2,
+            );
+        }
+    }
+
+    #[test]
+    fn totals_are_sums(app in app_strategy()) {
+        let total: Words = app.data().iter().map(|d| d.size()).sum();
+        prop_assert_eq!(app.total_data_per_iteration(), total);
+        let ctx: u32 = app.kernels().iter().map(|k| k.contexts()).sum();
+        prop_assert_eq!(app.total_contexts(), ctx);
+        let _ = (DataId::new(0), KernelId::new(0));
+    }
+}

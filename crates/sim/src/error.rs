@@ -1,0 +1,72 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mcds_model::Words;
+
+use crate::op::OpId;
+
+/// Errors raised while building or executing an op schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A dependency references an op that comes later (or does not
+    /// exist) — schedules are lists in topological order.
+    ForwardDependency {
+        /// The op with the bad dependency.
+        op: OpId,
+        /// The referenced dependency.
+        dep: OpId,
+    },
+    /// A transfer or computation has zero size/duration.
+    ZeroLengthOp(OpId),
+    /// A data transfer would exceed the Frame Buffer set capacity if all
+    /// concurrently-resident bytes are summed (detected by the plan
+    /// validator, not the engine).
+    FbOverflow {
+        /// The op that overflows.
+        op: OpId,
+        /// Resident words after the op.
+        resident: Words,
+        /// The set capacity.
+        capacity: Words,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ForwardDependency { op, dep } => {
+                write!(f, "op {op} depends on later or missing op {dep}")
+            }
+            SimError::ZeroLengthOp(op) => write!(f, "op {op} has zero length"),
+            SimError::FbOverflow {
+                op,
+                resident,
+                capacity,
+            } => write!(
+                f,
+                "op {op} raises frame buffer residency to {resident}, above the {capacity} set"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::ForwardDependency {
+            op: OpId::new(1),
+            dep: OpId::new(5),
+        };
+        assert!(e.to_string().contains("op1"));
+        assert!(e.to_string().contains("op5"));
+        assert!(SimError::ZeroLengthOp(OpId::new(0)).to_string().contains("zero"));
+    }
+}

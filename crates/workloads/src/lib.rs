@@ -1,0 +1,43 @@
+//! Experiment workloads for the `mcds` reproduction of *"A Complete
+//! Data Scheduler for Multi-Context Reconfigurable Architectures"*
+//! (DATE 2002).
+//!
+//! The paper evaluates on "a group of synthetic and real experiments":
+//! three synthetic applications (E1–E3, two memory sizes for E1), an
+//! MPEG video pipeline at two memory sizes, and two ATR (Automatic
+//! Target Recognition) stages — SLD under three kernel schedules and FI
+//! under two memory sizes plus an alternate schedule. This crate
+//! provides:
+//!
+//! * [`mpeg::mpeg_app`] — a macroblock-pipeline model of MPEG
+//!   (ME/MC/DCT/Q/IQ/IDCT/REC/VLC);
+//! * [`atr::atr_sld_app`] / [`atr::atr_fi_app`] — template-correlation
+//!   SLD and focus-of-attention FI models;
+//! * [`e_series`] — the synthetic E1/E2/E3 applications;
+//! * [`synthetic::SyntheticGenerator`] — seeded random applications for
+//!   stress tests and property tests;
+//! * [`table1::table1_experiments`] — the registry binding every Table 1
+//!   row to its application, cluster schedule, architecture and the
+//!   paper's reported numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use mcds_core::Comparison;
+//! use mcds_workloads::table1::table1_experiments;
+//!
+//! let experiments = table1_experiments();
+//! assert_eq!(experiments.len(), 12);
+//! let e1 = &experiments[0];
+//! let cmp = Comparison::run(&e1.app, &e1.sched, &e1.arch);
+//! assert!(cmp.cds.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atr;
+pub mod e_series;
+pub mod mpeg;
+pub mod synthetic;
+pub mod table1;

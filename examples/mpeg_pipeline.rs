@@ -1,0 +1,80 @@
+//! The MPEG macroblock pipeline across Frame Buffer sizes: shows the
+//! feasibility boundary (the Basic Scheduler cannot run MPEG in a 1K
+//! set) and how the reuse factor and improvements grow with memory.
+//!
+//! ```sh
+//! cargo run --example mpeg_pipeline
+//! ```
+
+use mcds_core::{
+    evaluate, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, ScheduleError,
+};
+use mcds_model::{ArchParams, Words};
+use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = mpeg_app(48)?;
+    let sched = mpeg_schedule(&app)?;
+    println!(
+        "MPEG macroblock pipeline: {} kernels in {} clusters, {} data/iteration\n",
+        app.kernels().len(),
+        sched.len(),
+        app.total_data_per_iteration()
+    );
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12}",
+        "FB set", "scheduler", "RF", "time", "vs basic"
+    );
+
+    for kw in [1u64, 2, 3, 4] {
+        let arch = ArchParams::m1_with_fb(Words::kilo(kw));
+        let mut basic_time: Option<u64> = None;
+        for scheduler in [
+            &BasicScheduler::new() as &dyn DataScheduler,
+            &DsScheduler::new(),
+            &CdsScheduler::new(),
+        ] {
+            match scheduler.plan(&app, &sched, &arch) {
+                Ok(plan) => {
+                    let report = evaluate(&plan, &arch)?;
+                    let vs = match basic_time {
+                        Some(b) => format!(
+                            "{:+.1}%",
+                            (b as f64 - report.total().get() as f64) / b as f64 * 100.0
+                        ),
+                        None => "-".to_owned(),
+                    };
+                    if plan.scheduler() == "basic" {
+                        basic_time = Some(report.total().get());
+                    }
+                    println!(
+                        "{:<8} {:>8} {:>12} {:>12} {:>12}",
+                        format!("{kw}K"),
+                        plan.scheduler(),
+                        plan.rf(),
+                        report.total().to_string(),
+                        vs
+                    );
+                }
+                Err(ScheduleError::Infeasible {
+                    scheduler,
+                    cluster,
+                    required,
+                    capacity,
+                }) => {
+                    println!(
+                        "{:<8} {:>8} {:>12} {:>12} {:>12}",
+                        format!("{kw}K"),
+                        scheduler,
+                        "-",
+                        format!("INFEASIBLE"),
+                        format!("{cluster} needs {required} > {capacity}")
+                    );
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

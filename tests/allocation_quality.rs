@@ -1,0 +1,132 @@
+//! §6 allocation-quality claims: "the memory size used is the minimum
+//! allowed by the architecture", "for all examples no data or result
+//! has to be split into several parts", and the placement "promotes
+//! regularity".
+
+use mcds_core::{
+    cluster_peak, AllocationWalk, CdsScheduler, DataScheduler, FootprintModel, Lifetimes,
+    RetentionSet,
+};
+use mcds_model::Words;
+use mcds_workloads::table1::table1_experiments;
+
+/// No experiment's allocation ever splits an object across free blocks.
+#[test]
+fn no_splits_in_any_experiment() {
+    for e in table1_experiments() {
+        let plan = match CdsScheduler::new().plan(&e.app, &e.sched, &e.arch) {
+            Ok(p) => p,
+            Err(err) => panic!("{}: CDS must run: {err}", e.name),
+        };
+        assert_eq!(plan.allocation().splits(), 0, "{}: split allocations", e.name);
+    }
+}
+
+/// Allocator peaks stay within the Frame Buffer and within the analytic
+/// footprint bound of the worst cluster.
+#[test]
+fn peaks_bounded_by_analysis() {
+    for e in table1_experiments() {
+        let plan = CdsScheduler::new().plan(&e.app, &e.sched, &e.arch).expect("runs");
+        let lt = Lifetimes::analyze(&e.app, &e.sched);
+        let bound: Words = e
+            .sched
+            .clusters()
+            .iter()
+            .map(|c| {
+                cluster_peak(
+                    &e.app,
+                    &e.sched,
+                    &lt,
+                    plan.retention(),
+                    c.id(),
+                    plan.rf(),
+                    FootprintModel::Replacement,
+                )
+            })
+            .max()
+            .expect("non-empty");
+        for peak in plan.allocation().peak() {
+            assert!(
+                peak <= e.arch.fb_set_words(),
+                "{}: peak {peak} exceeds the set",
+                e.name
+            );
+            assert!(
+                peak <= bound,
+                "{}: allocator peak {peak} exceeds analytic bound {bound}",
+                e.name
+            );
+        }
+    }
+}
+
+/// Regularity: across rounds, placements land on their previous
+/// iteration's addresses (no irregular placements on the paper-scale
+/// experiments).
+#[test]
+fn steady_state_placements_are_regular() {
+    for e in table1_experiments() {
+        let plan = CdsScheduler::new().plan(&e.app, &e.sched, &e.arch).expect("runs");
+        let report = plan.allocation();
+        assert_eq!(
+            report.irregular(),
+            0,
+            "{}: {} irregular placements",
+            e.name,
+            report.irregular()
+        );
+        // At least one full extra round was walked, so regular hits
+        // must have occurred.
+        assert!(report.regular_hits() > 0, "{}: no regular placements", e.name);
+    }
+}
+
+/// The allocation walk is deterministic: two runs produce identical
+/// reports.
+#[test]
+fn allocation_walk_is_deterministic() {
+    let e = &table1_experiments()[0];
+    let plan = CdsScheduler::new().plan(&e.app, &e.sched, &e.arch).expect("runs");
+    let lt = Lifetimes::analyze(&e.app, &e.sched);
+    let run = || {
+        AllocationWalk::new(
+            &e.app,
+            &e.sched,
+            &lt,
+            plan.retention(),
+            plan.rf(),
+            e.arch.fb_set_words(),
+            FootprintModel::Replacement,
+        )
+        .run(2, false)
+        .expect("fits")
+    };
+    assert_eq!(run(), run());
+}
+
+/// Without retention the walk needs no more memory than with the
+/// no-replacement model — replacement frees space, retention fills it
+/// deliberately.
+#[test]
+fn replacement_only_shrinks_requirements() {
+    for e in table1_experiments().iter().take(6) {
+        let lt = Lifetimes::analyze(&e.app, &e.sched);
+        let empty = RetentionSet::empty();
+        let fbs = e.arch.fb_set_words();
+        let repl = AllocationWalk::new(
+            &e.app, &e.sched, &lt, &empty, 1, fbs, FootprintModel::Replacement,
+        )
+        .run(1, false);
+        let basic = AllocationWalk::new(
+            &e.app, &e.sched, &lt, &empty, 1, fbs, FootprintModel::NoReplacement,
+        )
+        .run(1, false);
+        let repl = repl.expect("replacement fits wherever the schedulers ran");
+        if let Ok(basic) = basic {
+            for (r, b) in repl.peak().iter().zip(basic.peak()) {
+                assert!(*r <= b, "{}: replacement peak above basic peak", e.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate scheduler invariants, property-tested over random
+//! workloads (invariants 1–6 of DESIGN.md).
+
+use mcds_core::{
+    all_fit, cluster_peak, ds_formula, evaluate, AllocationWalk, BasicScheduler, CdsScheduler,
+    DataScheduler, DsScheduler, FootprintModel, Lifetimes, RetentionSet,
+};
+use mcds_model::{ArchParams, Words};
+use mcds_workloads::synthetic::{SyntheticConfig, SyntheticGenerator};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = (u64, SyntheticConfig)> {
+    (
+        any::<u64>(),
+        2usize..6,
+        1usize..4,
+        16u64..200,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        4u64..20,
+    )
+        .prop_map(|(seed, clusters, kmax, dmax, share, cross, iters)| {
+            (
+                seed,
+                SyntheticConfig {
+                    clusters,
+                    kernels_per_cluster: (1, kmax),
+                    data_words: (16, dmax.max(17)),
+                    share_probability: share,
+                    cross_probability: cross,
+                    contexts: 128,
+                    exec_cycles: (50, 500),
+                    iterations: iters,
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 3: T_cds <= T_ds <= T_basic whenever all three run.
+    #[test]
+    fn dominance((seed, cfg) in config_strategy()) {
+        let (app, sched) = SyntheticGenerator::new(seed).generate(&cfg).expect("valid");
+        let arch = ArchParams::m1_with_fb(Words::kilo(4));
+        let basic = BasicScheduler::new().plan(&app, &sched, &arch);
+        let ds = DsScheduler::new().plan(&app, &sched, &arch);
+        let cds = CdsScheduler::new().plan(&app, &sched, &arch);
+        if let (Ok(b), Ok(d), Ok(c)) = (basic, ds, cds) {
+            let tb = evaluate(&b, &arch).expect("runs").total();
+            let td = evaluate(&d, &arch).expect("runs").total();
+            let tc = evaluate(&c, &arch).expect("runs").total();
+            prop_assert!(td <= tb, "ds {td} > basic {tb}");
+            prop_assert!(tc <= td, "cds {tc} > ds {td}");
+        }
+    }
+
+    /// Invariant 2: the paper's analytic DS(C_c) equals the walk-based
+    /// peak at rf=1 without retention, and the allocator never needs
+    /// more than the analytic peak at matching parameters.
+    #[test]
+    fn footprint_formula_consistency((seed, cfg) in config_strategy()) {
+        let (app, sched) = SyntheticGenerator::new(seed).generate(&cfg).expect("valid");
+        let lt = Lifetimes::analyze(&app, &sched);
+        let empty = RetentionSet::empty();
+        for c in sched.clusters() {
+            let walk = cluster_peak(
+                &app, &sched, &lt, &empty, c.id(), 1, FootprintModel::Replacement,
+            );
+            let formula = ds_formula(&app, &sched, &lt, c.id());
+            prop_assert_eq!(walk, formula, "cluster {}", c.id());
+            let basic = cluster_peak(
+                &app, &sched, &lt, &empty, c.id(), 1, FootprintModel::NoReplacement,
+            );
+            prop_assert!(basic >= walk, "replacement can only shrink the peak");
+        }
+    }
+
+    /// Invariant 5: enlarging the Frame Buffer never slows any
+    /// scheduler down, and the *maximum feasible* RF is non-decreasing
+    /// in FB size. (The RF a plan actually picks is argmin over
+    /// execution time and need not be monotone.)
+    #[test]
+    fn memory_monotonicity((seed, cfg) in config_strategy()) {
+        let (app, sched) = SyntheticGenerator::new(seed).generate(&cfg).expect("valid");
+        let small = ArchParams::m1_with_fb(Words::kilo(2));
+        let large = ArchParams::m1_with_fb(Words::kilo(8));
+        let at = |arch: &ArchParams| DsScheduler::new().plan(&app, &sched, arch).ok().map(|p| {
+            evaluate(&p, arch).expect("runs").total()
+        });
+        if let (Some(t_s), Some(t_l)) = (at(&small), at(&large)) {
+            prop_assert!(t_l <= t_s, "more memory slowed execution: {t_s} -> {t_l}");
+        }
+        let lt = Lifetimes::analyze(&app, &sched);
+        let empty = RetentionSet::empty();
+        let rf_at = |fbs: Words| mcds_core::max_common_rf(
+            &app, &sched, &lt, &empty, FootprintModel::Replacement, fbs,
+        );
+        if let (Some(rf_s), Some(rf_l)) = (rf_at(Words::kilo(2)), rf_at(Words::kilo(8))) {
+            prop_assert!(rf_l >= rf_s, "max rf shrank with memory: {rf_s} -> {rf_l}");
+        }
+    }
+
+    /// Invariant 1/6: when the footprint model says a plan fits, the
+    /// actual §5 allocation walk succeeds within the same capacity.
+    #[test]
+    fn footprint_admits_allocation((seed, cfg) in config_strategy()) {
+        let (app, sched) = SyntheticGenerator::new(seed).generate(&cfg).expect("valid");
+        let lt = Lifetimes::analyze(&app, &sched);
+        let empty = RetentionSet::empty();
+        let fbs = Words::kilo(4);
+        for rf in [1u64, 2, 3] {
+            if rf > app.iterations() {
+                continue;
+            }
+            if all_fit(&app, &sched, &lt, &empty, rf, FootprintModel::Replacement, fbs) {
+                let walk = AllocationWalk::new(
+                    &app, &sched, &lt, &empty, rf, fbs, FootprintModel::Replacement,
+                );
+                let report = walk.run(2, false);
+                prop_assert!(report.is_ok(), "rf={rf}: walk failed: {report:?}");
+            }
+        }
+    }
+
+    /// Retention set feasibility: whatever the CDS retains still fits
+    /// every cluster at the chosen RF, and the retained volume matches
+    /// the DT metric.
+    #[test]
+    fn retention_stays_feasible((seed, cfg) in config_strategy()) {
+        let (app, sched) = SyntheticGenerator::new(seed).generate(&cfg).expect("valid");
+        let arch = ArchParams::m1_with_fb(Words::kilo(4));
+        if let Ok(plan) = CdsScheduler::new().plan(&app, &sched, &arch) {
+            let lt = Lifetimes::analyze(&app, &sched);
+            prop_assert!(all_fit(
+                &app, &sched, &lt, plan.retention(), plan.rf(),
+                FootprintModel::Replacement, arch.fb_set_words(),
+            ));
+            let sum: Words = plan
+                .retention()
+                .candidates()
+                .iter()
+                .map(|c| c.avoided_per_iter())
+                .sum();
+            prop_assert_eq!(sum, plan.dt_avoided_per_iter());
+        }
+    }
+}
