@@ -8,37 +8,44 @@
 //!
 //! The simulated-quality results (what the ablation is scientifically
 //! about) are printed once; Criterion then measures the planning cost
-//! of each configuration.
+//! of each configuration via [`Pipeline::plan`].
 //!
 //! ```sh
 //! cargo bench -p mcds-bench --bench ablations
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcds_core::{
-    evaluate, BasicScheduler, CdsScheduler, ContextPolicy, DataScheduler, RetentionRanking,
-    SchedulerConfig,
-};
-use mcds_workloads::table1::table1_experiments;
+use mcds_core::{ContextPolicy, Pipeline, RetentionRanking, SchedulerConfig, SchedulerKind};
+use mcds_workloads::table1::{table1_experiments, Experiment};
 use std::hint::black_box;
+
+fn cds_pipeline(e: &Experiment, config: SchedulerConfig) -> Pipeline {
+    Pipeline::new(e.app.clone())
+        .arch(e.arch)
+        .schedule(e.sched.clone())
+        .scheduler(SchedulerKind::Cds)
+        .config(config)
+}
 
 fn quality_report() {
     eprintln!("=== Ablation: retention ranking (CDS improvement over Basic, %) ===");
-    eprintln!("{:<11} {:>6} {:>9} {:>6}", "experiment", "TF", "SizeDesc", "FIFO");
+    eprintln!(
+        "{:<11} {:>6} {:>9} {:>6}",
+        "experiment", "TF", "SizeDesc", "FIFO"
+    );
     for e in table1_experiments() {
-        let Ok(basic) = BasicScheduler::new().plan(&e.app, &e.sched, &e.arch) else {
+        let Ok(t_basic) = cds_pipeline(&e, SchedulerConfig::default())
+            .scheduler(SchedulerKind::Basic)
+            .run()
+            .map(|r| r.into_parts().2)
+        else {
             continue;
         };
-        let t_basic = evaluate(&basic, &e.arch).expect("runs");
         let run = |ranking: RetentionRanking| -> String {
-            CdsScheduler::with_config(SchedulerConfig {
-                retention_ranking: ranking,
-                ..SchedulerConfig::default()
-            })
-            .plan(&e.app, &e.sched, &e.arch)
-            .and_then(|p| evaluate(&p, &e.arch))
-            .map(|t| format!("{:.0}%", t.improvement_over(&t_basic) * 100.0))
-            .unwrap_or_else(|_| "-".to_owned())
+            cds_pipeline(&e, SchedulerConfig::new().with_retention_ranking(ranking))
+                .run()
+                .map(|r| format!("{:.0}%", r.report().improvement_over(&t_basic) * 100.0))
+                .unwrap_or_else(|_| "-".to_owned())
         };
         eprintln!(
             "{:<11} {:>6} {:>9} {:>6}",
@@ -55,29 +62,25 @@ fn quality_report() {
         "experiment", "paper", "lru-cm", "rf<=1"
     );
     for e in table1_experiments() {
-        let Ok(basic) = BasicScheduler::new().plan(&e.app, &e.sched, &e.arch) else {
+        let Ok(t_basic) = cds_pipeline(&e, SchedulerConfig::default())
+            .scheduler(SchedulerKind::Basic)
+            .run()
+            .map(|r| r.into_parts().2)
+        else {
             continue;
         };
-        let t_basic = evaluate(&basic, &e.arch).expect("runs");
         let run = |config: SchedulerConfig| -> String {
-            CdsScheduler::with_config(config)
-                .plan(&e.app, &e.sched, &e.arch)
-                .and_then(|p| evaluate(&p, &e.arch))
-                .map(|t| format!("{:.0}%", t.improvement_over(&t_basic) * 100.0))
+            cds_pipeline(&e, config)
+                .run()
+                .map(|r| format!("{:.0}%", r.report().improvement_over(&t_basic) * 100.0))
                 .unwrap_or_else(|_| "-".to_owned())
         };
         eprintln!(
             "{:<11} {:>7} {:>7} {:>7}",
             e.name,
             run(SchedulerConfig::default()),
-            run(SchedulerConfig {
-                context_policy: ContextPolicy::LruResidency,
-                ..SchedulerConfig::default()
-            }),
-            run(SchedulerConfig {
-                max_rf: Some(1),
-                ..SchedulerConfig::default()
-            }),
+            run(SchedulerConfig::new().with_context_policy(ContextPolicy::LruResidency)),
+            run(SchedulerConfig::new().with_max_rf(Some(1))),
         );
     }
 }
@@ -92,26 +95,15 @@ fn bench_ablations(c: &mut Criterion) {
         ("tf", SchedulerConfig::default()),
         (
             "size-desc",
-            SchedulerConfig {
-                retention_ranking: RetentionRanking::SizeDesc,
-                ..SchedulerConfig::default()
-            },
+            SchedulerConfig::new().with_retention_ranking(RetentionRanking::SizeDesc),
         ),
         (
             "lru-cm",
-            SchedulerConfig {
-                context_policy: ContextPolicy::LruResidency,
-                ..SchedulerConfig::default()
-            },
+            SchedulerConfig::new().with_context_policy(ContextPolicy::LruResidency),
         ),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(
-                    CdsScheduler::with_config(config).plan(&e1.app, &e1.sched, &e1.arch),
-                )
-            })
-        });
+        let pipeline = cds_pipeline(e1, config);
+        group.bench_function(label, |b| b.iter(|| black_box(pipeline.plan())));
     }
     group.finish();
 }

@@ -47,9 +47,7 @@ fn bench_fragmented_first_fit(c: &mut Criterion) {
             let mut fb = FbAllocator::new(Words::new(cap));
             let mut pins = Vec::new();
             for i in 0..holes {
-                pins.push(
-                    fb.alloc_at("pin", i * 16, Words::new(8)).expect("free"),
-                );
+                pins.push(fb.alloc_at("pin", i * 16, Words::new(8)).expect("free"));
             }
             b.iter(|| {
                 let a = fb

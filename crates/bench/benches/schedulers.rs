@@ -1,12 +1,17 @@
 //! Scheduler planning throughput: how fast each scheduler produces a
 //! plan, and how planning scales with the number of iterations.
 //!
+//! Plans are constructed through [`Pipeline::plan`], the facade's
+//! simulation-free entry point, so the measured cost is cluster
+//! resolution + shared analysis + planning — the same path the sweep
+//! engine's grid points take.
+//!
 //! ```sh
 //! cargo bench -p mcds-bench --bench schedulers
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcds_core::{BasicScheduler, CdsScheduler, DataScheduler, DsScheduler};
+use mcds_core::{Pipeline, SchedulerKind};
 use mcds_model::{ArchParams, Words};
 use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
 use mcds_workloads::synthetic::{SyntheticConfig, SyntheticGenerator};
@@ -18,15 +23,13 @@ fn bench_plan_mpeg(c: &mut Criterion) {
     let arch = ArchParams::m1_with_fb(Words::kilo(2));
 
     let mut group = c.benchmark_group("plan/mpeg");
-    group.bench_function("basic", |b| {
-        b.iter(|| black_box(BasicScheduler::new().plan(&app, &sched, &arch)))
-    });
-    group.bench_function("ds", |b| {
-        b.iter(|| black_box(DsScheduler::new().plan(&app, &sched, &arch)))
-    });
-    group.bench_function("cds", |b| {
-        b.iter(|| black_box(CdsScheduler::new().plan(&app, &sched, &arch)))
-    });
+    for kind in SchedulerKind::ALL {
+        let pipeline = Pipeline::new(app.clone())
+            .arch(arch)
+            .schedule(sched.clone())
+            .scheduler(kind);
+        group.bench_function(kind.name(), |b| b.iter(|| black_box(pipeline.plan())));
+    }
     group.finish();
 }
 
@@ -40,11 +43,13 @@ fn bench_plan_scaling(c: &mut Criterion) {
             iterations: iters,
             ..SyntheticConfig::default()
         };
-        let (app, sched) = SyntheticGenerator::new(1)
-            .generate(&cfg)
-            .expect("valid");
+        let (app, sched) = SyntheticGenerator::new(1).generate(&cfg).expect("valid");
+        let pipeline = Pipeline::new(app)
+            .arch(arch)
+            .schedule(sched)
+            .scheduler(SchedulerKind::Cds);
         group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, _| {
-            b.iter(|| black_box(CdsScheduler::new().plan(&app, &sched, &arch)))
+            b.iter(|| black_box(pipeline.plan()))
         });
     }
     group.finish();

@@ -1,0 +1,35 @@
+//! Parallel vs serial Table-1 sweep: the speedup the sweep engine's
+//! thread pool buys on the paper's own design space. (On a single-core
+//! host both series coincide — `threads(None)` resolves to one worker.)
+//!
+//! ```sh
+//! cargo bench -p mcds-bench --bench sweep
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcds_bench::table1_sweep;
+use std::hint::black_box;
+
+fn bench_table1_sweep(c: &mut Criterion) {
+    let fb = [1u64, 2, 3, 8];
+    let points = table1_sweep(&fb, false).points();
+    let mut group = c.benchmark_group(&format!("sweep-table1/{points}-points"));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(
+                table1_sweep(&fb, false)
+                    .threads(Some(1))
+                    .run()
+                    .expect("runs"),
+            )
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(table1_sweep(&fb, false).threads(None).run().expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_sweep);
+criterion_main!(benches);

@@ -35,11 +35,8 @@ fn bench_table1(c: &mut Criterion) {
     for e in table1_experiments() {
         group.bench_function(e.name, |b| {
             b.iter(|| {
-                let cmp = Comparison::run(
-                    black_box(&e.app),
-                    black_box(&e.sched),
-                    black_box(&e.arch),
-                );
+                let cmp =
+                    Comparison::run(black_box(&e.app), black_box(&e.sched), black_box(&e.arch));
                 black_box(cmp.cds_improvement())
             });
         });

@@ -1,10 +1,14 @@
 //! `mcds` — file-driven command-line front end to the scheduler stack.
 //!
+//! Every command builds its plans through the [`Pipeline`] facade (or
+//! the sweep engine on top of it) — no hand-wired scheduler stages.
+//!
 //! ```text
 //! mcds sample-app                          # print a sample application JSON
 //! mcds inspect  <app.json>                 # summary + dataflow
 //! mcds plan     <app.json> [options]       # plan + simulate
 //! mcds explore  <app.json> [options]       # kernel-scheduler partition search
+//! mcds sweep    [app.json …] [options]     # parallel design-space sweep
 //!
 //! options:
 //!   --clusters "0,1;2;3"   kernel ids per cluster, ';'-separated (default: one per kernel)
@@ -13,49 +17,62 @@
 //!   --cross-set            enable the dual-ported-FB extension
 //!   --gantt                print the execution Gantt chart
 //!   --program              print the generated transfer program (code generator output)
+//!
+//! sweep options:
+//!   --fb-kw-list 1,2,3,8   FB sizes to cross every workload with
+//!   --threads N            worker threads (default: all cores; 1 = serial)
+//!   --format table|json|csv                (default: table)
+//!
+//! `mcds sweep` without application files sweeps the paper's Table-1
+//! workloads.
 //! ```
 
 use std::process::ExitCode;
 
-use mcds_core::{
-    evaluate, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, SchedulePlan,
-};
+use mcds_bench::table1_sweep;
+use mcds_core::{McdsError, Pipeline, SchedulerKind};
 use mcds_ksched::{KernelScheduler, SearchStrategy};
 use mcds_model::{
-    Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId,
-    Words,
+    Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId, Words,
 };
 use mcds_sim::{bottleneck, render_gantt, Simulator};
+use mcds_sweep::{SweepReport, SweepSpec, SweepWorkload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::from(2)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
-        return Err("usage: mcds <sample-app|inspect|plan|explore> …".to_owned());
+        return Err(McdsError::spec(
+            "usage: mcds <sample-app|inspect|plan|explore|sweep> …",
+        ));
     };
     match cmd.as_str() {
         "sample-app" => sample_app(),
-        "inspect" => inspect(args.get(1).ok_or("inspect needs an app.json path")?),
+        "inspect" => inspect(
+            args.get(1)
+                .ok_or_else(|| McdsError::spec("inspect needs an app.json path"))?,
+        ),
         "plan" => plan(&args[1..]),
         "explore" => explore(&args[1..]),
-        other => Err(format!("unknown command `{other}`")),
+        "sweep" => sweep(&args[1..]),
+        other => Err(McdsError::spec(format!("unknown command `{other}`"))),
     }
 }
 
-fn load_app(path: &str) -> Result<Application, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+fn load_app(path: &str) -> Result<Application, McdsError> {
+    let text = std::fs::read_to_string(path)?;
     let app: Application =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    app.validate().map_err(|e| format!("invalid application: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| McdsError::spec(format!("parsing {path}: {e}")))?;
+    app.validate()?;
     Ok(app)
 }
 
@@ -70,9 +87,12 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn arch_from(args: &[String]) -> Result<ArchParams, String> {
+fn arch_from(args: &[String]) -> Result<ArchParams, McdsError> {
     let kw: u64 = opt(args, "--fb-kw")
-        .map(|v| v.parse().map_err(|e| format!("--fb-kw: {e}")))
+        .map(|v| {
+            v.parse()
+                .map_err(|e| McdsError::spec(format!("--fb-kw: {e}")))
+        })
         .transpose()?
         .unwrap_or(1);
     Ok(ArchParams::m1()
@@ -82,9 +102,9 @@ fn arch_from(args: &[String]) -> Result<ArchParams, String> {
         .build())
 }
 
-fn schedule_from(args: &[String], app: &Application) -> Result<ClusterSchedule, String> {
+fn schedule_from(args: &[String], app: &Application) -> Result<ClusterSchedule, McdsError> {
     match opt(args, "--clusters") {
-        None => ClusterSchedule::singletons(app).map_err(|e| e.to_string()),
+        None => Ok(ClusterSchedule::singletons(app)?),
         Some(spec) => {
             let mut partition = Vec::new();
             for cluster in spec.split(';') {
@@ -93,26 +113,21 @@ fn schedule_from(args: &[String], app: &Application) -> Result<ClusterSchedule, 
                     let id: u32 = id
                         .trim()
                         .parse()
-                        .map_err(|e| format!("--clusters `{id}`: {e}"))?;
+                        .map_err(|e| McdsError::spec(format!("--clusters `{id}`: {e}")))?;
                     kernels.push(KernelId::new(id));
                 }
                 partition.push(kernels);
             }
-            ClusterSchedule::new(app, partition).map_err(|e| e.to_string())
+            Ok(ClusterSchedule::new(app, partition)?)
         }
     }
 }
 
-fn scheduler_from(args: &[String]) -> Result<Box<dyn DataScheduler>, String> {
-    match opt(args, "--scheduler").unwrap_or("cds") {
-        "basic" => Ok(Box::new(BasicScheduler::new())),
-        "ds" => Ok(Box::new(DsScheduler::new())),
-        "cds" => Ok(Box::new(CdsScheduler::new())),
-        other => Err(format!("unknown scheduler `{other}`")),
-    }
+fn scheduler_from(args: &[String]) -> Result<SchedulerKind, McdsError> {
+    opt(args, "--scheduler").unwrap_or("cds").parse()
 }
 
-fn sample_app() -> Result<(), String> {
+fn sample_app() -> Result<(), McdsError> {
     let mut b = ApplicationBuilder::new("sample");
     let table = b.data("table", Words::new(96), DataKind::ExternalInput);
     let input = b.data("input", Words::new(128), DataKind::ExternalInput);
@@ -120,15 +135,15 @@ fn sample_app() -> Result<(), String> {
     let out = b.data("out", Words::new(64), DataKind::FinalResult);
     b.kernel("stage0", 96, Cycles::new(240), &[input, table], &[mid]);
     b.kernel("stage1", 128, Cycles::new(200), &[mid, table], &[out]);
-    let app = b.iterations(32).build().map_err(|e| e.to_string())?;
+    let app = b.iterations(32).build()?;
     println!(
         "{}",
-        serde_json::to_string_pretty(&app).map_err(|e| e.to_string())?
+        serde_json::to_string_pretty(&app).map_err(|e| McdsError::spec(e.to_string()))?
     );
     Ok(())
 }
 
-fn inspect(path: &str) -> Result<(), String> {
+fn inspect(path: &str) -> Result<(), McdsError> {
     let app = load_app(path)?;
     let df = app.dataflow();
     println!(
@@ -142,8 +157,16 @@ fn inspect(path: &str) -> Result<(), String> {
     );
     println!("\nkernels:");
     for k in app.kernels() {
-        let ins: Vec<&str> = k.inputs().iter().map(|&d| app.data_object(d).name()).collect();
-        let outs: Vec<&str> = k.outputs().iter().map(|&d| app.data_object(d).name()).collect();
+        let ins: Vec<&str> = k
+            .inputs()
+            .iter()
+            .map(|&d| app.data_object(d).name())
+            .collect();
+        let outs: Vec<&str> = k
+            .outputs()
+            .iter()
+            .map(|&d| app.data_object(d).name())
+            .collect();
         println!(
             "  {} {:<10} {:>4} ctx {:>7} reads {:?} writes {:?}",
             k.id(),
@@ -168,15 +191,15 @@ fn inspect(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn print_plan(
-    app: &Application,
-    sched: &ClusterSchedule,
-    plan: &SchedulePlan,
-    arch: &ArchParams,
+fn print_run(
+    pipeline: &Pipeline,
+    run: &mcds_core::PipelineRun,
     gantt: bool,
     program: bool,
-) -> Result<(), String> {
-    let report = evaluate(plan, arch).map_err(|e| e.to_string())?;
+) -> Result<(), McdsError> {
+    let app = pipeline.app();
+    let arch = pipeline.arch_params();
+    let (plan, report) = (run.plan(), run.report());
     println!(
         "{}: RF={} stages={} data={} contexts={}w time={}",
         plan.scheduler(),
@@ -190,7 +213,7 @@ fn print_plan(
         "dma {:.0}% busy, rc {:.0}% busy, bottleneck: {:?}",
         report.dma_utilization() * 100.0,
         report.rc_utilization() * 100.0,
-        bottleneck(&report, 0.9)
+        bottleneck(report, 0.9)
     );
     if !plan.retention().is_empty() {
         println!("retained (DT = {}/iteration):", plan.dt_avoided_per_iter());
@@ -215,14 +238,11 @@ fn print_plan(
         alloc.irregular()
     );
     if gantt {
-        let sim_report = Simulator::new(*arch)
-            .run(plan.ops())
-            .map_err(|e| e.to_string())?;
+        let sim_report = Simulator::new(*arch).run(plan.ops())?;
         println!("\n{}", render_gantt(plan.ops(), sim_report.timeline(), 100));
     }
     if program {
-        let prog =
-            mcds_core::generate_program(app, sched, plan).map_err(|e| e.to_string())?;
+        let prog = mcds_core::generate_program(app, run.schedule(), plan)?;
         println!("\n; warm-up round");
         for op in prog.warmup() {
             println!("  {}", op.display(app));
@@ -235,36 +255,109 @@ fn print_plan(
     Ok(())
 }
 
-fn plan(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("plan needs an app.json path")?;
+fn plan(args: &[String]) -> Result<(), McdsError> {
+    let path = args
+        .first()
+        .ok_or_else(|| McdsError::spec("plan needs an app.json path"))?;
     let app = load_app(path)?;
-    let arch = arch_from(args)?;
     let sched = schedule_from(args, &app)?;
-    let scheduler = scheduler_from(args)?;
-    let plan = scheduler
-        .plan(&app, &sched, &arch)
-        .map_err(|e| e.to_string())?;
-    print_plan(&app, &sched, &plan, &arch, flag(args, "--gantt"), flag(args, "--program"))
+    let pipeline = Pipeline::new(app)
+        .arch(arch_from(args)?)
+        .schedule(sched)
+        .scheduler(scheduler_from(args)?);
+    let run = pipeline.run()?;
+    print_run(
+        &pipeline,
+        &run,
+        flag(args, "--gantt"),
+        flag(args, "--program"),
+    )
 }
 
-fn explore(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("explore needs an app.json path")?;
-    let app = load_app(path)?;
-    let arch = arch_from(args)?;
-    let sched = KernelScheduler::new(SearchStrategy::Exhaustive)
-        .schedule(&app, &arch)
-        .map_err(|e| e.to_string())?;
+fn explore(args: &[String]) -> Result<(), McdsError> {
+    let path = args
+        .first()
+        .ok_or_else(|| McdsError::spec("explore needs an app.json path"))?;
+    let pipeline = Pipeline::new(load_app(path)?)
+        .arch(arch_from(args)?)
+        .clustering(KernelScheduler::new(SearchStrategy::Exhaustive))
+        .scheduler(SchedulerKind::Cds);
+    let run = pipeline.run()?;
+    let (app, sched) = (pipeline.app(), run.schedule());
     println!("best partition ({} clusters):", sched.len());
     for c in sched.clusters() {
-        let names: Vec<&str> = c
-            .kernels()
-            .iter()
-            .map(|&k| app.kernel(k).name())
-            .collect();
+        let names: Vec<&str> = c.kernels().iter().map(|&k| app.kernel(k).name()).collect();
         println!("  {} on {}: {:?}", c.id(), sched.fb_set(c.id()), names);
     }
-    let plan = CdsScheduler::new()
-        .plan(&app, &sched, &arch)
-        .map_err(|e| e.to_string())?;
-    print_plan(&app, &sched, &plan, &arch, false, false)
+    print_run(&pipeline, &run, false, false)
+}
+
+fn sweep(args: &[String]) -> Result<(), McdsError> {
+    let format = opt(args, "--format").unwrap_or("table");
+    if !matches!(format, "table" | "json" | "csv") {
+        return Err(McdsError::spec(format!(
+            "unknown format `{format}` (expected table, json, or csv)"
+        )));
+    }
+    let fb_kw: Vec<u64> = opt(args, "--fb-kw-list")
+        .unwrap_or("1,2,3,8")
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|e| McdsError::spec(format!("--fb-kw-list `{v}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let threads = opt(args, "--threads")
+        .map(|v| {
+            v.parse()
+                .map_err(|e| McdsError::spec(format!("--threads: {e}")))
+        })
+        .transpose()?;
+    let app_paths: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+
+    let spec = if app_paths.is_empty() {
+        table1_sweep(&fb_kw, flag(args, "--cross-set"))
+    } else {
+        let mut spec = SweepSpec::new();
+        for &kw in &fb_kw {
+            spec = spec.arch(
+                ArchParams::m1()
+                    .to_builder()
+                    .fb_set_words(Words::kilo(kw))
+                    .fb_cross_set_access(flag(args, "--cross-set"))
+                    .build(),
+            );
+        }
+        for path in app_paths {
+            let app = load_app(path)?;
+            let sched = schedule_from(args, &app)?;
+            spec = spec
+                .workload(SweepWorkload::new(app.name().to_owned(), app).partition("cli", sched));
+        }
+        spec
+    };
+
+    let spec = spec.threads(threads);
+    eprintln!(
+        "sweeping {} grid points ({} threads)…",
+        spec.points(),
+        threads.map_or_else(|| "auto".to_owned(), |t: usize| t.to_string())
+    );
+    let report = spec.run()?;
+    print_sweep(&report, format)
+}
+
+fn print_sweep(report: &SweepReport, format: &str) -> Result<(), McdsError> {
+    match format {
+        "table" => print!("{}", report.table()),
+        "json" => println!("{}", report.to_json()?),
+        "csv" => print!("{}", report.to_csv()),
+        other => {
+            return Err(McdsError::spec(format!(
+                "unknown format `{other}` (expected table, json, or csv)"
+            )))
+        }
+    }
+    Ok(())
 }

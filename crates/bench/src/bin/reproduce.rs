@@ -11,13 +11,17 @@
 //! reproduce json              # Table 1 as machine-readable JSON
 //! reproduce all               # everything above
 //! ```
+//!
+//! Every plan is produced through the [`Pipeline`] facade (or the
+//! sweep engine on top of it).
 
 use mcds_bench::{measure_all, pct};
 use mcds_core::{
-    table_header, AllocationWalk, CdsScheduler, DataScheduler, DsScheduler, FootprintModel,
-    Lifetimes, ScheduleError,
+    table_header, AllocationWalk, FootprintModel, Lifetimes, McdsError, Pipeline, ScheduleError,
+    SchedulerKind,
 };
 use mcds_model::{ArchParams, Words};
+use mcds_sweep::{SweepSpec, SweepWorkload};
 use mcds_workloads::e_series::e1;
 use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
 
@@ -76,26 +80,37 @@ fn fig6() {
             let n = (v.unwrap_or(0.0) * 50.0).round().max(0.0) as usize;
             "#".repeat(n)
         };
-        println!("{:<11} CDS {:>5} |{}", m.row.name, pct(m.row.cds_improvement), bar(m.row.cds_improvement));
-        println!("{:<11} DS  {:>5} |{}", "", pct(m.row.ds_improvement), bar(m.row.ds_improvement));
+        println!(
+            "{:<11} CDS {:>5} |{}",
+            m.row.name,
+            pct(m.row.cds_improvement),
+            bar(m.row.cds_improvement)
+        );
+        println!(
+            "{:<11} DS  {:>5} |{}",
+            "",
+            pct(m.row.ds_improvement),
+            bar(m.row.ds_improvement)
+        );
     }
 }
 
 fn fig5() {
     println!("=== Figure 5 companion: FB set occupancy maps (E1, CDS) ===");
     let (app, sched) = e1(8).expect("E1 is valid");
-    let arch = ArchParams::m1_with_fb(Words::kilo(1));
-    let plan = CdsScheduler::new()
-        .plan(&app, &sched, &arch)
-        .expect("E1 fits a 1K set");
-    let lifetimes = Lifetimes::analyze(&app, &sched);
+    let pipeline = Pipeline::new(app)
+        .arch(ArchParams::m1_with_fb(Words::kilo(1)))
+        .schedule(sched);
+    let run = pipeline.run().expect("E1 fits a 1K set");
+    let (app, sched, plan) = (pipeline.app(), run.schedule(), run.plan());
+    let lifetimes = Lifetimes::analyze(app, sched);
     let walk = AllocationWalk::new(
-        &app,
-        &sched,
+        app,
+        sched,
         &lifetimes,
         plan.retention(),
         plan.rf(),
-        arch.fb_set_words(),
+        pipeline.arch_params().fb_set_words(),
         FootprintModel::Replacement,
     );
     let report = walk.run(1, true).expect("fits");
@@ -115,18 +130,23 @@ fn fig5() {
 fn rf_sweep() {
     println!("=== RF vs Frame Buffer size (loop fission, Figure 3 companion) ===");
     let (app, sched) = e1(256).expect("E1 is valid");
+    let sizes = [1u64, 2, 3, 4, 6, 8];
+    let report = SweepSpec::new()
+        .workload(SweepWorkload::new("E1", app).partition("paper", sched))
+        .fb_sizes(sizes.map(Words::kilo))
+        .schedulers([SchedulerKind::Ds])
+        .run()
+        .expect("grid is non-empty");
     print!("FB (Kw):");
-    for kw in [1u64, 2, 3, 4, 6, 8] {
+    for kw in sizes {
         print!(" {kw:>5}");
     }
     println!();
     print!("RF     :");
-    for kw in [1u64, 2, 3, 4, 6, 8] {
-        let arch = ArchParams::m1_with_fb(Words::kilo(kw));
-        let rf = DsScheduler::new()
-            .plan(&app, &sched, &arch)
-            .map(|p| p.rf().to_string())
-            .unwrap_or_else(|_| "-".to_owned());
+    for row in &report.rows {
+        let rf = row.outcomes[0]
+            .rf
+            .map_or_else(|| "-".to_owned(), |r| r.to_string());
         print!(" {rf:>5}");
     }
     println!();
@@ -136,15 +156,18 @@ fn mpeg_feasibility() {
     println!("=== §6 claim: MPEG feasibility at FB = 1K ===");
     let app = mpeg_app(16).expect("valid");
     let sched = mpeg_schedule(&app).expect("valid");
-    let arch = ArchParams::m1_with_fb(Words::kilo(1));
-    for (name, result) in [
-        ("basic", mcds_core::BasicScheduler::new().plan(&app, &sched, &arch).map(|p| p.rf())),
-        ("ds", DsScheduler::new().plan(&app, &sched, &arch).map(|p| p.rf())),
-        ("cds", CdsScheduler::new().plan(&app, &sched, &arch).map(|p| p.rf())),
-    ] {
+    for kind in SchedulerKind::ALL {
+        let result = Pipeline::new(app.clone())
+            .arch(ArchParams::m1_with_fb(Words::kilo(1)))
+            .schedule(sched.clone())
+            .scheduler(kind)
+            .run();
+        let name = kind.name();
         match result {
-            Ok(rf) => println!("{name:<6} runs (RF = {rf})"),
-            Err(ScheduleError::Infeasible { required, capacity, .. }) => {
+            Ok(run) => println!("{name:<6} runs (RF = {})", run.plan().rf()),
+            Err(McdsError::Schedule(ScheduleError::Infeasible {
+                required, capacity, ..
+            })) => {
                 println!("{name:<6} INFEASIBLE (needs {required}, set holds {capacity})");
             }
             Err(e) => println!("{name:<6} error: {e}"),
@@ -158,13 +181,15 @@ fn gantt() {
     let app = mpeg_app(4).expect("valid");
     let sched = mpeg_schedule(&app).expect("valid");
     let arch = ArchParams::m1_with_fb(Words::kilo(2));
-    for scheduler in [
-        &mcds_core::BasicScheduler::new() as &dyn DataScheduler,
-        &DsScheduler::new(),
-        &CdsScheduler::new(),
-    ] {
-        match scheduler.plan(&app, &sched, &arch) {
-            Ok(plan) => {
+    for kind in SchedulerKind::ALL {
+        let result = Pipeline::new(app.clone())
+            .arch(arch)
+            .schedule(sched.clone())
+            .scheduler(kind)
+            .run();
+        match result {
+            Ok(run) => {
+                let plan = run.plan();
                 let report = mcds_sim::Simulator::new(arch)
                     .run(plan.ops())
                     .expect("plans simulate");
@@ -182,33 +207,37 @@ fn gantt() {
 fn future_work() {
     println!("=== §7 future work: retention across FB sets (dual-ported FB) ===");
     println!("CDS improvement over Basic, per experiment:");
-    println!("{:<11} {:>8} {:>11} {:>9}", "experiment", "M1", "dual-port", "extra DT");
+    println!(
+        "{:<11} {:>8} {:>11} {:>9}",
+        "experiment", "M1", "dual-port", "extra DT"
+    );
     for e in mcds_workloads::table1::table1_experiments() {
-        let Ok(basic) = mcds_core::BasicScheduler::new().plan(&e.app, &e.sched, &e.arch) else {
+        let compare = |arch: ArchParams| {
+            Pipeline::new(e.app.clone())
+                .arch(arch)
+                .schedule(e.sched.clone())
+                .compare()
+                .expect("fixed schedules always resolve")
+        };
+        let m1 = compare(e.arch);
+        let Ok((_, t_basic)) = &m1.comparison().basic else {
             continue;
         };
-        let t_basic = match mcds_core::evaluate(&basic, &e.arch) {
-            Ok(t) => t,
-            Err(_) => continue,
-        };
-        let dual_arch = e.arch.to_builder().fb_cross_set_access(true).build();
-        let run = |arch: &ArchParams| {
-            CdsScheduler::new()
-                .plan(&e.app, &e.sched, arch)
-                .and_then(|p| Ok((p.dt_avoided_per_iter(), mcds_core::evaluate(&p, arch)?)))
-                .ok()
-        };
-        let (Some((dt_m1, t_m1)), Some((dt_dual, t_dual))) =
-            (run(&e.arch), run(&dual_arch))
+        let dual = compare(e.arch.to_builder().fb_cross_set_access(true).build());
+        let (Ok((p_m1, t_m1)), Ok((p_dual, t_dual))) =
+            (&m1.comparison().cds, &dual.comparison().cds)
         else {
             continue;
         };
         println!(
             "{:<11} {:>7.0}% {:>10.0}% {:>9}",
             e.name,
-            t_m1.improvement_over(&t_basic) * 100.0,
-            t_dual.improvement_over(&t_basic) * 100.0,
-            (dt_dual.saturating_sub(dt_m1)).to_string(),
+            t_m1.improvement_over(t_basic) * 100.0,
+            t_dual.improvement_over(t_basic) * 100.0,
+            (p_dual
+                .dt_avoided_per_iter()
+                .saturating_sub(p_m1.dt_avoided_per_iter()))
+            .to_string(),
         );
     }
 }

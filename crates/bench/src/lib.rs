@@ -5,6 +5,8 @@
 #![warn(missing_docs)]
 
 use mcds_core::{Comparison, ExperimentRow};
+use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
+use mcds_sweep::{SweepSpec, SweepWorkload};
 use mcds_workloads::table1::{table1_experiments, Experiment};
 use serde::Serialize;
 
@@ -52,4 +54,47 @@ pub fn measure_all() -> Vec<MeasuredRow> {
 #[must_use]
 pub fn pct(v: Option<f64>) -> String {
     v.map_or_else(|| "-".to_owned(), |x| format!("{:.0}%", x * 100.0))
+}
+
+/// The Table-1 design space as a sweep grid: every distinct
+/// (application, kernel schedule) pair of the paper's evaluation —
+/// starred rows collapse onto their base workload, the three ATR-SLD
+/// schedules become three partitions — crossed with one M1 variant per
+/// entry of `fb_kw` (kilowords) and all three schedulers.
+///
+/// With the paper's own sizes (`[1, 2, 3, 8]`) this is a
+/// 9 cells × 4 architectures × 3 schedulers = 108-point grid.
+#[must_use]
+pub fn table1_sweep(fb_kw: &[u64], cross_set: bool) -> SweepSpec {
+    type Group = (String, Application, Vec<(String, ClusterSchedule)>);
+    let mut groups: Vec<Group> = Vec::new();
+    for e in table1_experiments() {
+        let base = e.name.trim_end_matches('*').to_owned();
+        match groups.iter_mut().find(|(name, _, _)| *name == base) {
+            Some((_, _, parts)) => {
+                if !parts.iter().any(|(_, s)| *s == e.sched) {
+                    parts.push((e.name.to_owned(), e.sched));
+                }
+            }
+            None => groups.push((base, e.app, vec![(e.name.to_owned(), e.sched)])),
+        }
+    }
+    let mut spec = SweepSpec::new();
+    for &kw in fb_kw {
+        spec = spec.arch(
+            ArchParams::m1()
+                .to_builder()
+                .fb_set_words(Words::kilo(kw))
+                .fb_cross_set_access(cross_set)
+                .build(),
+        );
+    }
+    for (name, app, parts) in groups {
+        let mut w = SweepWorkload::new(name, app);
+        for (pname, sched) in parts {
+            w = w.partition(pname, sched);
+        }
+        spec = spec.workload(w);
+    }
+    spec
 }

@@ -9,7 +9,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use mcds_fballoc::{render_peak_map, AllocError, AllocHandle, Direction, FbAllocator, PlacementMemory};
+use mcds_fballoc::{
+    render_peak_map, AllocError, AllocHandle, Direction, FbAllocator, PlacementMemory,
+};
 use mcds_model::{Application, ClusterId, ClusterSchedule, DataId, Words};
 use serde::{Deserialize, Serialize};
 
@@ -228,7 +230,14 @@ impl<'a> AllocationWalk<'a> {
         held.sort_by_key(|cand| std::cmp::Reverse(cand.last()));
         for cand in held {
             let d = cand.data();
-            state.alloc_instances(self.app, si, d, iters, Direction::FromUpper, PlacementRole::SharedData)?;
+            state.alloc_instances(
+                self.app,
+                si,
+                d,
+                iters,
+                Direction::FromUpper,
+                PlacementRole::SharedData,
+            )?;
             done.insert(d);
         }
 
@@ -245,7 +254,14 @@ impl<'a> AllocationWalk<'a> {
                     // other set, with cross-set access).
                     continue;
                 }
-                state.alloc_instances(self.app, si, d, iters, Direction::FromUpper, PlacementRole::KernelData)?;
+                state.alloc_instances(
+                    self.app,
+                    si,
+                    d,
+                    iters,
+                    Direction::FromUpper,
+                    PlacementRole::KernelData,
+                )?;
             }
         }
 
@@ -271,7 +287,11 @@ impl<'a> AllocationWalk<'a> {
                         if self.lifetimes.last_use_in(c, d) != Some(pos) {
                             continue;
                         }
-                        if self.retention.release_after(d, set).is_some_and(|rel| rel > c) {
+                        if self
+                            .retention
+                            .release_after(d, set)
+                            .is_some_and(|rel| rel > c)
+                        {
                             continue; // retained for a later cluster
                         }
                         state.free_instance(si, d, slot)?;
@@ -286,7 +306,11 @@ impl<'a> AllocationWalk<'a> {
         //     released; retained objects whose last consumer was `c`
         //     are released too.
         for &d in self.lifetimes.stores(c) {
-            if self.retention.release_after(d, set).is_some_and(|rel| rel > c) {
+            if self
+                .retention
+                .release_after(d, set)
+                .is_some_and(|rel| rel > c)
+            {
                 continue; // retained result stays resident
             }
             state.make_pending(si, d, iters);
@@ -294,7 +318,11 @@ impl<'a> AllocationWalk<'a> {
         if !replacement {
             // Basic model: inputs and locals die at stage end.
             for &d in self.lifetimes.loads(c) {
-                if self.retention.release_after(d, set).is_some_and(|rel| rel > c) {
+                if self
+                    .retention
+                    .release_after(d, set)
+                    .is_some_and(|rel| rel > c)
+                {
                     continue;
                 }
                 state.free_all_instances(si, d, iters)?;
@@ -393,17 +421,17 @@ impl WalkState {
     ) -> Result<(), AllocError> {
         let size = app.size_of(d);
         let label = format!("{}#{}", app.data_object(d).name(), slot);
-        let alloc = match self.mems[si].alloc(&mut self.fbs[si], (d, slot), label.clone(), size, dir)
-        {
-            Ok(a) => a,
-            Err(AllocError::NoContiguousBlock { .. }) => {
-                // Last resort: split across free blocks.
-                let a = self.fbs[si].alloc_split(label, size, dir)?;
-                self.splits += 1;
-                a
-            }
-            Err(e) => return Err(e),
-        };
+        let alloc =
+            match self.mems[si].alloc(&mut self.fbs[si], (d, slot), label.clone(), size, dir) {
+                Ok(a) => a,
+                Err(AllocError::NoContiguousBlock { .. }) => {
+                    // Last resort: split across free blocks.
+                    let a = self.fbs[si].alloc_split(label, size, dir)?;
+                    self.splits += 1;
+                    a
+                }
+                Err(e) => return Err(e),
+            };
         if self.record {
             self.placements.push(PlacementRecord {
                 round: self.at.0,
@@ -466,7 +494,10 @@ impl WalkState {
             self.fbs[0].stats().split_allocs() + self.fbs[1].stats().split_allocs()
         );
         AllocationReport {
-            peak: [self.fbs[0].stats().peak_used(), self.fbs[1].stats().peak_used()],
+            peak: [
+                self.fbs[0].stats().peak_used(),
+                self.fbs[1].stats().peak_used(),
+            ],
             splits: self.fbs[0].stats().split_allocs() + self.fbs[1].stats().split_allocs(),
             regular_hits: self.mems[0].regular_hits() + self.mems[1].regular_hits(),
             irregular: self.mems[0].irregular_placements() + self.mems[1].irregular_placements(),
@@ -500,7 +531,13 @@ mod tests {
         let lt = Lifetimes::analyze(&app, &sched);
         let ret = RetentionSet::empty();
         let walk = AllocationWalk::new(
-            &app, &sched, &lt, &ret, 2, Words::new(200), FootprintModel::Replacement,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            2,
+            Words::new(200),
+            FootprintModel::Replacement,
         );
         let report = walk.run(3, false).expect("fits");
         assert_eq!(report.splits(), 0);
@@ -515,7 +552,13 @@ mod tests {
         let lt = Lifetimes::analyze(&app, &sched);
         let ret = RetentionSet::empty();
         let walk = AllocationWalk::new(
-            &app, &sched, &lt, &ret, 1, Words::new(30), FootprintModel::Replacement,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            1,
+            Words::new(30),
+            FootprintModel::Replacement,
         );
         assert!(walk.run(1, false).is_err());
     }
@@ -526,7 +569,13 @@ mod tests {
         let lt = Lifetimes::analyze(&app, &sched);
         let ret = RetentionSet::empty();
         let walk = AllocationWalk::new(
-            &app, &sched, &lt, &ret, 2, Words::new(300), FootprintModel::Replacement,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            2,
+            Words::new(300),
+            FootprintModel::Replacement,
         );
         let report = walk.run(3, false).expect("fits");
         // From round 2 on every placement should be regular.
@@ -546,14 +595,19 @@ mod tests {
         let k1 = b.kernel("k1", 1, Cycles::new(10), &[], &[f1]);
         let k2 = b.kernel("k2", 1, Cycles::new(10), &[shared], &[f2]);
         let app = b.iterations(4).build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         let lt = Lifetimes::analyze(&app, &sched);
         let cands = find_candidates(&app, &sched, &lt);
         let ret = select_greedy(&cands, RetentionRanking::Tf, |d| app.size_of(d), |_| true);
         assert!(!ret.is_empty());
         let walk = AllocationWalk::new(
-            &app, &sched, &lt, &ret, 2, Words::new(200), FootprintModel::Replacement,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            2,
+            Words::new(200),
+            FootprintModel::Replacement,
         );
         let report = walk.run(2, false).expect("fits");
         assert_eq!(report.splits(), 0);
@@ -567,7 +621,13 @@ mod tests {
         let lt = Lifetimes::analyze(&app, &sched);
         let ret = RetentionSet::empty();
         let walk = AllocationWalk::new(
-            &app, &sched, &lt, &ret, 1, Words::new(300), FootprintModel::Replacement,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            1,
+            Words::new(300),
+            FootprintModel::Replacement,
         );
         let report = walk.run(1, true).expect("fits");
         let maps = report.maps().expect("traced");

@@ -193,7 +193,10 @@ pub fn generate_program(
             // that is not a produced result is a DMA-in.
             for p in placed.iter().filter(|p| {
                 p.cluster == c
-                    && matches!(p.role, PlacementRole::SharedData | PlacementRole::KernelData)
+                    && matches!(
+                        p.role,
+                        PlacementRole::SharedData | PlacementRole::KernelData
+                    )
             }) {
                 ops.push(CodeOp::DmaIn {
                     data: p.data,
@@ -308,8 +311,7 @@ mod tests {
         let k1 = b.kernel("k1", 32, Cycles::new(100), &[m], &[]);
         let k2 = b.kernel("k2", 32, Cycles::new(100), &[shared], &[f]);
         let app = b.iterations(6).build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         (app, sched, ArchParams::m1())
     }
 
@@ -405,8 +407,18 @@ mod tests {
                         })
                         .sum()
                 };
-                assert_eq!(moved(true), planned_in, "{}: round {round} loads", plan.scheduler());
-                assert_eq!(moved(false), planned_out, "{}: round {round} stores", plan.scheduler());
+                assert_eq!(
+                    moved(true),
+                    planned_in,
+                    "{}: round {round} loads",
+                    plan.scheduler()
+                );
+                assert_eq!(
+                    moved(false),
+                    planned_out,
+                    "{}: round {round} stores",
+                    plan.scheduler()
+                );
             }
         }
     }

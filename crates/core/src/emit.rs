@@ -48,11 +48,7 @@ pub fn emit_ops(
 
         let mut first_deps: Vec<OpId> = Vec::with_capacity(2);
         if stage.context_words() > 0 {
-            first_deps.push(b.load_context(
-                format!("{tag} contexts"),
-                stage.context_words(),
-                &[],
-            ));
+            first_deps.push(b.load_context(format!("{tag} contexts"), stage.context_words(), &[]));
         }
         if !stage.load_words().is_zero() {
             first_deps.push(b.load_data(format!("{tag} data"), set, stage.load_words(), &[]));
@@ -72,13 +68,7 @@ pub fn emit_ops(
                 None => first_deps.clone(),
                 Some(p) => vec![p],
             };
-            prev = Some(b.compute(
-                format!("{tag} {}", kernel.name()),
-                k,
-                set,
-                cycles,
-                &deps,
-            ));
+            prev = Some(b.compute(format!("{tag} {}", kernel.name()), k, set, cycles, &deps));
         }
 
         if !stage.store_words().is_zero() {
@@ -95,7 +85,11 @@ pub fn emit_ops(
 
 /// Total compute cycles of one stage (useful for estimators).
 #[must_use]
-pub fn stage_compute_cycles(app: &Application, sched: &ClusterSchedule, stage: &StagePlan) -> Cycles {
+pub fn stage_compute_cycles(
+    app: &Application,
+    sched: &ClusterSchedule,
+    stage: &StagePlan,
+) -> Cycles {
     sched
         .cluster(stage.cluster())
         .kernels()
@@ -215,8 +209,8 @@ mod tests {
         let f = b.data("f", Words::new(10), DataKind::FinalResult);
         b.kernel("k", 8, Cycles::new(50), &[a], &[f]);
         let app5 = b.iterations(5).build().expect("valid");
-        let sched5 = ClusterSchedule::new(&app5, vec![vec![mcds_model::KernelId::new(0)]])
-            .expect("valid");
+        let sched5 =
+            ClusterSchedule::new(&app5, vec![vec![mcds_model::KernelId::new(0)]]).expect("valid");
         let lt = Lifetimes::analyze(&app5, &sched5);
         let stages = build_stages(&app5, &sched5, &lt, &RetentionSet::empty(), 2, &[8u32; 3]);
         let ops = emit_ops(&app5, &sched5, &stages).expect("valid");

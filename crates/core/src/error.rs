@@ -80,9 +80,117 @@ impl From<AllocError> for ScheduleError {
     }
 }
 
+/// The workspace-wide error type: everything a [`Pipeline`] run or a
+/// design-space sweep can fail with, unified so callers handle one
+/// `Result` instead of per-stage error types.
+///
+/// Stage errors convert in via `From` ([`ScheduleError`],
+/// [`ModelError`], [`SimError`], [`AllocError`], `std::io::Error`;
+/// `mcds_ksched::KschedError` converts through the [`Clustering`]
+/// variant via an impl in `mcds-ksched`).
+///
+/// [`Pipeline`]: crate::Pipeline
+/// [`Clustering`]: McdsError::Clustering
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum McdsError {
+    /// Data scheduling or evaluation failed.
+    Schedule(ScheduleError),
+    /// Cluster formation (kernel scheduling) failed.
+    Clustering(Box<dyn Error + Send + Sync>),
+    /// The request itself is malformed (unknown scheduler name, empty
+    /// sweep grid, …).
+    Spec(String),
+    /// Reading or writing an artifact failed.
+    Io(std::io::Error),
+}
+
+impl McdsError {
+    /// Wraps a cluster-formation error.
+    pub fn clustering(e: impl Error + Send + Sync + 'static) -> Self {
+        McdsError::Clustering(Box::new(e))
+    }
+
+    /// A malformed-request error.
+    pub fn spec(msg: impl Into<String>) -> Self {
+        McdsError::Spec(msg.into())
+    }
+}
+
+impl fmt::Display for McdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McdsError::Schedule(e) => write!(f, "{e}"),
+            McdsError::Clustering(e) => write!(f, "kernel scheduling failed: {e}"),
+            McdsError::Spec(msg) => write!(f, "invalid request: {msg}"),
+            McdsError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for McdsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            McdsError::Schedule(e) => Some(e),
+            McdsError::Clustering(e) => Some(e.as_ref()),
+            McdsError::Spec(_) => None,
+            McdsError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ScheduleError> for McdsError {
+    fn from(e: ScheduleError) -> Self {
+        McdsError::Schedule(e)
+    }
+}
+
+impl From<ModelError> for McdsError {
+    fn from(e: ModelError) -> Self {
+        McdsError::Schedule(ScheduleError::Model(e))
+    }
+}
+
+impl From<SimError> for McdsError {
+    fn from(e: SimError) -> Self {
+        McdsError::Schedule(ScheduleError::Sim(e))
+    }
+}
+
+impl From<AllocError> for McdsError {
+    fn from(e: AllocError) -> Self {
+        McdsError::Schedule(ScheduleError::Alloc(e))
+    }
+}
+
+impl From<std::io::Error> for McdsError {
+    fn from(e: std::io::Error) -> Self {
+        McdsError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unified_error_wraps_and_sources() {
+        let s: McdsError = ModelError::NoKernels.into();
+        assert!(matches!(s, McdsError::Schedule(ScheduleError::Model(_))));
+        assert!(s.source().is_some());
+        assert!(s.to_string().contains("no kernels"));
+
+        let c = McdsError::clustering(ModelError::NoKernels);
+        assert!(c.to_string().contains("kernel scheduling failed"));
+        assert!(c.source().is_some());
+
+        let spec = McdsError::spec("unknown scheduler `dds`");
+        assert!(spec.to_string().contains("unknown scheduler"));
+        assert!(spec.source().is_none());
+
+        let io: McdsError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
 
     #[test]
     fn display_and_source() {

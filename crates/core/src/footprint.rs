@@ -200,9 +200,10 @@ pub fn all_fit(
     model: FootprintModel,
     fbs: Words,
 ) -> bool {
-    sched.clusters().iter().all(|cl| {
-        cluster_peak(app, sched, lifetimes, retention, cl.id(), rf, model) <= fbs
-    })
+    sched
+        .clusters()
+        .iter()
+        .all(|cl| cluster_peak(app, sched, lifetimes, retention, cl.id(), rf, model) <= fbs)
 }
 
 #[cfg(test)]
@@ -236,7 +237,12 @@ mod tests {
         // Step k0: a(dies after) + b + m = 35.
         // Step k1: b + m + fin = 33.
         let peak = cluster_peak(
-            &app, &sched, &lt, &ret, ClusterId::new(0), 1,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            ClusterId::new(0),
+            1,
             FootprintModel::Replacement,
         );
         assert_eq!(peak, Words::new(35));
@@ -248,12 +254,27 @@ mod tests {
         let lt = Lifetimes::analyze(&app, &sched);
         let ret = RetentionSet::empty();
         let peak = cluster_peak(
-            &app, &sched, &lt, &ret, ClusterId::new(0), 1,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            ClusterId::new(0),
+            1,
             FootprintModel::NoReplacement,
         );
         // 10 + 5 + 20 + 8.
         assert_eq!(peak, Words::new(43));
-        assert!(peak >= cluster_peak(&app, &sched, &lt, &ret, ClusterId::new(0), 1, FootprintModel::Replacement));
+        assert!(
+            peak >= cluster_peak(
+                &app,
+                &sched,
+                &lt,
+                &ret,
+                ClusterId::new(0),
+                1,
+                FootprintModel::Replacement
+            )
+        );
     }
 
     #[test]
@@ -263,7 +284,15 @@ mod tests {
         let ret = RetentionSet::empty();
         assert_eq!(
             ds_formula(&app, &sched, &lt, ClusterId::new(0)),
-            cluster_peak(&app, &sched, &lt, &ret, ClusterId::new(0), 1, FootprintModel::Replacement)
+            cluster_peak(
+                &app,
+                &sched,
+                &lt,
+                &ret,
+                ClusterId::new(0),
+                1,
+                FootprintModel::Replacement
+            )
         );
     }
 
@@ -304,11 +333,9 @@ mod tests {
         let k3 = b.kernel("k3", 1, Cycles::new(10), &[x1], &[f3]);
         let k4 = b.kernel("k4", 1, Cycles::new(10), &[shared], &[f4]);
         let app = b.build().expect("valid");
-        let sched = ClusterSchedule::new(
-            &app,
-            vec![vec![k0], vec![k1], vec![k2], vec![k3], vec![k4]],
-        )
-        .expect("valid");
+        let sched =
+            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2], vec![k3], vec![k4]])
+                .expect("valid");
         let lt = Lifetimes::analyze(&app, &sched);
         let cands = find_candidates(&app, &sched, &lt);
         // `shared` qualifies on set 0; `x1` (used by C1 and C3)
@@ -317,18 +344,33 @@ mod tests {
         let ret = select_greedy(&cands, RetentionRanking::Tf, |d| app.size_of(d), |_| true);
 
         let c2_without = cluster_peak(
-            &app, &sched, &lt, &RetentionSet::empty(), ClusterId::new(2), 1,
+            &app,
+            &sched,
+            &lt,
+            &RetentionSet::empty(),
+            ClusterId::new(2),
+            1,
             FootprintModel::Replacement,
         );
         let c2_with = cluster_peak(
-            &app, &sched, &lt, &ret, ClusterId::new(2), 1,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            ClusterId::new(2),
+            1,
             FootprintModel::Replacement,
         );
         assert_eq!(c2_with, c2_without + Words::new(100), "passthrough charged");
 
         // C1/C3 are on set 1: unaffected.
         let c1_with = cluster_peak(
-            &app, &sched, &lt, &ret, ClusterId::new(1), 1,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            ClusterId::new(1),
+            1,
             FootprintModel::Replacement,
         );
         assert_eq!(c1_with, Words::new(2));
@@ -336,7 +378,12 @@ mod tests {
         // C0 keeps `shared` alive to the end (it normally would anyway,
         // since k0 is its only kernel). C4 releases it after use.
         let c0_with = cluster_peak(
-            &app, &sched, &lt, &ret, ClusterId::new(0), 1,
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            ClusterId::new(0),
+            1,
             FootprintModel::Replacement,
         );
         assert_eq!(c0_with, Words::new(101));
@@ -369,7 +416,12 @@ mod tests {
 
         let c0 = ClusterId::new(0);
         let without = cluster_peak(
-            &app, &sched, &lt, &RetentionSet::empty(), c0, 1,
+            &app,
+            &sched,
+            &lt,
+            &RetentionSet::empty(),
+            c0,
+            1,
             FootprintModel::Replacement,
         );
         // All inputs are loaded up front, so the peak without retention
@@ -387,8 +439,24 @@ mod tests {
         let (app, sched) = two_kernel();
         let lt = Lifetimes::analyze(&app, &sched);
         let ret = RetentionSet::empty();
-        assert!(all_fit(&app, &sched, &lt, &ret, 1, FootprintModel::Replacement, Words::new(35)));
-        assert!(!all_fit(&app, &sched, &lt, &ret, 1, FootprintModel::Replacement, Words::new(34)));
+        assert!(all_fit(
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            1,
+            FootprintModel::Replacement,
+            Words::new(35)
+        ));
+        assert!(!all_fit(
+            &app,
+            &sched,
+            &lt,
+            &ret,
+            1,
+            FootprintModel::Replacement,
+            Words::new(34)
+        ));
     }
 
     #[test]
@@ -412,7 +480,12 @@ mod tests {
         assert_eq!(
             ds_formula(&app, &sched, &lt, ClusterId::new(0)),
             cluster_peak(
-                &app, &sched, &lt, &RetentionSet::empty(), ClusterId::new(0), 1,
+                &app,
+                &sched,
+                &lt,
+                &RetentionSet::empty(),
+                ClusterId::new(0),
+                1,
                 FootprintModel::Replacement
             )
         );

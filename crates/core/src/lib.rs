@@ -66,11 +66,13 @@
 #![warn(missing_docs)]
 
 mod alloc_walk;
+mod analysis;
 mod codegen;
 mod emit;
 mod error;
 mod footprint;
 mod lifetime;
+mod pipeline;
 mod plan;
 mod report;
 mod retention;
@@ -79,11 +81,15 @@ mod scheduler;
 mod sharing;
 
 pub use alloc_walk::{AllocationReport, AllocationWalk, PlacementRecord, PlacementRole};
+pub use analysis::ScheduleAnalysis;
 pub use codegen::{generate_program, CodeOp, CodeOpDisplay, TransferProgram};
 pub use emit::{emit_ops, stage_compute_cycles};
-pub use error::ScheduleError;
+pub use error::{McdsError, ScheduleError};
 pub use footprint::{all_fit, cluster_peak, ds_formula, FootprintModel};
 pub use lifetime::Lifetimes;
+pub use pipeline::{
+    ClusterProvider, Pipeline, PipelineComparison, PipelineRun, SchedulerKind, SingletonClusters,
+};
 pub use plan::{build_stages, SchedulePlan, StagePlan};
 pub use report::{table_header, Comparison, ExperimentRow};
 pub use retention::{select_greedy, RetentionRanking, RetentionSet};

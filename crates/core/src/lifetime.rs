@@ -61,7 +61,11 @@ impl Lifetimes {
                 producer_pos[d.id().index()] =
                     Some(sched.cluster(pc).position(p).expect("producer in cluster"));
             }
-            let mut cs: Vec<ClusterId> = df.consumers(d.id()).iter().map(|&k| cluster_of(k)).collect();
+            let mut cs: Vec<ClusterId> = df
+                .consumers(d.id())
+                .iter()
+                .map(|&k| cluster_of(k))
+                .collect();
             cs.sort_unstable();
             cs.dedup();
             consumer_clusters[d.id().index()] = cs;

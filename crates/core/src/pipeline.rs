@@ -1,0 +1,417 @@
+//! The end-to-end scheduling pipeline behind one facade.
+//!
+//! Every consumer used to hand-wire the same four stages: pick a
+//! cluster schedule (kernel scheduling), plan data movement
+//! ([`DataScheduler`]), and evaluate the plan on the simulator.
+//! [`Pipeline`] owns that wiring:
+//!
+//! ```
+//! use mcds_core::{Pipeline, SchedulerKind};
+//! use mcds_model::{ApplicationBuilder, Cycles, DataKind, Words};
+//!
+//! # fn main() -> Result<(), mcds_core::McdsError> {
+//! let mut b = ApplicationBuilder::new("pipe");
+//! let a = b.data("a", Words::new(64), DataKind::ExternalInput);
+//! let f = b.data("f", Words::new(32), DataKind::FinalResult);
+//! b.kernel("k", 16, Cycles::new(200), &[a], &[f]);
+//! let app = b.iterations(16).build()?;
+//!
+//! let run = Pipeline::new(app).scheduler(SchedulerKind::Ds).run()?;
+//! assert_eq!(run.plan().scheduler(), "ds");
+//! assert!(run.report().total().get() > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Cluster formation is pluggable through [`ClusterProvider`]: pass a
+//! fixed [`ClusterSchedule`], the default [`SingletonClusters`], or a
+//! search-based provider such as `mcds_ksched::KernelScheduler`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mcds_model::{Application, ArchParams, ClusterSchedule};
+use mcds_sim::SimReport;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    evaluate, BasicScheduler, CdsScheduler, Comparison, DataScheduler, DsScheduler, ExperimentRow,
+    McdsError, ScheduleAnalysis, SchedulePlan, SchedulerConfig,
+};
+
+/// A cluster-formation strategy: anything that can turn an application
+/// into a [`ClusterSchedule`] for a given architecture.
+///
+/// Implemented by [`ClusterSchedule`] itself (a fixed schedule), by
+/// [`SingletonClusters`], and by `mcds_ksched::KernelScheduler` (the
+/// design-space search of Maestre et al.).
+pub trait ClusterProvider {
+    /// Produces the cluster schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`McdsError::Clustering`] (or a model error) when no valid
+    /// schedule exists under `arch`.
+    fn clusters(&self, app: &Application, arch: &ArchParams) -> Result<ClusterSchedule, McdsError>;
+}
+
+impl ClusterProvider for ClusterSchedule {
+    fn clusters(
+        &self,
+        _app: &Application,
+        _arch: &ArchParams,
+    ) -> Result<ClusterSchedule, McdsError> {
+        Ok(self.clone())
+    }
+}
+
+/// The trivial provider: one cluster per kernel, in declaration order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingletonClusters;
+
+impl ClusterProvider for SingletonClusters {
+    fn clusters(
+        &self,
+        app: &Application,
+        _arch: &ArchParams,
+    ) -> Result<ClusterSchedule, McdsError> {
+        Ok(ClusterSchedule::singletons(app)?)
+    }
+}
+
+/// Which data scheduler a [`Pipeline`] (or sweep point) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SchedulerKind {
+    /// The Basic Scheduler (DATE 2000 baseline).
+    Basic,
+    /// The Data Scheduler (ISSS 2001).
+    Ds,
+    /// The Complete Data Scheduler — the paper's contribution.
+    Cds,
+}
+
+impl SchedulerKind {
+    /// All three schedulers, in baseline-to-best order.
+    pub const ALL: [SchedulerKind; 3] =
+        [SchedulerKind::Basic, SchedulerKind::Ds, SchedulerKind::Cds];
+
+    /// The scheduler's short name (`basic` / `ds` / `cds`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Basic => "basic",
+            SchedulerKind::Ds => "ds",
+            SchedulerKind::Cds => "cds",
+        }
+    }
+
+    /// Instantiates the scheduler with `config`.
+    #[must_use]
+    pub fn instantiate(self, config: SchedulerConfig) -> Box<dyn DataScheduler + Send + Sync> {
+        match self {
+            SchedulerKind::Basic => Box::new(BasicScheduler::with_config(config)),
+            SchedulerKind::Ds => Box::new(DsScheduler::with_config(config)),
+            SchedulerKind::Cds => Box::new(CdsScheduler::with_config(config)),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SchedulerKind {
+    type Err = McdsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "basic" => Ok(SchedulerKind::Basic),
+            "ds" => Ok(SchedulerKind::Ds),
+            "cds" => Ok(SchedulerKind::Cds),
+            other => Err(McdsError::spec(format!(
+                "unknown scheduler `{other}` (expected basic, ds, or cds)"
+            ))),
+        }
+    }
+}
+
+/// The unified facade: application → clustering → data scheduler →
+/// architecture, with [`run`](Pipeline::run) /
+/// [`compare`](Pipeline::compare) executing the whole chain.
+///
+/// Defaults: M1 architecture, singleton clusters, the CDS, default
+/// [`SchedulerConfig`].
+pub struct Pipeline {
+    app: Application,
+    arch: ArchParams,
+    config: SchedulerConfig,
+    scheduler: SchedulerKind,
+    clustering: Box<dyn ClusterProvider + Send + Sync>,
+}
+
+impl Pipeline {
+    /// Starts a pipeline over `app` with the defaults above.
+    #[must_use]
+    pub fn new(app: Application) -> Self {
+        Pipeline {
+            app,
+            arch: ArchParams::m1(),
+            config: SchedulerConfig::default(),
+            scheduler: SchedulerKind::Cds,
+            clustering: Box::new(SingletonClusters),
+        }
+    }
+
+    /// Sets the target architecture.
+    #[must_use]
+    pub fn arch(mut self, arch: ArchParams) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Sets the scheduler configuration.
+    #[must_use]
+    pub fn config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Picks the data scheduler [`run`](Pipeline::run) executes.
+    #[must_use]
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Plugs in a cluster-formation strategy.
+    #[must_use]
+    pub fn clustering(mut self, provider: impl ClusterProvider + Send + Sync + 'static) -> Self {
+        self.clustering = Box::new(provider);
+        self
+    }
+
+    /// Uses a fixed, pre-built cluster schedule.
+    #[must_use]
+    pub fn schedule(self, sched: ClusterSchedule) -> Self {
+        self.clustering(sched)
+    }
+
+    /// The application under schedule.
+    #[must_use]
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The target architecture.
+    #[must_use]
+    pub fn arch_params(&self) -> &ArchParams {
+        &self.arch
+    }
+
+    /// Resolves the cluster schedule without planning.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the [`ClusterProvider`] reports.
+    pub fn resolve_clusters(&self) -> Result<ClusterSchedule, McdsError> {
+        self.clustering.clusters(&self.app, &self.arch)
+    }
+
+    /// Runs the chain up to planning: clustering and data scheduling,
+    /// but no simulation. The plan-cost benchmarks use this.
+    ///
+    /// # Errors
+    ///
+    /// Clustering or planning errors, unified as [`McdsError`].
+    pub fn plan(&self) -> Result<SchedulePlan, McdsError> {
+        let schedule = self.resolve_clusters()?;
+        let analysis = ScheduleAnalysis::new(&self.app, &schedule);
+        let scheduler = self.scheduler.instantiate(self.config);
+        Ok(scheduler.plan_with_analysis(&self.app, &schedule, &self.arch, &analysis)?)
+    }
+
+    /// Runs the full chain with the selected scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Clustering, planning, or evaluation errors, unified as
+    /// [`McdsError`].
+    pub fn run(&self) -> Result<PipelineRun, McdsError> {
+        let schedule = self.resolve_clusters()?;
+        let analysis = ScheduleAnalysis::new(&self.app, &schedule);
+        let scheduler = self.scheduler.instantiate(self.config);
+        let plan = scheduler.plan_with_analysis(&self.app, &schedule, &self.arch, &analysis)?;
+        let report = evaluate(&plan, &self.arch)?;
+        Ok(PipelineRun {
+            schedule,
+            plan,
+            report,
+        })
+    }
+
+    /// Runs all three schedulers over one resolved cluster schedule
+    /// (sharing one [`ScheduleAnalysis`]) and condenses the outcome
+    /// into a Table-1 row named after the application.
+    ///
+    /// # Errors
+    ///
+    /// Clustering errors only — per-scheduler failures (e.g. Basic
+    /// infeasible at small memories) are captured inside the
+    /// [`Comparison`].
+    pub fn compare(&self) -> Result<PipelineComparison, McdsError> {
+        let schedule = self.resolve_clusters()?;
+        let comparison = Comparison::run_with(&self.app, &schedule, &self.arch, self.config);
+        let row = comparison.to_row(self.app.name(), &self.app, &schedule, &self.arch);
+        Ok(PipelineComparison {
+            schedule,
+            comparison,
+            row,
+        })
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    // Hand-written: the boxed `dyn ClusterProvider` has no Debug.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("app", &self.app.name())
+            .field("scheduler", &self.scheduler)
+            .field("arch", &self.arch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A completed single-scheduler pipeline run.
+#[derive(Debug)]
+pub struct PipelineRun {
+    schedule: ClusterSchedule,
+    plan: SchedulePlan,
+    report: SimReport,
+}
+
+impl PipelineRun {
+    /// The cluster schedule the run used.
+    #[must_use]
+    pub fn schedule(&self) -> &ClusterSchedule {
+        &self.schedule
+    }
+
+    /// The data-movement plan.
+    #[must_use]
+    pub fn plan(&self) -> &SchedulePlan {
+        &self.plan
+    }
+
+    /// The simulation report.
+    #[must_use]
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Decomposes into (schedule, plan, report).
+    #[must_use]
+    pub fn into_parts(self) -> (ClusterSchedule, SchedulePlan, SimReport) {
+        (self.schedule, self.plan, self.report)
+    }
+}
+
+/// A completed three-scheduler comparison run.
+#[derive(Debug)]
+pub struct PipelineComparison {
+    schedule: ClusterSchedule,
+    comparison: Comparison,
+    row: ExperimentRow,
+}
+
+impl PipelineComparison {
+    /// The cluster schedule all three schedulers used.
+    #[must_use]
+    pub fn schedule(&self) -> &ClusterSchedule {
+        &self.schedule
+    }
+
+    /// Per-scheduler plans and reports.
+    #[must_use]
+    pub fn comparison(&self) -> &Comparison {
+        &self.comparison
+    }
+
+    /// The condensed Table-1 row.
+    #[must_use]
+    pub fn row(&self) -> &ExperimentRow {
+        &self.row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_model::{ApplicationBuilder, Cycles, DataKind, Words};
+
+    fn app() -> Application {
+        let mut b = ApplicationBuilder::new("px");
+        let a = b.data("a", Words::new(64), DataKind::ExternalInput);
+        let m = b.data("m", Words::new(32), DataKind::Intermediate);
+        let f = b.data("f", Words::new(32), DataKind::FinalResult);
+        let k0 = b.kernel("k0", 16, Cycles::new(100), &[a], &[m]);
+        b.kernel("k1", 16, Cycles::new(100), &[a, m], &[f]);
+        let _ = k0;
+        b.iterations(8).build().expect("valid")
+    }
+
+    #[test]
+    fn run_matches_direct_wiring() {
+        let application = app();
+        let sched = ClusterSchedule::singletons(&application).expect("valid");
+        let arch = ArchParams::m1();
+        let direct = DsScheduler::new()
+            .plan(&application, &sched, &arch)
+            .expect("fits");
+        let direct_total = evaluate(&direct, &arch).expect("runs").total();
+
+        let run = Pipeline::new(application)
+            .scheduler(SchedulerKind::Ds)
+            .run()
+            .expect("pipeline runs");
+        assert_eq!(run.plan().scheduler(), "ds");
+        assert_eq!(run.plan().rf(), direct.rf());
+        assert_eq!(run.report().total(), direct_total);
+        assert_eq!(run.schedule(), &sched);
+    }
+
+    #[test]
+    fn compare_produces_row() {
+        let cmp = Pipeline::new(app()).compare().expect("clusters");
+        assert!(cmp.comparison().basic.is_ok());
+        assert_eq!(cmp.row().name, "px");
+        assert_eq!(cmp.row().n_clusters, cmp.schedule().len());
+        let d = cmp.comparison().ds_improvement().expect("both ran");
+        assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn fixed_schedule_is_respected() {
+        let application = app();
+        let k: Vec<_> = application.kernels().iter().map(|k| k.id()).collect();
+        let fused = ClusterSchedule::new(&application, vec![vec![k[0], k[1]]]).expect("valid");
+        let run = Pipeline::new(application)
+            .schedule(fused.clone())
+            .scheduler(SchedulerKind::Basic)
+            .run()
+            .expect("fits");
+        assert_eq!(run.schedule(), &fused);
+        assert_eq!(run.schedule().len(), 1);
+    }
+
+    #[test]
+    fn scheduler_kind_parses_and_prints() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(kind.name().parse::<SchedulerKind>().expect("parses"), kind);
+        }
+        let err = "dds".parse::<SchedulerKind>().unwrap_err();
+        assert!(err.to_string().contains("unknown scheduler"));
+    }
+}

@@ -84,7 +84,8 @@ pub fn build_stages(
     assert!(rf >= 1, "rf must be at least 1");
     let n = app.iterations();
     let rounds = n.div_ceil(rf);
-    let mut stages = Vec::with_capacity(usize::try_from(rounds).expect("rounds fit usize") * sched.len());
+    let mut stages =
+        Vec::with_capacity(usize::try_from(rounds).expect("rounds fit usize") * sched.len());
     let mut stage_idx = 0usize;
     for round in 0..rounds {
         let iters = rf.min(n - round * rf);
@@ -202,7 +203,10 @@ impl SchedulePlan {
     /// Total context words transferred over the whole execution.
     #[must_use]
     pub fn total_context_words(&self) -> u64 {
-        self.stages.iter().map(|s| u64::from(s.context_words())).sum()
+        self.stages
+            .iter()
+            .map(|s| u64::from(s.context_words()))
+            .sum()
     }
 }
 
@@ -222,8 +226,7 @@ mod tests {
         let k1 = b.kernel("k1", 1, Cycles::new(10), &[], &[f1]);
         let k2 = b.kernel("k2", 1, Cycles::new(10), &[shared], &[f2]);
         let app = b.iterations(10).build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         (app, sched)
     }
 
@@ -285,8 +288,7 @@ mod tests {
         let k1 = b.kernel("k1", 1, Cycles::new(10), &[a], &[f1]);
         let k2 = b.kernel("k2", 1, Cycles::new(10), &[r], &[f2]);
         let app = b.iterations(4).build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         let lt = Lifetimes::analyze(&app, &sched);
         let cands = find_candidates(&app, &sched, &lt);
         let ret = select_greedy(&cands, RetentionRanking::Tf, |d| app.size_of(d), |_| true);

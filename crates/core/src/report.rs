@@ -7,12 +7,13 @@ use mcds_sim::SimReport;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, ScheduleError,
-    SchedulePlan,
+    evaluate, DataScheduler, ScheduleAnalysis, ScheduleError, SchedulePlan, SchedulerConfig,
+    SchedulerKind,
 };
 
 /// The outcome of running all three schedulers on one experiment.
 #[derive(Debug)]
+#[non_exhaustive]
 pub struct Comparison {
     /// The Basic Scheduler's result, or the reason it could not run.
     pub basic: Result<(SchedulePlan, SimReport), ScheduleError>,
@@ -26,15 +27,28 @@ impl Comparison {
     /// Plans and simulates all three schedulers.
     #[must_use]
     pub fn run(app: &Application, sched: &ClusterSchedule, arch: &ArchParams) -> Self {
+        Comparison::run_with(app, sched, arch, SchedulerConfig::default())
+    }
+
+    /// Plans and simulates all three schedulers with an explicit
+    /// configuration, sharing one [`ScheduleAnalysis`] across them.
+    #[must_use]
+    pub fn run_with(
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        config: SchedulerConfig,
+    ) -> Self {
+        let analysis = ScheduleAnalysis::new(app, sched);
         let go = |s: &dyn DataScheduler| -> Result<(SchedulePlan, SimReport), ScheduleError> {
-            let plan = s.plan(app, sched, arch)?;
+            let plan = s.plan_with_analysis(app, sched, arch, &analysis)?;
             let report = evaluate(&plan, arch)?;
             Ok((plan, report))
         };
         Comparison {
-            basic: go(&BasicScheduler::new()),
-            ds: go(&DsScheduler::new()),
-            cds: go(&CdsScheduler::new()),
+            basic: go(SchedulerKind::Basic.instantiate(config).as_ref()),
+            ds: go(SchedulerKind::Ds.instantiate(config).as_ref()),
+            cds: go(SchedulerKind::Cds.instantiate(config).as_ref()),
         }
     }
 
@@ -89,6 +103,7 @@ impl Comparison {
 /// One row of the paper's Table 1: experiment parameters plus measured
 /// improvements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct ExperimentRow {
     /// Experiment name (`E1`, `MPEG*`, `ATR-SLD**`, …).
     pub name: String,
@@ -113,6 +128,37 @@ pub struct ExperimentRow {
 }
 
 impl ExperimentRow {
+    /// Builds a row from already-measured values (the struct is
+    /// `#[non_exhaustive]`, so external producers — e.g. the sweep
+    /// engine — construct rows through this).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        n_clusters: usize,
+        max_kernels: usize,
+        data_per_iter: Words,
+        dt_avoided: Words,
+        rf: u64,
+        fb_set: Words,
+        basic_feasible: bool,
+        ds_improvement: Option<f64>,
+        cds_improvement: Option<f64>,
+    ) -> Self {
+        ExperimentRow {
+            name: name.into(),
+            n_clusters,
+            max_kernels,
+            data_per_iter,
+            dt_avoided,
+            rf,
+            fb_set,
+            basic_feasible,
+            ds_improvement,
+            cds_improvement,
+        }
+    }
+
     /// Formats an improvement as a percentage, `-` when unavailable.
     fn pct(v: Option<f64>) -> String {
         v.map_or_else(|| "-".to_owned(), |x| format!("{:.0}%", x * 100.0))
@@ -172,7 +218,9 @@ mod tests {
         assert!(cmp.ds.is_ok());
         assert!(cmp.cds.is_ok());
         assert!(cmp.ds_improvement().expect("both ran") >= 0.0);
-        assert!(cmp.cds_improvement().expect("both ran") >= cmp.ds_improvement().expect("ran") - 1e-9);
+        assert!(
+            cmp.cds_improvement().expect("both ran") >= cmp.ds_improvement().expect("ran") - 1e-9
+        );
     }
 
     #[test]
@@ -208,7 +256,7 @@ mod tests {
         let app = b.iterations(4).build().expect("valid");
         let sched = ClusterSchedule::new(&app, vec![vec![k0, k1]]).expect("valid");
         let arch = ArchParams::m1(); // 1K: basic needs 1000... adjust below
-        // basic footprint = 400+400+200 = 1000 <= 1024; shrink FB.
+                                     // basic footprint = 400+400+200 = 1000 <= 1024; shrink FB.
         let arch = arch.to_builder().fb_set_words(Words::new(900)).build();
         let cmp = Comparison::run(&app, &sched, &arch);
         assert!(cmp.basic.is_err());

@@ -58,7 +58,8 @@ impl RetentionSet {
             store_avoided: true,
         } = candidate.kind()
         {
-            self.skip_store.insert((candidate.holder(), candidate.data()));
+            self.skip_store
+                .insert((candidate.holder(), candidate.data()));
         }
         self.interval.insert(
             (candidate.data(), candidate.set()),
@@ -74,7 +75,8 @@ impl RetentionSet {
         for &c in candidate.skippers() {
             self.skip_load.remove(&(c, candidate.data()));
         }
-        self.skip_store.remove(&(candidate.holder(), candidate.data()));
+        self.skip_store
+            .remove(&(candidate.holder(), candidate.data()));
         self.interval.remove(&(candidate.data(), candidate.set()));
         Some(candidate)
     }
@@ -236,8 +238,7 @@ mod tests {
         let k1 = b.kernel("k1", 1, Cycles::new(10), &[], &[f1]);
         let k2 = b.kernel("k2", 1, Cycles::new(10), &[big, small], &[f2]);
         let app = b.build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         (app, sched)
     }
 
@@ -316,14 +317,13 @@ mod tests {
         let cands = find_candidates(&app, &sched, &lt);
         let set = select_greedy(&cands, RetentionRanking::Tf, |d| app.size_of(d), |_| true);
         // Cluster 1 is on the other set: nothing passes through it.
-        let pt1 = set.passthrough_words(&sched, ClusterId::new(1), |d| app.size_of(d), |_, _| false);
+        let pt1 =
+            set.passthrough_words(&sched, ClusterId::new(1), |d| app.size_of(d), |_, _| false);
         assert_eq!(pt1, Words::ZERO);
         // A hypothetical same-set cluster between holder and last that
         // does not use the data would be charged. Cluster 2 *uses* both
         // retained objects, so nothing is passthrough there either.
-        let uses = |c: ClusterId, d: DataId| {
-            lt.loads(c).contains(&d)
-        };
+        let uses = |c: ClusterId, d: DataId| lt.loads(c).contains(&d);
         let pt2 = set.passthrough_words(&sched, ClusterId::new(2), |d| app.size_of(d), uses);
         assert_eq!(pt2, Words::ZERO);
         // If cluster 2 claimed not to use them, they would be charged.
@@ -346,8 +346,18 @@ mod tests {
         let mut kernels = Vec::new();
         for i in 0..5u32 {
             let f = b.data(format!("f{i}"), Words::new(1), DataKind::FinalResult);
-            let inputs = if i == 0 || i == 3 { vec![shared] } else { vec![x] };
-            kernels.push(vec![b.kernel(format!("k{i}"), 1, Cycles::new(10), &inputs, &[f])]);
+            let inputs = if i == 0 || i == 3 {
+                vec![shared]
+            } else {
+                vec![x]
+            };
+            kernels.push(vec![b.kernel(
+                format!("k{i}"),
+                1,
+                Cycles::new(10),
+                &inputs,
+                &[f],
+            )]);
         }
         let app = b.build().expect("valid");
         let sched = ClusterSchedule::new(&app, kernels).expect("valid");
@@ -383,7 +393,10 @@ mod tests {
         assert!(!set.skips_load(ClusterId::new(0), DataId::new(0)));
         assert!(!set.skips_store(ClusterId::new(0), DataId::new(0)));
         assert!(!set.is_retained(DataId::new(0)));
-        assert_eq!(set.release_after(DataId::new(0), mcds_model::FbSet::Set0), None);
+        assert_eq!(
+            set.release_after(DataId::new(0), mcds_model::FbSet::Set0),
+            None
+        );
         assert_eq!(set.avoided_per_iter(), Words::ZERO);
     }
 

@@ -8,12 +8,13 @@ use serde::{Deserialize, Serialize};
 use crate::emit::emit_ops;
 use crate::plan::build_stages;
 use crate::{
-    all_fit, cluster_peak, find_candidates_with, max_common_rf, select_greedy, AllocationWalk,
-    FootprintModel, Lifetimes, RetentionRanking, RetentionSet, ScheduleError, SchedulePlan,
+    all_fit, select_greedy, AllocationWalk, FootprintModel, RetentionRanking, RetentionSet,
+    ScheduleAnalysis, ScheduleError, SchedulePlan,
 };
 
 /// How context loads are planned per stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum ContextPolicy {
     /// Every cluster activation reloads its contexts — the model of the
     /// paper ("their contexts may be loaded to CM n times; … with
@@ -29,6 +30,7 @@ pub enum ContextPolicy {
 /// Tunable knobs shared by the schedulers (primarily for the ablation
 /// benches; the defaults reproduce the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SchedulerConfig {
     /// Context load planning policy.
     pub context_policy: ContextPolicy,
@@ -37,6 +39,36 @@ pub struct SchedulerConfig {
     pub max_rf: Option<u64>,
     /// Candidate ordering for retention selection.
     pub retention_ranking: RetentionRanking,
+}
+
+impl SchedulerConfig {
+    /// The default configuration (reproduces the paper).
+    #[must_use]
+    pub fn new() -> Self {
+        SchedulerConfig::default()
+    }
+
+    /// Returns the config with the given context load policy.
+    #[must_use]
+    pub fn with_context_policy(mut self, policy: ContextPolicy) -> Self {
+        self.context_policy = policy;
+        self
+    }
+
+    /// Returns the config with the reuse factor capped at `max_rf`
+    /// (`None` removes the cap).
+    #[must_use]
+    pub fn with_max_rf(mut self, max_rf: Option<u64>) -> Self {
+        self.max_rf = max_rf;
+        self
+    }
+
+    /// Returns the config with the given retention candidate ordering.
+    #[must_use]
+    pub fn with_retention_ranking(mut self, ranking: RetentionRanking) -> Self {
+        self.retention_ranking = ranking;
+        self
+    }
 }
 
 /// A data scheduler: turns an application + cluster schedule +
@@ -58,6 +90,27 @@ pub trait DataScheduler {
         sched: &ClusterSchedule,
         arch: &ArchParams,
     ) -> Result<SchedulePlan, ScheduleError>;
+
+    /// Produces the plan reusing a shared [`ScheduleAnalysis`] for the
+    /// expensive invariants (lifetimes, footprints, sharing
+    /// candidates). Semantically identical to [`plan`](Self::plan);
+    /// sweeps call this so grid points over the same (application,
+    /// schedule) pair share work. The default implementation ignores
+    /// the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`plan`](Self::plan).
+    fn plan_with_analysis(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        let _ = analysis;
+        self.plan(app, sched, arch)
+    }
 }
 
 /// The Basic Scheduler of Maestre et al. (DATE 2000): `RF = 1`, no
@@ -93,12 +146,23 @@ impl DataScheduler for BasicScheduler {
         sched: &ClusterSchedule,
         arch: &ArchParams,
     ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_with_analysis(app, sched, arch, &ScheduleAnalysis::new(app, sched))
+    }
+
+    fn plan_with_analysis(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+    ) -> Result<SchedulePlan, ScheduleError> {
         plan_common(
             self.name(),
             app,
             sched,
             arch,
             &self.config,
+            analysis,
             FootprintModel::NoReplacement,
             ForcedRf::One,
             Retain::No,
@@ -139,12 +203,23 @@ impl DataScheduler for DsScheduler {
         sched: &ClusterSchedule,
         arch: &ArchParams,
     ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_with_analysis(app, sched, arch, &ScheduleAnalysis::new(app, sched))
+    }
+
+    fn plan_with_analysis(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+    ) -> Result<SchedulePlan, ScheduleError> {
         plan_common(
             self.name(),
             app,
             sched,
             arch,
             &self.config,
+            analysis,
             FootprintModel::Replacement,
             ForcedRf::Max,
             Retain::No,
@@ -185,12 +260,23 @@ impl DataScheduler for CdsScheduler {
         sched: &ClusterSchedule,
         arch: &ArchParams,
     ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_with_analysis(app, sched, arch, &ScheduleAnalysis::new(app, sched))
+    }
+
+    fn plan_with_analysis(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+    ) -> Result<SchedulePlan, ScheduleError> {
         plan_common(
             self.name(),
             app,
             sched,
             arch,
             &self.config,
+            analysis,
             FootprintModel::Replacement,
             ForcedRf::Max,
             Retain::Yes,
@@ -215,12 +301,13 @@ fn plan_common(
     sched: &ClusterSchedule,
     arch: &ArchParams,
     config: &SchedulerConfig,
+    analysis: &ScheduleAnalysis,
     model: FootprintModel,
     forced_rf: ForcedRf,
     retain: Retain,
 ) -> Result<SchedulePlan, ScheduleError> {
     arch.check_kernels_fit(app)?;
-    let lifetimes = Lifetimes::analyze(app, sched);
+    let lifetimes = analysis.lifetimes();
     let fbs = arch.fb_set_words();
     let empty = RetentionSet::empty();
 
@@ -233,14 +320,15 @@ fn plan_common(
     //    Data Scheduler never slower than Basic.
     let rf_candidates: Vec<u64> = match forced_rf {
         ForcedRf::One => {
-            if !all_fit(app, sched, &lifetimes, &empty, 1, model, fbs) {
-                return Err(infeasible(name, app, sched, &lifetimes, &empty, model, fbs));
+            if !analysis.all_fit_empty(app, sched, 1, model, fbs) {
+                return Err(infeasible(name, app, sched, analysis, model, fbs));
             }
             vec![1]
         }
         ForcedRf::Max => {
-            let rf_max = max_common_rf(app, sched, &lifetimes, &empty, model, fbs)
-                .ok_or_else(|| infeasible(name, app, sched, &lifetimes, &empty, model, fbs))?;
+            let rf_max = analysis
+                .max_common_rf_empty(app, sched, model, fbs)
+                .ok_or_else(|| infeasible(name, app, sched, analysis, model, fbs))?;
             let rf_max = config.max_rf.map_or(rf_max, |cap| rf_max.min(cap)).max(1);
             if rf_max <= 64 {
                 // Exhaustive: candidate sets at growing memory sizes
@@ -268,30 +356,36 @@ fn plan_common(
         .collect();
     let cs = ContextScheduler::new(arch.cm_context_words());
     let simulator = Simulator::new(*arch);
+    // Sharing discovery does not depend on RF — resolve it once (and,
+    // through the analysis, once per application across a whole sweep).
+    let candidates = match retain {
+        Retain::No => &[][..],
+        Retain::Yes => analysis.sharing_candidates(app, sched, arch.fb_cross_set_access()),
+    };
 
-    let mut best: Option<(u64, RetentionSet, Vec<crate::StagePlan>, mcds_sim::OpSchedule, Cycles)> =
-        None;
+    let mut best: Option<(
+        u64,
+        RetentionSet,
+        Vec<crate::StagePlan>,
+        mcds_sim::OpSchedule,
+        Cycles,
+    )> = None;
     for rf in rf_candidates {
         // 2. Retention (CDS only): greedy TF-ordered selection, keeping
         //    a candidate only if every cluster still fits at this RF.
         let retention = match retain {
             Retain::No => empty.clone(),
-            Retain::Yes => {
-                let candidates =
-                    find_candidates_with(app, sched, &lifetimes, arch.fb_cross_set_access());
-                select_greedy(
-                    &candidates,
-                    config.retention_ranking,
-                    |d| app.size_of(d),
-                    |tentative| all_fit(app, sched, &lifetimes, tentative, rf, model, fbs),
-                )
-            }
+            Retain::Yes => select_greedy(
+                candidates,
+                config.retention_ranking,
+                |d| app.size_of(d),
+                |tentative| all_fit(app, sched, lifetimes, tentative, rf, model, fbs),
+            ),
         };
 
         // 3. Context plan for this RF's round structure.
         let rounds = app.iterations().div_ceil(rf);
-        let stage_clusters: Vec<usize> =
-            (0..rounds).flat_map(|_| 0..sched.len()).collect();
+        let stage_clusters: Vec<usize> = (0..rounds).flat_map(|_| 0..sched.len()).collect();
         let ctx_plan = match config.context_policy {
             ContextPolicy::ReloadPerActivation => {
                 cs.plan_reload_always(&cluster_contexts, &stage_clusters)
@@ -300,7 +394,7 @@ fn plan_common(
         };
 
         // 4. Stages, ops, tentative evaluation.
-        let stages = build_stages(app, sched, &lifetimes, &retention, rf, ctx_plan.loads());
+        let stages = build_stages(app, sched, lifetimes, &retention, rf, ctx_plan.loads());
         let ops = emit_ops(app, sched, &stages)?;
         let total = simulator.run(&ops)?.total();
         let better = match &best {
@@ -319,7 +413,7 @@ fn plan_common(
 
     // 5. Allocation validation (§5): walk up to two rounds — enough to
     //    exercise the steady state and cross-round regularity.
-    let walk = AllocationWalk::new(app, sched, &lifetimes, &retention, rf, fbs, model);
+    let walk = AllocationWalk::new(app, sched, lifetimes, &retention, rf, fbs, model);
     let allocation = walk.run(2, false)?;
 
     Ok(SchedulePlan::new(
@@ -336,8 +430,7 @@ fn infeasible(
     name: &str,
     app: &Application,
     sched: &ClusterSchedule,
-    lifetimes: &Lifetimes,
-    retention: &RetentionSet,
+    analysis: &ScheduleAnalysis,
     model: FootprintModel,
     fbs: Words,
 ) -> ScheduleError {
@@ -347,7 +440,7 @@ fn infeasible(
         .map(|c| {
             (
                 c.id(),
-                cluster_peak(app, sched, lifetimes, retention, c.id(), 1, model),
+                analysis.cluster_footprint(app, sched, c.id(), 1, model),
             )
         })
         .max_by_key(|&(_, peak)| peak)
@@ -390,8 +483,7 @@ mod tests {
         let k1 = b.kernel("k1", 24, Cycles::new(120), &[m01], &[m12]);
         let k2 = b.kernel("k2", 24, Cycles::new(120), &[coef, m12], &[f]);
         let app = b.iterations(iterations).build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         (app, sched)
     }
 
@@ -402,7 +494,9 @@ mod tests {
     #[test]
     fn basic_plan_shape() {
         let (app, sched) = shared_app(8);
-        let plan = BasicScheduler::new().plan(&app, &sched, &arch(4096)).expect("fits");
+        let plan = BasicScheduler::new()
+            .plan(&app, &sched, &arch(4096))
+            .expect("fits");
         assert_eq!(plan.scheduler(), "basic");
         assert_eq!(plan.rf(), 1);
         assert!(plan.retention().is_empty());
@@ -413,9 +507,18 @@ mod tests {
     #[test]
     fn ds_raises_rf_with_memory() {
         let (app, sched) = shared_app(64);
-        let small = DsScheduler::new().plan(&app, &sched, &arch(256)).expect("fits");
-        let big = DsScheduler::new().plan(&app, &sched, &arch(2048)).expect("fits");
-        assert!(big.rf() > small.rf(), "small={} big={}", small.rf(), big.rf());
+        let small = DsScheduler::new()
+            .plan(&app, &sched, &arch(256))
+            .expect("fits");
+        let big = DsScheduler::new()
+            .plan(&app, &sched, &arch(2048))
+            .expect("fits");
+        assert!(
+            big.rf() > small.rf(),
+            "small={} big={}",
+            small.rf(),
+            big.rf()
+        );
         assert!(big.total_context_words() < small.total_context_words());
         // Same data volume: DS does not touch data transfers.
         assert_eq!(big.total_data_words(), small.total_data_words());
@@ -448,7 +551,9 @@ mod tests {
     #[test]
     fn infeasible_at_tiny_memory() {
         let (app, sched) = shared_app(8);
-        let err = BasicScheduler::new().plan(&app, &sched, &arch(64)).unwrap_err();
+        let err = BasicScheduler::new()
+            .plan(&app, &sched, &arch(64))
+            .unwrap_err();
         assert!(matches!(err, ScheduleError::Infeasible { .. }));
     }
 
@@ -542,7 +647,9 @@ mod tests {
     #[test]
     fn allocation_report_no_splits_on_clean_pipeline() {
         let (app, sched) = shared_app(16);
-        let plan = CdsScheduler::new().plan(&app, &sched, &arch(2048)).expect("fits");
+        let plan = CdsScheduler::new()
+            .plan(&app, &sched, &arch(2048))
+            .expect("fits");
         assert_eq!(plan.allocation().splits(), 0);
         let _ = KernelId::new(0);
     }

@@ -198,8 +198,7 @@ pub fn find_candidates_with(
                     .consumer_clusters(id)
                     .iter()
                     .any(|&c| c != p && !cross_set && sched.fb_set(c) != set);
-                let store_avoided =
-                    !unreachable_consumer && d.kind() != DataKind::FinalResult;
+                let store_avoided = !unreachable_consumer && d.kind() != DataKind::FinalResult;
                 let spans_sets = consumers.iter().any(|&c| sched.fb_set(c) != set);
                 let n = consumers.len() as u64;
                 let avoided = size * (n + u64::from(store_avoided));
@@ -219,8 +218,7 @@ pub fn find_candidates_with(
     }
 
     out.sort_by(|a, b| {
-        b.tf
-            .partial_cmp(&a.tf)
+        b.tf.partial_cmp(&a.tf)
             .expect("tf is finite")
             .then_with(|| a.data.cmp(&b.data))
             .then_with(|| a.set.cmp(&b.set))
@@ -256,12 +254,17 @@ mod tests {
         let res01 = b.data("res01", Words::new(30), DataKind::Intermediate);
         let fin = b.data("fin", Words::new(10), DataKind::FinalResult);
         let fin2 = b.data("fin2", Words::new(10), DataKind::FinalResult);
-        let k0 = b.kernel("k0", 1, Cycles::new(10), &[shared_in, both_sets], &[res02, res01]);
+        let k0 = b.kernel(
+            "k0",
+            1,
+            Cycles::new(10),
+            &[shared_in, both_sets],
+            &[res02, res01],
+        );
         let k1 = b.kernel("k1", 1, Cycles::new(10), &[both_sets, res01], &[fin]);
         let k2 = b.kernel("k2", 1, Cycles::new(10), &[shared_in, res02], &[fin2]);
         let app = b.build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         (app, sched)
     }
 
@@ -340,8 +343,7 @@ mod tests {
         let k1 = b.kernel("k1", 1, Cycles::new(10), &[r], &[f1]);
         let k2 = b.kernel("k2", 1, Cycles::new(10), &[r], &[f2]);
         let app = b.build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         let lt = Lifetimes::analyze(&app, &sched);
         let cands = find_candidates(&app, &sched, &lt);
         let r_cand = cands
@@ -369,8 +371,7 @@ mod tests {
         let k1 = b.kernel("k1", 1, Cycles::new(10), &[a], &[g]);
         let k2 = b.kernel("k2", 1, Cycles::new(10), &[f], &[h]);
         let app = b.build().expect("valid");
-        let sched =
-            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2]]).expect("valid");
         let lt = Lifetimes::analyze(&app, &sched);
         let cands = find_candidates(&app, &sched, &lt);
         let f_cand = cands

@@ -385,8 +385,12 @@ mod tests {
     #[test]
     fn two_ended_growth() {
         let mut fb = FbAllocator::new(Words::new(100));
-        let a = fb.alloc("upper", Words::new(10), Direction::FromUpper).expect("fits");
-        let b = fb.alloc("lower", Words::new(10), Direction::FromLower).expect("fits");
+        let a = fb
+            .alloc("upper", Words::new(10), Direction::FromUpper)
+            .expect("fits");
+        let b = fb
+            .alloc("lower", Words::new(10), Direction::FromLower)
+            .expect("fits");
         assert_eq!(a.start(), 90);
         assert_eq!(b.start(), 0);
         assert_eq!(fb.used(), Words::new(20));
@@ -396,7 +400,9 @@ mod tests {
     #[test]
     fn free_restores_space() {
         let mut fb = FbAllocator::new(Words::new(50));
-        let a = fb.alloc("x", Words::new(50), Direction::FromUpper).expect("fits");
+        let a = fb
+            .alloc("x", Words::new(50), Direction::FromUpper)
+            .expect("fits");
         assert_eq!(fb.free_space(), Words::ZERO);
         fb.free(a).expect("live");
         assert_eq!(fb.free_space(), Words::new(50));
@@ -406,7 +412,9 @@ mod tests {
     #[test]
     fn alloc_at_regularity() {
         let mut fb = FbAllocator::new(Words::new(64));
-        let a = fb.alloc("obj", Words::new(16), Direction::FromUpper).expect("fits");
+        let a = fb
+            .alloc("obj", Words::new(16), Direction::FromUpper)
+            .expect("fits");
         let at = a.start();
         fb.free(a).expect("live");
         let again = fb.alloc_at("obj", at, Words::new(16)).expect("free range");
@@ -432,12 +440,17 @@ mod tests {
     fn zero_size_rejected() {
         let mut fb = FbAllocator::new(Words::new(10));
         assert_eq!(
-            fb.alloc("z", Words::ZERO, Direction::FromUpper).unwrap_err(),
+            fb.alloc("z", Words::ZERO, Direction::FromUpper)
+                .unwrap_err(),
             AllocError::ZeroSize
         );
-        assert_eq!(fb.alloc_at("z", 0, Words::ZERO).unwrap_err(), AllocError::ZeroSize);
         assert_eq!(
-            fb.alloc_split("z", Words::ZERO, Direction::FromUpper).unwrap_err(),
+            fb.alloc_at("z", 0, Words::ZERO).unwrap_err(),
+            AllocError::ZeroSize
+        );
+        assert_eq!(
+            fb.alloc_split("z", Words::ZERO, Direction::FromUpper)
+                .unwrap_err(),
             AllocError::ZeroSize
         );
     }
@@ -445,10 +458,16 @@ mod tests {
     #[test]
     fn contiguous_failure_reports_largest_block() {
         let mut fb = FbAllocator::new(Words::new(30));
-        let _a = fb.alloc("a", Words::new(10), Direction::FromLower).expect("fits");
-        let b = fb.alloc("b", Words::new(10), Direction::FromUpper).expect("fits");
+        let _a = fb
+            .alloc("a", Words::new(10), Direction::FromLower)
+            .expect("fits");
+        let b = fb
+            .alloc("b", Words::new(10), Direction::FromUpper)
+            .expect("fits");
         let _ = b;
-        let err = fb.alloc("c", Words::new(15), Direction::FromUpper).unwrap_err();
+        let err = fb
+            .alloc("c", Words::new(15), Direction::FromUpper)
+            .unwrap_err();
         assert_eq!(
             err,
             AllocError::NoContiguousBlock {
@@ -462,7 +481,9 @@ mod tests {
     #[test]
     fn double_free_by_handle() {
         let mut fb = FbAllocator::new(Words::new(10));
-        let a = fb.alloc("a", Words::new(5), Direction::FromUpper).expect("fits");
+        let a = fb
+            .alloc("a", Words::new(5), Direction::FromUpper)
+            .expect("fits");
         let h = a.handle();
         fb.free(a).expect("live");
         assert_eq!(fb.free_handle(h).unwrap_err(), AllocError::UnknownHandle);
@@ -499,7 +520,9 @@ mod tests {
     #[test]
     fn split_out_of_memory_leaves_state_untouched() {
         let mut fb = FbAllocator::new(Words::new(10));
-        let _a = fb.alloc("a", Words::new(6), Direction::FromLower).expect("fits");
+        let _a = fb
+            .alloc("a", Words::new(6), Direction::FromLower)
+            .expect("fits");
         let err = fb
             .alloc_split("big", Words::new(5), Direction::FromUpper)
             .unwrap_err();
@@ -521,13 +544,17 @@ mod tests {
         let _p1 = fb.alloc_at("p1", 10, Words::new(30)).expect("free");
         let _p2 = fb.alloc_at("p2", 48, Words::new(42)).expect("free");
         // 8 words: best fit is the [40,48) hole, regardless of direction.
-        let a = fb.alloc("a", Words::new(8), Direction::FromLower).expect("fits");
+        let a = fb
+            .alloc("a", Words::new(8), Direction::FromLower)
+            .expect("fits");
         assert_eq!(a.start(), 40);
         // First-fit from lower would have used [0,10).
         let mut ff = FbAllocator::new(Words::new(100));
         let _p1 = ff.alloc_at("p1", 10, Words::new(30)).expect("free");
         let _p2 = ff.alloc_at("p2", 48, Words::new(42)).expect("free");
-        let b = ff.alloc("b", Words::new(8), Direction::FromLower).expect("fits");
+        let b = ff
+            .alloc("b", Words::new(8), Direction::FromLower)
+            .expect("fits");
         assert_eq!(b.start(), 0);
     }
 
@@ -536,19 +563,27 @@ mod tests {
         // Two equal 10-word holes at [0,10) and [90,100).
         let mut fb = FbAllocator::with_policy(Words::new(100), FitPolicy::BestFit);
         let _pin = fb.alloc_at("pin", 10, Words::new(80)).expect("free");
-        let hi = fb.alloc("hi", Words::new(4), Direction::FromUpper).expect("fits");
+        let hi = fb
+            .alloc("hi", Words::new(4), Direction::FromUpper)
+            .expect("fits");
         assert_eq!(hi.start(), 96, "equal holes: upper direction wins the tie");
         // Holes now 10w at [0,10) and 6w at [90,96): best fit is the 6w one.
-        let lo = fb.alloc("lo", Words::new(4), Direction::FromLower).expect("fits");
+        let lo = fb
+            .alloc("lo", Words::new(4), Direction::FromLower)
+            .expect("fits");
         assert_eq!(lo.start(), 90);
     }
 
     #[test]
     fn peak_usage_tracked() {
         let mut fb = FbAllocator::new(Words::new(100));
-        let a = fb.alloc("a", Words::new(60), Direction::FromUpper).expect("fits");
+        let a = fb
+            .alloc("a", Words::new(60), Direction::FromUpper)
+            .expect("fits");
         fb.free(a).expect("live");
-        let _b = fb.alloc("b", Words::new(10), Direction::FromUpper).expect("fits");
+        let _b = fb
+            .alloc("b", Words::new(10), Direction::FromUpper)
+            .expect("fits");
         assert_eq!(fb.stats().peak_used(), Words::new(60));
         assert_eq!(fb.used(), Words::new(10));
     }

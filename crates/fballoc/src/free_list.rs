@@ -115,7 +115,9 @@ impl FreeList {
         }
         let need = size.get();
         let idx = if from_upper {
-            (0..self.blocks.len()).rev().find(|&i| self.blocks[i].len >= need)?
+            (0..self.blocks.len())
+                .rev()
+                .find(|&i| self.blocks[i].len >= need)?
         } else {
             (0..self.blocks.len()).find(|&i| self.blocks[i].len >= need)?
         };
@@ -219,11 +221,21 @@ impl FreeList {
         let idx = self.blocks.partition_point(|b| b.start < start);
         if idx > 0 {
             let prev = self.blocks[idx - 1];
-            assert!(prev.end() <= start, "double free: overlaps [{}, {})", prev.start, prev.end());
+            assert!(
+                prev.end() <= start,
+                "double free: overlaps [{}, {})",
+                prev.start,
+                prev.end()
+            );
         }
         if idx < self.blocks.len() {
             let next = self.blocks[idx];
-            assert!(end <= next.start, "double free: overlaps [{}, {})", next.start, next.end());
+            assert!(
+                end <= next.start,
+                "double free: overlaps [{}, {})",
+                next.start,
+                next.end()
+            );
         }
         let mut new = Block { start, len };
         // Coalesce with the following block.
@@ -244,7 +256,10 @@ impl FreeList {
         #[cfg(debug_assertions)]
         {
             for w in self.blocks.windows(2) {
-                assert!(w[0].end() <= w[1].start, "overlapping or unsorted free blocks");
+                assert!(
+                    w[0].end() <= w[1].start,
+                    "overlapping or unsorted free blocks"
+                );
             }
             if let Some(last) = self.blocks.last() {
                 assert!(last.end() <= self.capacity.get(), "block beyond capacity");

@@ -89,7 +89,8 @@ pub fn render_map_at(events: &[TraceEvent], capacity: Words, rows: usize, upto: 
         return String::new();
     }
     // Replay into a per-word ownership vector.
-    let mut owner: Vec<Option<&str>> = vec![None; usize::try_from(cap).expect("capacity fits usize")];
+    let mut owner: Vec<Option<&str>> =
+        vec![None; usize::try_from(cap).expect("capacity fits usize")];
     for ev in events.iter().take(upto) {
         for seg in ev.segments() {
             for w in seg.start..seg.end() {
@@ -168,7 +169,9 @@ mod tests {
     #[test]
     fn trace_records_allocs_and_frees() {
         let mut fb = FbAllocator::with_trace(Words::new(32));
-        let a = fb.alloc("a", Words::new(8), Direction::FromUpper).expect("fits");
+        let a = fb
+            .alloc("a", Words::new(8), Direction::FromUpper)
+            .expect("fits");
         fb.free(a).expect("live");
         let trace = fb.trace().expect("tracing enabled");
         assert_eq!(trace.len(), 2);
@@ -186,8 +189,10 @@ mod tests {
     #[test]
     fn map_shows_occupants_top_down() {
         let mut fb = FbAllocator::with_trace(Words::new(40));
-        fb.alloc("hi", Words::new(20), Direction::FromUpper).expect("fits");
-        fb.alloc("lo", Words::new(10), Direction::FromLower).expect("fits");
+        fb.alloc("hi", Words::new(20), Direction::FromUpper)
+            .expect("fits");
+        fb.alloc("lo", Words::new(10), Direction::FromLower)
+            .expect("fits");
         let map = render_map(fb.trace().expect("tracing enabled"), Words::new(40), 4);
         let lines: Vec<&str> = map.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -200,7 +205,9 @@ mod tests {
     #[test]
     fn map_reflects_frees() {
         let mut fb = FbAllocator::with_trace(Words::new(16));
-        let a = fb.alloc("x", Words::new(16), Direction::FromUpper).expect("fits");
+        let a = fb
+            .alloc("x", Words::new(16), Direction::FromUpper)
+            .expect("fits");
         fb.free(a).expect("live");
         let map = render_map(fb.trace().expect("tracing enabled"), Words::new(16), 2);
         assert!(!map.contains('x'));
@@ -209,7 +216,9 @@ mod tests {
     #[test]
     fn partial_replay_shows_intermediate_state() {
         let mut fb = FbAllocator::with_trace(Words::new(16));
-        let a = fb.alloc("x", Words::new(16), Direction::FromUpper).expect("fits");
+        let a = fb
+            .alloc("x", Words::new(16), Direction::FromUpper)
+            .expect("fits");
         fb.free(a).expect("live");
         let trace = fb.trace().expect("tracing enabled").to_vec();
         let mid = render_map_at(&trace, Words::new(16), 2, 1);
@@ -221,8 +230,12 @@ mod tests {
     #[test]
     fn peak_map_captures_fullest_moment() {
         let mut fb = FbAllocator::with_trace(Words::new(32));
-        let a = fb.alloc("first", Words::new(16), Direction::FromUpper).expect("fits");
-        let b = fb.alloc("second", Words::new(16), Direction::FromLower).expect("fits");
+        let a = fb
+            .alloc("first", Words::new(16), Direction::FromUpper)
+            .expect("fits");
+        let b = fb
+            .alloc("second", Words::new(16), Direction::FromLower)
+            .expect("fits");
         fb.free(a).expect("live");
         fb.free(b).expect("live");
         let map = render_peak_map(fb.trace().expect("tracing enabled"), Words::new(32), 4);

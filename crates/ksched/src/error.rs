@@ -48,6 +48,12 @@ impl From<ModelError> for KschedError {
     }
 }
 
+impl From<KschedError> for mcds_core::McdsError {
+    fn from(e: KschedError) -> Self {
+        mcds_core::McdsError::clustering(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,9 +35,7 @@ pub fn estimate_round_time(
         .map(|c| {
             c.kernels()
                 .iter()
-                .map(|&k| {
-                    app.kernel(k).exec_cycles() + Cycles::new(arch.kernel_setup_cycles())
-                })
+                .map(|&k| app.kernel(k).exec_cycles() + Cycles::new(arch.kernel_setup_cycles()))
                 .sum()
         })
         .collect();

@@ -23,7 +23,10 @@ pub fn enumerate_partitions(
     fbs: Words,
 ) -> Vec<ClusterSchedule> {
     let m = order.len();
-    assert!(m <= 20, "exhaustive enumeration is exponential; use greedy_partition");
+    assert!(
+        m <= 20,
+        "exhaustive enumeration is exponential; use greedy_partition"
+    );
     if m == 0 {
         return Vec::new();
     }
@@ -142,12 +145,7 @@ fn extend_orders(
     }
     // Ready kernels in ascending id order (stable default first).
     let ready: Vec<usize> = (0..n)
-        .filter(|&i| {
-            indeg[i] == 0
-                && !prefix
-                    .iter()
-                    .any(|k| k.index() == i)
-        })
+        .filter(|&i| indeg[i] == 0 && !prefix.iter().any(|k| k.index() == i))
         .collect();
     for i in ready {
         let id = KernelId::new(u32::try_from(i).expect("kernel index fits u32"));
@@ -170,7 +168,15 @@ fn fits(app: &Application, sched: &ClusterSchedule, fbs: Words) -> bool {
     let lt = Lifetimes::analyze(app, sched);
     let empty = RetentionSet::empty();
     sched.clusters().iter().all(|c| {
-        cluster_peak(app, sched, &lt, &empty, c.id(), 1, FootprintModel::Replacement) <= fbs
+        cluster_peak(
+            app,
+            sched,
+            &lt,
+            &empty,
+            c.id(),
+            1,
+            FootprintModel::Replacement,
+        ) <= fbs
     })
 }
 
@@ -235,7 +241,12 @@ mod tests {
         let lt = Lifetimes::analyze(&app, &sched);
         for c in sched.clusters() {
             let peak = cluster_peak(
-                &app, &sched, &lt, &RetentionSet::empty(), c.id(), 1,
+                &app,
+                &sched,
+                &lt,
+                &RetentionSet::empty(),
+                c.id(),
+                1,
                 FootprintModel::Replacement,
             );
             assert!(peak <= Words::kilo(1));

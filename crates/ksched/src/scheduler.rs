@@ -204,6 +204,19 @@ impl KernelScheduler {
     }
 }
 
+impl mcds_core::ClusterProvider for KernelScheduler {
+    /// Runs the partition exploration, so a
+    /// [`Pipeline`](mcds_core::Pipeline) can own the kernel scheduler
+    /// as its clustering stage.
+    fn clusters(
+        &self,
+        app: &Application,
+        arch: &ArchParams,
+    ) -> Result<ClusterSchedule, mcds_core::McdsError> {
+        self.schedule(app, arch).map_err(Into::into)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,8 +258,7 @@ mod tests {
             .expect("feasible");
         let singles = ClusterSchedule::singletons(&app).expect("valid");
         assert!(
-            estimate_round_time(&app, &best, &arch)
-                <= estimate_round_time(&app, &singles, &arch)
+            estimate_round_time(&app, &best, &arch) <= estimate_round_time(&app, &singles, &arch)
         );
     }
 
@@ -314,8 +326,7 @@ mod tests {
             .schedule(&app, &arch)
             .expect("feasible");
         assert!(
-            estimate_round_time(&app, &orders, &arch)
-                <= estimate_round_time(&app, &fixed, &arch),
+            estimate_round_time(&app, &orders, &arch) <= estimate_round_time(&app, &fixed, &arch),
             "the order-exploring search covers a superset of candidates"
         );
         let _ = k0;

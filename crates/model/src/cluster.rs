@@ -295,11 +295,8 @@ mod tests {
     fn valid_partition() {
         let app = chain(5);
         let ks: Vec<KernelId> = app.kernels().iter().map(|k| k.id()).collect();
-        let sched = ClusterSchedule::new(
-            &app,
-            vec![vec![ks[0], ks[1]], vec![ks[2], ks[3], ks[4]]],
-        )
-        .expect("valid");
+        let sched = ClusterSchedule::new(&app, vec![vec![ks[0], ks[1]], vec![ks[2], ks[3], ks[4]]])
+            .expect("valid");
         assert_eq!(sched.len(), 2);
         assert_eq!(sched.max_kernels_per_cluster(), 3);
         assert_eq!(sched.fb_set(ClusterId::new(0)), FbSet::Set0);

@@ -159,7 +159,9 @@ impl DataflowInfo {
             // Stable: pick the smallest ready index.
             let i = *ready.iter().min().expect("non-empty");
             ready.retain(|&x| x != i);
-            order.push(KernelId::new(u32::try_from(i).expect("kernel index fits u32")));
+            order.push(KernelId::new(
+                u32::try_from(i).expect("kernel index fits u32"),
+            ));
             for s in &self.succ[i] {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {

@@ -312,6 +312,9 @@ mod tests {
     fn serde_transparent() {
         let w: Words = serde_json::from_str("42").expect("deserialize");
         assert_eq!(w, Words::new(42));
-        assert_eq!(serde_json::to_string(&Cycles::new(7)).expect("serialize"), "7");
+        assert_eq!(
+            serde_json::to_string(&Cycles::new(7)).expect("serialize"),
+            "7"
+        );
     }
 }

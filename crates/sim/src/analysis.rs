@@ -144,7 +144,13 @@ mod tests {
             let set = if i % 2 == 0 { FbSet::Set0 } else { FbSet::Set1 };
             let l = b.load_data(format!("l{i}"), set, Words::new(64), &[]);
             let deps: Vec<_> = prev.into_iter().chain([l]).collect();
-            prev = Some(b.compute(format!("k{i}"), KernelId::new(i), set, Cycles::new(80), &deps));
+            prev = Some(b.compute(
+                format!("k{i}"),
+                KernelId::new(i),
+                set,
+                Cycles::new(80),
+                &deps,
+            ));
         }
         let s = b.build().expect("valid");
         let report = Simulator::new(arch()).run(&s).expect("runs");
@@ -176,7 +182,13 @@ mod tests {
         for i in 0..4u32 {
             let deps: Vec<_> = prev.into_iter().collect();
             let l = b.load_data(format!("l{i}"), FbSet::Set0, Words::new(100), &deps);
-            prev = Some(b.compute(format!("k{i}"), KernelId::new(i), FbSet::Set0, Cycles::new(100), &[l]));
+            prev = Some(b.compute(
+                format!("k{i}"),
+                KernelId::new(i),
+                FbSet::Set0,
+                Cycles::new(100),
+                &[l],
+            ));
         }
         let s = b.build().expect("valid");
         let report = Simulator::new(arch()).run(&s).expect("runs");

@@ -151,7 +151,9 @@ mod tests {
         let l = b.load_data("l", FbSet::Set0, Words::new(100), &[]);
         let k = b.compute("k", KernelId::new(0), FbSet::Set0, Cycles::new(50), &[l]);
         b.store_data("s", FbSet::Set0, Words::new(30), &[k]);
-        let report = Simulator::new(zero_setup()).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(zero_setup())
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         assert_eq!(report.total(), Cycles::new(180));
         assert_eq!(report.dma_busy(), Cycles::new(130));
         assert_eq!(report.rc_busy(), Cycles::new(50));
@@ -164,7 +166,9 @@ mod tests {
         // Compute on set 0 while loading set 1: overlap allowed.
         b.compute("k", KernelId::new(0), FbSet::Set0, Cycles::new(100), &[l0]);
         b.load_data("l1", FbSet::Set1, Words::new(100), &[l0]);
-        let report = Simulator::new(zero_setup()).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(zero_setup())
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         // 10 (load set0) + max(100 compute, 100 load set1) = 110.
         assert_eq!(report.total(), Cycles::new(110));
     }
@@ -176,7 +180,9 @@ mod tests {
         b.compute("k", KernelId::new(0), FbSet::Set0, Cycles::new(100), &[l0]);
         // No dependency on the compute, but same set: must serialize.
         b.load_data("l0b", FbSet::Set0, Words::new(100), &[l0]);
-        let report = Simulator::new(zero_setup()).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(zero_setup())
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         assert_eq!(report.total(), Cycles::new(210));
     }
 
@@ -185,7 +191,9 @@ mod tests {
         let mut b = OpScheduleBuilder::new();
         b.compute("k", KernelId::new(0), FbSet::Set0, Cycles::new(100), &[]);
         b.load_context("c", 100, &[]);
-        let report = Simulator::new(zero_setup()).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(zero_setup())
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         assert_eq!(report.total(), Cycles::new(100));
     }
 
@@ -194,7 +202,9 @@ mod tests {
         let mut b = OpScheduleBuilder::new();
         b.load_data("l", FbSet::Set0, Words::new(60), &[]);
         b.load_context("c", 40, &[]);
-        let report = Simulator::new(zero_setup()).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(zero_setup())
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         assert_eq!(report.total(), Cycles::new(100));
         assert_eq!(report.dma_busy(), Cycles::new(100));
     }
@@ -204,7 +214,9 @@ mod tests {
         let mut b = OpScheduleBuilder::new();
         b.compute("k0", KernelId::new(0), FbSet::Set0, Cycles::new(50), &[]);
         b.compute("k1", KernelId::new(1), FbSet::Set1, Cycles::new(50), &[]);
-        let report = Simulator::new(zero_setup()).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(zero_setup())
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         assert_eq!(report.total(), Cycles::new(100));
     }
 
@@ -214,7 +226,9 @@ mod tests {
         let mut b = OpScheduleBuilder::new();
         b.compute("k0", KernelId::new(0), FbSet::Set0, Cycles::new(10), &[]);
         b.compute("k1", KernelId::new(1), FbSet::Set0, Cycles::new(10), &[]);
-        let report = Simulator::new(params).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(params)
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         assert_eq!(report.total(), Cycles::new(34));
     }
 
@@ -228,7 +242,9 @@ mod tests {
         let mut b = OpScheduleBuilder::new();
         b.load_data("l", FbSet::Set0, Words::new(10), &[]);
         b.load_context("c", 5, &[]);
-        let report = Simulator::new(params).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(params)
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         assert_eq!(report.total(), Cycles::new(40));
     }
 
@@ -245,7 +261,9 @@ mod tests {
         let mut b = OpScheduleBuilder::new();
         let l = b.load_data("l", FbSet::Set1, Words::new(100), &[]);
         let k = b.compute("k", KernelId::new(0), FbSet::Set0, Cycles::new(10), &[l]);
-        let report = Simulator::new(zero_setup()).run(&b.build().expect("valid")).expect("runs");
+        let report = Simulator::new(zero_setup())
+            .run(&b.build().expect("valid"))
+            .expect("runs");
         let span = report.timeline().span(k);
         assert_eq!(span.start, Cycles::new(100));
         assert_eq!(report.total(), Cycles::new(110));

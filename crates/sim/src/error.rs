@@ -67,6 +67,8 @@ mod tests {
         };
         assert!(e.to_string().contains("op1"));
         assert!(e.to_string().contains("op5"));
-        assert!(SimError::ZeroLengthOp(OpId::new(0)).to_string().contains("zero"));
+        assert!(SimError::ZeroLengthOp(OpId::new(0))
+            .to_string()
+            .contains("zero"));
     }
 }

@@ -314,9 +314,7 @@ impl OpScheduleBuilder {
                 }
             }
             let zero = match op.kind() {
-                OpKind::LoadData { words, .. } | OpKind::StoreData { words, .. } => {
-                    words.is_zero()
-                }
+                OpKind::LoadData { words, .. } | OpKind::StoreData { words, .. } => words.is_zero(),
                 OpKind::LoadContext { context_words } => *context_words == 0,
                 OpKind::Compute { cycles, .. } => cycles.is_zero(),
             };

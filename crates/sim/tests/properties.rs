@@ -21,7 +21,10 @@ fn op_strategy() -> impl Strategy<Value = (GenOp, Vec<prop::sample::Index>)> {
         (1u32..100).prop_map(|words| GenOp::Context { words }),
         (any::<bool>(), 1u64..500).prop_map(|(set, cycles)| GenOp::Compute { set, cycles }),
     ];
-    (op, prop::collection::vec(any::<prop::sample::Index>(), 0..3))
+    (
+        op,
+        prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+    )
 }
 
 /// Builds a random (valid) schedule: each op may depend on up to two

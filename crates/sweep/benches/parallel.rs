@@ -1,0 +1,67 @@
+//! Parallel vs serial sweep throughput.
+//!
+//! The same grid is evaluated with one worker and with the machine's
+//! full parallelism; the per-sweep wall time shows the speedup the
+//! engine buys (and the memoized analysis keeps the serial baseline
+//! honest — both paths share it).
+//!
+//! On a single-core host `threads(None)` resolves to one worker and
+//! the engine takes the serial path, so the two series coincide; the
+//! speedup only shows on multi-core machines.
+//!
+//! ```sh
+//! cargo bench -p mcds-sweep --bench parallel
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcds_model::{Application, ApplicationBuilder, Cycles, DataKind, Words};
+use mcds_sweep::{SweepSpec, SweepWorkload};
+use std::hint::black_box;
+
+fn chain(name: &str, stages: usize, words: u64) -> Application {
+    let mut b = ApplicationBuilder::new(name);
+    let mut prev = b.data("in", Words::new(words), DataKind::ExternalInput);
+    for i in 0..stages {
+        let kind = if i + 1 == stages {
+            DataKind::FinalResult
+        } else {
+            DataKind::Intermediate
+        };
+        let next = b.data(format!("d{i}"), Words::new(words), kind);
+        b.kernel(format!("k{i}"), 24, Cycles::new(300), &[prev], &[next]);
+        prev = next;
+    }
+    b.iterations(64).build().expect("valid")
+}
+
+fn spec() -> SweepSpec {
+    let mut spec = SweepSpec::new().fb_sizes([
+        Words::new(512),
+        Words::kilo(1),
+        Words::kilo(2),
+        Words::kilo(4),
+    ]);
+    for (i, stages) in [4usize, 5, 6, 7].into_iter().enumerate() {
+        spec = spec.workload(SweepWorkload::new(
+            format!("chain{i}"),
+            chain(&format!("chain{i}"), stages, 60 + 8 * i as u64),
+        ));
+    }
+    spec
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let points = spec().points();
+    let mut group = c.benchmark_group(&format!("sweep/{points}-points"));
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(spec().threads(Some(1)).run().expect("runs")))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(spec().threads(None).run().expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! The parallel evaluation engine.
+//!
+//! Work is a flat task list: every (workload, partition, architecture)
+//! *cell* times every scheduler is one task. Worker threads claim tasks
+//! through an atomic cursor and write each result into its pre-assigned
+//! slot, so the assembled report is in grid order no matter how the OS
+//! interleaves the threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use mcds_core::{
+    evaluate, ExperimentRow, McdsError, ScheduleAnalysis, ScheduleError, SchedulerKind,
+};
+use mcds_model::{Application, ArchParams, ClusterSchedule, Cycles, Words};
+
+use crate::report::{SchedulerOutcome, SweepReport, SweepRow};
+use crate::SweepSpec;
+
+/// What the report keeps from one grid point (the full plan is dropped
+/// to keep large sweeps small).
+#[derive(Debug, Clone)]
+struct PointMeasure {
+    rf: u64,
+    dt_avoided: Words,
+    total: Cycles,
+}
+
+/// One (workload, partition, architecture) cell of the grid.
+struct Cell<'a> {
+    workload: &'a str,
+    partition: &'a str,
+    app: &'a Application,
+    sched: &'a ClusterSchedule,
+    analysis: &'a ScheduleAnalysis,
+    arch: ArchParams,
+}
+
+pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
+    if spec.workloads.is_empty() {
+        return Err(McdsError::spec("sweep has no workloads"));
+    }
+    if spec.schedulers.is_empty() {
+        return Err(McdsError::spec("sweep has no schedulers"));
+    }
+    let archs: Vec<ArchParams> = if spec.archs.is_empty() {
+        vec![ArchParams::m1()]
+    } else {
+        spec.archs.clone()
+    };
+
+    // Resolve partitions and build one shared analysis per (workload,
+    // partition) — reused across every architecture and scheduler.
+    let mut resolved: Vec<Vec<(String, ClusterSchedule, ScheduleAnalysis)>> = Vec::new();
+    for w in &spec.workloads {
+        let partitions: Vec<(String, ClusterSchedule)> = if w.partitions.is_empty() {
+            vec![(
+                "singletons".to_owned(),
+                ClusterSchedule::singletons(&w.app)?,
+            )]
+        } else {
+            w.partitions.clone()
+        };
+        resolved.push(
+            partitions
+                .into_iter()
+                .map(|(name, sched)| {
+                    let analysis = ScheduleAnalysis::new(&w.app, &sched);
+                    (name, sched, analysis)
+                })
+                .collect(),
+        );
+    }
+
+    // Flatten into grid-ordered cells.
+    let mut cells: Vec<Cell<'_>> = Vec::new();
+    for (w, parts) in spec.workloads.iter().zip(&resolved) {
+        for (pname, sched, analysis) in parts {
+            for arch in &archs {
+                cells.push(Cell {
+                    workload: &w.name,
+                    partition: pname,
+                    app: &w.app,
+                    sched,
+                    analysis,
+                    arch: *arch,
+                });
+            }
+        }
+    }
+
+    let n_sched = spec.schedulers.len();
+    let tasks = cells.len() * n_sched;
+    let workers = spec
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, tasks.max(1));
+
+    // Each task writes its own slot; slot index == grid index.
+    let slots: Vec<OnceLock<Result<PointMeasure, ScheduleError>>> =
+        (0..tasks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let evaluate_task = |t: usize| {
+        let cell = &cells[t / n_sched];
+        let kind = spec.schedulers[t % n_sched];
+        let scheduler = kind.instantiate(spec.config);
+        let result = scheduler
+            .plan_with_analysis(cell.app, cell.sched, &cell.arch, cell.analysis)
+            .and_then(|plan| {
+                let report = evaluate(&plan, &cell.arch)?;
+                Ok(PointMeasure {
+                    rf: plan.rf(),
+                    dt_avoided: plan.dt_avoided_per_iter(),
+                    total: report.total(),
+                })
+            });
+        let _ = slots[t].set(result);
+    };
+
+    if workers == 1 {
+        for t in 0..tasks {
+            evaluate_task(t);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= tasks {
+                        break;
+                    }
+                    evaluate_task(t);
+                });
+            }
+        });
+    }
+
+    // Assemble rows in cell (grid) order.
+    let rows = cells
+        .iter()
+        .enumerate()
+        .map(|(ci, cell)| {
+            let point = |kind: SchedulerKind| -> Option<&Result<PointMeasure, ScheduleError>> {
+                spec.schedulers
+                    .iter()
+                    .position(|&k| k == kind)
+                    .map(|si| slots[ci * n_sched + si].get().expect("task ran"))
+            };
+            let ok = |kind| point(kind).and_then(|r| r.as_ref().ok());
+            let improvement = |kind| -> Option<f64> {
+                let base = ok(SchedulerKind::Basic)?.total.get();
+                let own = ok(kind)?.total.get();
+                (base > 0).then(|| (base as f64 - own as f64) / base as f64)
+            };
+            // Best plan available for the DT/RF columns: CDS, else DS,
+            // else Basic.
+            let best = ok(SchedulerKind::Cds)
+                .or_else(|| ok(SchedulerKind::Ds))
+                .or_else(|| ok(SchedulerKind::Basic));
+            let row = ExperimentRow::new(
+                format!(
+                    "{}/{}@{}",
+                    cell.workload,
+                    cell.partition,
+                    cell.arch.fb_set_words()
+                ),
+                cell.sched.len(),
+                cell.sched.max_kernels_per_cluster(),
+                cell.app.total_data_per_iteration(),
+                best.map_or(Words::ZERO, |m| m.dt_avoided),
+                best.map_or(0, |m| m.rf),
+                cell.arch.fb_set_words(),
+                ok(SchedulerKind::Basic).is_some(),
+                improvement(SchedulerKind::Ds),
+                improvement(SchedulerKind::Cds),
+            );
+            let outcomes = spec
+                .schedulers
+                .iter()
+                .map(|&kind| {
+                    let r = point(kind).expect("kind is on the axis");
+                    SchedulerOutcome {
+                        scheduler: kind,
+                        rf: r.as_ref().ok().map(|m| m.rf),
+                        total_cycles: r.as_ref().ok().map(|m| m.total.get()),
+                        error: r.as_ref().err().map(ToString::to_string),
+                    }
+                })
+                .collect();
+            SweepRow {
+                workload: cell.workload.to_owned(),
+                partition: cell.partition.to_owned(),
+                fb_set: cell.arch.fb_set_words(),
+                cross_set: cell.arch.fb_cross_set_access(),
+                outcomes,
+                row,
+            }
+        })
+        .collect();
+
+    Ok(SweepReport { rows })
+}

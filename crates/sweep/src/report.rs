@@ -1,0 +1,127 @@
+//! Sweep results and their JSON/CSV/table renderings.
+//!
+//! Rows are in grid order, and every renderer below iterates them in
+//! that order with fully deterministic formatting — two runs of the
+//! same [`SweepSpec`](crate::SweepSpec) produce byte-identical output
+//! whatever the thread count.
+
+use std::fmt::Write as _;
+
+use mcds_core::{ExperimentRow, McdsError, SchedulerKind};
+use mcds_model::Words;
+use serde::Serialize;
+
+/// How one scheduler fared at one grid cell.
+#[derive(Debug, Clone, Serialize)]
+#[non_exhaustive]
+pub struct SchedulerOutcome {
+    /// Which scheduler.
+    pub scheduler: SchedulerKind,
+    /// Achieved context reuse factor, if the point was feasible.
+    pub rf: Option<u64>,
+    /// Simulated execution time in cycles, if feasible.
+    pub total_cycles: Option<u64>,
+    /// The failure, rendered, when the point was infeasible.
+    pub error: Option<String>,
+}
+
+/// One grid cell: a (workload, partition, architecture) triple with the
+/// outcome of every scheduler on the axis.
+#[derive(Debug, Clone, Serialize)]
+#[non_exhaustive]
+pub struct SweepRow {
+    /// Workload name.
+    pub workload: String,
+    /// Partition name.
+    pub partition: String,
+    /// Frame Buffer set size of the architecture variant.
+    pub fb_set: Words,
+    /// Whether the variant has the dual-ported-FB extension.
+    pub cross_set: bool,
+    /// Per-scheduler measurements, in scheduler-axis order.
+    pub outcomes: Vec<SchedulerOutcome>,
+    /// The cell condensed as a Table-1 row.
+    pub row: ExperimentRow,
+}
+
+impl SweepRow {
+    fn outcome(&self, kind: SchedulerKind) -> Option<&SchedulerOutcome> {
+        self.outcomes.iter().find(|o| o.scheduler == kind)
+    }
+}
+
+/// The completed sweep, rows in grid order.
+#[derive(Debug, Clone, Serialize)]
+#[non_exhaustive]
+pub struct SweepReport {
+    /// One row per (workload, partition, architecture) cell.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// Number of evaluated grid points (cells × schedulers).
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.rows.iter().map(|r| r.outcomes.len()).sum()
+    }
+
+    /// The report as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`McdsError::Spec`] if serialization fails (it does not for any
+    /// report this crate produces).
+    pub fn to_json(&self) -> Result<String, McdsError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| McdsError::spec(format!("serializing sweep report: {e}")))
+    }
+
+    /// The report as CSV: one line per cell, fixed column set. Columns
+    /// for schedulers absent from the axis are left empty.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,partition,fb_words,cross_set,n_clusters,max_kernels,\
+             data_per_iter,dt_avoided,rf,basic_cycles,ds_cycles,cds_cycles,\
+             ds_improvement,cds_improvement\n",
+        );
+        let cycles = |r: &SweepRow, k| -> String {
+            r.outcome(k)
+                .and_then(|o| o.total_cycles)
+                .map(|c| c.to_string())
+                .unwrap_or_default()
+        };
+        let frac = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_default();
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.workload,
+                r.partition,
+                r.fb_set.get(),
+                r.cross_set,
+                r.row.n_clusters,
+                r.row.max_kernels,
+                r.row.data_per_iter.get(),
+                r.row.dt_avoided.get(),
+                r.row.rf,
+                cycles(r, SchedulerKind::Basic),
+                cycles(r, SchedulerKind::Ds),
+                cycles(r, SchedulerKind::Cds),
+                frac(r.row.ds_improvement),
+                frac(r.row.cds_improvement),
+            );
+        }
+        out
+    }
+
+    /// A human-readable table in the style of the paper's Table 1.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = format!("{}\n", mcds_core::table_header());
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.row);
+        }
+        out
+    }
+}

@@ -1,0 +1,167 @@
+//! Sweep specification: the grid to evaluate.
+
+use mcds_core::{McdsError, SchedulerConfig, SchedulerKind};
+use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
+
+use crate::SweepReport;
+
+/// One workload of a sweep: an application together with the candidate
+/// cluster partitions to evaluate it under.
+///
+/// A workload with no explicit partition gets the singleton partition
+/// (one cluster per kernel) at run time.
+#[derive(Debug, Clone)]
+pub struct SweepWorkload {
+    pub(crate) name: String,
+    pub(crate) app: Application,
+    pub(crate) partitions: Vec<(String, ClusterSchedule)>,
+}
+
+impl SweepWorkload {
+    /// A workload with no partitions yet.
+    #[must_use]
+    pub fn new(name: impl Into<String>, app: Application) -> Self {
+        SweepWorkload {
+            name: name.into(),
+            app,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Adds a named candidate cluster partition.
+    #[must_use]
+    pub fn partition(mut self, name: impl Into<String>, sched: ClusterSchedule) -> Self {
+        self.partitions.push((name.into(), sched));
+        self
+    }
+
+    /// The application under sweep.
+    #[must_use]
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// Number of partitions this workload contributes (at least 1: the
+    /// implicit singleton partition).
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len().max(1)
+    }
+}
+
+/// The full grid specification: workloads × partitions × architecture
+/// variants × schedulers, plus execution settings.
+///
+/// Build it fluently, then [`run`](SweepSpec::run):
+///
+/// ```no_run
+/// # use mcds_sweep::{SweepSpec, SweepWorkload};
+/// # use mcds_model::Words;
+/// # fn spec(w: SweepWorkload) -> SweepSpec {
+/// SweepSpec::new()
+///     .workload(w)
+///     .fb_sizes([Words::kilo(1), Words::kilo(2), Words::kilo(4)])
+///     .threads(Some(8))
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    pub(crate) workloads: Vec<SweepWorkload>,
+    pub(crate) archs: Vec<ArchParams>,
+    pub(crate) schedulers: Vec<SchedulerKind>,
+    pub(crate) config: SchedulerConfig,
+    pub(crate) threads: Option<usize>,
+}
+
+impl SweepSpec {
+    /// An empty grid: no workloads, the M1 architecture, all three
+    /// schedulers, default configuration, auto thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepSpec {
+            workloads: Vec::new(),
+            archs: Vec::new(),
+            schedulers: SchedulerKind::ALL.to_vec(),
+            config: SchedulerConfig::default(),
+            threads: None,
+        }
+    }
+
+    /// Adds a workload.
+    #[must_use]
+    pub fn workload(mut self, w: SweepWorkload) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    /// Adds one architecture variant. If none are added the sweep runs
+    /// on plain M1.
+    #[must_use]
+    pub fn arch(mut self, arch: ArchParams) -> Self {
+        self.archs.push(arch);
+        self
+    }
+
+    /// Convenience: adds one M1 variant per Frame Buffer set size.
+    #[must_use]
+    pub fn fb_sizes(mut self, sizes: impl IntoIterator<Item = Words>) -> Self {
+        for fb in sizes {
+            self.archs.push(ArchParams::m1_with_fb(fb));
+        }
+        self
+    }
+
+    /// Restricts the scheduler axis (default: Basic, DS and CDS).
+    #[must_use]
+    pub fn schedulers(mut self, kinds: impl IntoIterator<Item = SchedulerKind>) -> Self {
+        self.schedulers = kinds.into_iter().collect();
+        self
+    }
+
+    /// Scheduler configuration shared by every grid point.
+    #[must_use]
+    pub fn config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Worker thread count. `None` (the default) uses the machine's
+    /// available parallelism; `Some(1)` forces a serial sweep.
+    #[must_use]
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of grid points ((workload, partition, arch, scheduler)
+    /// tuples) the sweep will evaluate.
+    #[must_use]
+    pub fn points(&self) -> usize {
+        let cells: usize = self
+            .workloads
+            .iter()
+            .map(SweepWorkload::partition_count)
+            .sum::<usize>()
+            * self.archs.len().max(1);
+        cells * self.schedulers.len()
+    }
+
+    /// Evaluates the whole grid and returns the deterministic report.
+    ///
+    /// # Errors
+    ///
+    /// [`McdsError::Spec`] when the grid is empty (no workloads or no
+    /// schedulers); model errors while building implicit singleton
+    /// partitions. Per-point scheduling failures (e.g. Basic infeasible
+    /// at a small Frame Buffer) do **not** abort the sweep — they are
+    /// recorded in the affected [`SweepRow`](crate::SweepRow).
+    pub fn run(&self) -> Result<SweepReport, McdsError> {
+        crate::engine::run(self)
+    }
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec::new()
+    }
+}

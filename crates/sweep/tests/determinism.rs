@@ -1,0 +1,129 @@
+//! The sweep's core contract: the report is a pure function of the
+//! spec — thread count and OS scheduling never show through.
+
+use mcds_core::{McdsError, SchedulerKind};
+use mcds_model::{Application, ApplicationBuilder, ClusterSchedule, Cycles, DataKind, Words};
+use mcds_sweep::{SweepSpec, SweepWorkload};
+
+fn chain(name: &str, stages: usize, words: u64, iterations: u64) -> Application {
+    let mut b = ApplicationBuilder::new(name);
+    let mut prev = b.data("in", Words::new(words), DataKind::ExternalInput);
+    for i in 0..stages {
+        let kind = if i + 1 == stages {
+            DataKind::FinalResult
+        } else {
+            DataKind::Intermediate
+        };
+        let next = b.data(format!("d{i}"), Words::new(words), kind);
+        b.kernel(format!("k{i}"), 16, Cycles::new(150), &[prev], &[next]);
+        prev = next;
+    }
+    b.iterations(iterations).build().expect("valid")
+}
+
+fn spec() -> SweepSpec {
+    let shared = chain("shared", 4, 48, 24);
+    let kernels: Vec<_> = shared.kernels().iter().map(|k| k.id()).collect();
+    let paired = ClusterSchedule::new(
+        &shared,
+        vec![kernels[0..2].to_vec(), kernels[2..4].to_vec()],
+    )
+    .expect("valid");
+    SweepSpec::new()
+        .workload(
+            SweepWorkload::new("shared", shared.clone())
+                .partition("paired", paired)
+                .partition(
+                    "singletons",
+                    ClusterSchedule::singletons(&shared).expect("valid"),
+                ),
+        )
+        .workload(SweepWorkload::new("tiny", chain("tiny", 2, 32, 8)))
+        .fb_sizes([Words::new(100), Words::kilo(1), Words::kilo(2)])
+}
+
+#[test]
+fn parallel_equals_serial_byte_for_byte() {
+    let serial = spec().threads(Some(1)).run().expect("runs");
+    for workers in [2, 4, 8] {
+        let parallel = spec().threads(Some(workers)).run().expect("runs");
+        assert_eq!(
+            serial.to_json().expect("serializes"),
+            parallel.to_json().expect("serializes"),
+            "JSON must not depend on thread count ({workers} workers)"
+        );
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "CSV must not depend on thread count ({workers} workers)"
+        );
+    }
+}
+
+#[test]
+fn grid_shape_and_order() {
+    let report = spec().run().expect("runs");
+    // 2 partitions of `shared` + 1 implicit of `tiny`, × 3 FB sizes.
+    assert_eq!(report.rows.len(), 9);
+    assert_eq!(report.points(), 27);
+    assert_eq!(spec().points(), 27);
+    let coords: Vec<(String, String, u64)> = report
+        .rows
+        .iter()
+        .map(|r| (r.workload.clone(), r.partition.clone(), r.fb_set.get()))
+        .collect();
+    // Grid order: workload-major, then partition, then architecture.
+    assert_eq!(coords[0], ("shared".into(), "paired".into(), 100));
+    assert_eq!(coords[2], ("shared".into(), "paired".into(), 2048));
+    assert_eq!(coords[3], ("shared".into(), "singletons".into(), 100));
+    assert_eq!(coords[6], ("tiny".into(), "singletons".into(), 100));
+    assert!(coords.windows(2).all(|w| w[0] != w[1]));
+}
+
+#[test]
+fn infeasible_points_are_recorded_not_fatal() {
+    // 100 words cannot hold the shared chain's basic working set.
+    let report = spec().run().expect("sweep still completes");
+    let tight = &report.rows[0];
+    assert_eq!(tight.fb_set, Words::new(100));
+    let basic = tight
+        .outcomes
+        .iter()
+        .find(|o| o.scheduler == SchedulerKind::Basic)
+        .expect("on the axis");
+    assert!(basic.total_cycles.is_none());
+    assert!(basic
+        .error
+        .as_deref()
+        .expect("captured")
+        .contains("cluster"));
+    assert!(!tight.row.basic_feasible);
+    // The big-memory cells are feasible and improvements are populated.
+    let roomy = &report.rows[2];
+    assert!(roomy.row.basic_feasible);
+    assert!(roomy.row.cds_improvement.expect("ran") >= 0.0);
+}
+
+#[test]
+fn empty_grids_are_spec_errors() {
+    let err = SweepSpec::new().run().unwrap_err();
+    assert!(matches!(err, McdsError::Spec(_)));
+    let err = spec().schedulers([]).run().unwrap_err();
+    assert!(err.to_string().contains("no schedulers"));
+}
+
+#[test]
+fn scheduler_axis_subset() {
+    let report = spec().schedulers([SchedulerKind::Cds]).run().expect("runs");
+    assert_eq!(report.points(), 9);
+    for r in &report.rows {
+        assert_eq!(r.outcomes.len(), 1);
+        // No Basic baseline → improvements and feasibility unavailable.
+        assert!(r.row.ds_improvement.is_none());
+        assert!(!r.row.basic_feasible);
+    }
+    // CSV leaves the unmeasured columns empty but keeps the header.
+    let csv = report.to_csv();
+    assert!(csv.lines().count() == 10);
+    assert!(csv.lines().nth(1).expect("row").contains(",,"));
+}

@@ -33,11 +33,25 @@ pub fn atr_sld_app(iterations: u64) -> Result<Application, ModelError> {
     let mut scores = Vec::new();
     let mut kernel_order = Vec::new();
     for i in 0..4 {
-        let chip = b.data(format!("chip{i}"), Words::new(CHIP_WORDS), DataKind::ExternalInput);
-        let prep = b.data(format!("p{i}"), Words::new(CHIP_WORDS), DataKind::Intermediate);
+        let chip = b.data(
+            format!("chip{i}"),
+            Words::new(CHIP_WORDS),
+            DataKind::ExternalInput,
+        );
+        let prep = b.data(
+            format!("p{i}"),
+            Words::new(CHIP_WORDS),
+            DataKind::Intermediate,
+        );
         let score = b.data(format!("s{i}"), Words::new(256), DataKind::Intermediate);
         let kp = b.kernel(format!("prep{i}"), 64, Cycles::new(150), &[chip], &[prep]);
-        let kc = b.kernel(format!("corr{i}"), 160, Cycles::new(300), &[prep, tmpl], &[score]);
+        let kc = b.kernel(
+            format!("corr{i}"),
+            160,
+            Cycles::new(300),
+            &[prep, tmpl],
+            &[score],
+        );
         kernel_order.push((kp, kc));
         scores.push(score);
     }
@@ -190,7 +204,12 @@ mod tests {
     fn sld_runs_at_8k_with_rf_1() {
         let app = atr_sld_app(8).expect("valid");
         let arch = ArchParams::m1_with_fb(Words::kilo(8));
-        for which in [SldSchedule::PerChip, SldSchedule::Paired, SldSchedule::Unbalanced, SldSchedule::Skewed] {
+        for which in [
+            SldSchedule::PerChip,
+            SldSchedule::Paired,
+            SldSchedule::Unbalanced,
+            SldSchedule::Skewed,
+        ] {
             let sched = atr_sld_schedule(&app, which).expect("valid");
             let plan = DsScheduler::new().plan(&app, &sched, &arch).expect("fits");
             assert_eq!(plan.rf(), 1, "{which:?}: big data keeps RF at 1");

@@ -142,11 +142,7 @@ mod tests {
     use mcds_core::{CdsScheduler, Comparison, DataScheduler, DsScheduler};
     use mcds_model::ArchParams;
 
-    fn rf_of(
-        app: &Application,
-        sched: &ClusterSchedule,
-        fb_kw: u64,
-    ) -> u64 {
+    fn rf_of(app: &Application, sched: &ClusterSchedule, fb_kw: u64) -> u64 {
         DsScheduler::new()
             .plan(app, sched, &ArchParams::m1_with_fb(Words::kilo(fb_kw)))
             .expect("fits")

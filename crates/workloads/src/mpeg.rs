@@ -37,7 +37,11 @@ pub fn mpeg_app(macroblocks: u64) -> Result<Application, ModelError> {
     let mb = Words::new(MB_WORDS);
     let mut b = ApplicationBuilder::new("mpeg");
 
-    let ref_window = b.data("ref_window", Words::new(2 * MB_WORDS), DataKind::ExternalInput);
+    let ref_window = b.data(
+        "ref_window",
+        Words::new(2 * MB_WORDS),
+        DataKind::ExternalInput,
+    );
     let cur_mb = b.data("cur_mb", mb, DataKind::ExternalInput);
     let qmat = b.data("qmat", Words::new(64), DataKind::ExternalInput);
     let tbl = b.data("tbl", Words::new(128), DataKind::ExternalInput);
@@ -128,11 +132,22 @@ mod tests {
             .clusters()
             .iter()
             .map(|c| {
-                cluster_peak(&app, &sched, &lt, &ret, c.id(), 1, FootprintModel::NoReplacement)
+                cluster_peak(
+                    &app,
+                    &sched,
+                    &lt,
+                    &ret,
+                    c.id(),
+                    1,
+                    FootprintModel::NoReplacement,
+                )
             })
             .collect();
         let worst = peaks.iter().max().expect("non-empty");
-        assert!(*worst > Words::kilo(1), "worst basic cluster exceeds 1K: {peaks:?}");
+        assert!(
+            *worst > Words::kilo(1),
+            "worst basic cluster exceeds 1K: {peaks:?}"
+        );
         assert_eq!(
             peaks.iter().position(|p| p == worst),
             Some(2),

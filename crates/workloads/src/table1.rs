@@ -5,7 +5,9 @@
 use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
 use serde::{Deserialize, Serialize};
 
-use crate::atr::{atr_fi_app, atr_fi_schedule, atr_sld_app, atr_sld_schedule, FiSchedule, SldSchedule};
+use crate::atr::{
+    atr_fi_app, atr_fi_schedule, atr_sld_app, atr_sld_schedule, FiSchedule, SldSchedule,
+};
 use crate::e_series::{e1, e2, e3};
 use crate::mpeg::{mpeg_app, mpeg_schedule};
 
@@ -166,8 +168,18 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "E1", "E1*", "E2", "E3", "MPEG", "MPEG*", "ATR-SLD", "ATR-SLD*", "ATR-SLD**",
-                "ATR-FI", "ATR-FI*", "ATR-FI**",
+                "E1",
+                "E1*",
+                "E2",
+                "E3",
+                "MPEG",
+                "MPEG*",
+                "ATR-SLD",
+                "ATR-SLD*",
+                "ATR-SLD**",
+                "ATR-FI",
+                "ATR-FI*",
+                "ATR-FI**",
             ]
         );
     }

@@ -6,7 +6,7 @@
 //! cargo run --example allocation_map
 //! ```
 
-use mcds_core::{AllocationWalk, CdsScheduler, DataScheduler, FootprintModel, Lifetimes};
+use mcds_core::{AllocationWalk, FootprintModel, Lifetimes, Pipeline};
 use mcds_fballoc::{render_map, Direction, FbAllocator};
 use mcds_model::{ArchParams, Words};
 use mcds_workloads::e_series::e1;
@@ -21,26 +21,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _d2 = fb.alloc("d2", Words::new(8), Direction::FromUpper)?; // kernel data
     let r13 = fb.alloc("r13", Words::new(8), Direction::FromLower)?; // intermediate
     let _r35 = fb.alloc("R3,5", Words::new(8), Direction::FromUpper)?; // shared result
-    println!("{}", render_map(fb.trace().expect("traced"), Words::new(64), 8));
+    println!(
+        "{}",
+        render_map(fb.trace().expect("traced"), Words::new(64), 8)
+    );
     fb.free(r13)?; // released after its last consumer
     fb.free(d13)?; // shared data expires after its last cluster
     println!("after release(c,k,iter):");
-    println!("{}", render_map(fb.trace().expect("traced"), Words::new(64), 8));
+    println!(
+        "{}",
+        render_map(fb.trace().expect("traced"), Words::new(64), 8)
+    );
 
     // Part 2: the real §5 walk over E1 under the Complete Data
     // Scheduler, with regularity and split statistics.
     println!("== E1 under the Complete Data Scheduler (FB = 1K/set) ==");
     let (app, sched) = e1(8)?;
-    let arch = ArchParams::m1_with_fb(Words::kilo(1));
-    let plan = CdsScheduler::new().plan(&app, &sched, &arch)?;
-    let lifetimes = Lifetimes::analyze(&app, &sched);
+    let pipeline = Pipeline::new(app)
+        .arch(ArchParams::m1_with_fb(Words::kilo(1)))
+        .schedule(sched);
+    let run = pipeline.run()?;
+    let (app, sched, plan) = (pipeline.app(), run.schedule(), run.plan());
+    let lifetimes = Lifetimes::analyze(app, sched);
     let walk = AllocationWalk::new(
-        &app,
-        &sched,
+        app,
+        sched,
         &lifetimes,
         plan.retention(),
         plan.rf(),
-        arch.fb_set_words(),
+        pipeline.arch_params().fb_set_words(),
         FootprintModel::Replacement,
     );
     let report = walk.run(2, true)?;

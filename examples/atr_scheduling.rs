@@ -11,16 +11,14 @@
 //! cargo run --example atr_scheduling
 //! ```
 
-use mcds_core::{evaluate, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler};
+use mcds_core::{McdsError, Pipeline};
 use mcds_model::{ArchParams, Words};
 use mcds_workloads::atr::{atr_sld_app, atr_sld_schedule, SldSchedule};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), McdsError> {
     let app = atr_sld_app(32)?;
     let arch = ArchParams::m1_with_fb(Words::kilo(8));
-    println!(
-        "ATR-SLD: 4 chips x template correlation, bank = 3K words, FB = 8K\n"
-    );
+    println!("ATR-SLD: 4 chips x template correlation, bank = 3K words, FB = 8K\n");
 
     for (label, which) in [
         ("per-chip clusters (ATR-SLD*)", SldSchedule::PerChip),
@@ -29,14 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("paired chips (minimal sharing)", SldSchedule::Paired),
     ] {
         let sched = atr_sld_schedule(&app, which)?;
-        let basic = BasicScheduler::new().plan(&app, &sched, &arch)?;
-        let ds = DsScheduler::new().plan(&app, &sched, &arch)?;
-        let cds = CdsScheduler::new().plan(&app, &sched, &arch)?;
-        let t_basic = evaluate(&basic, &arch)?;
-        let t_ds = evaluate(&ds, &arch)?;
-        let t_cds = evaluate(&cds, &arch)?;
+        let pipeline = Pipeline::new(app.clone()).arch(arch).schedule(sched);
+        let cmp = pipeline.compare()?;
+        let comparison = cmp.comparison();
+        let (cds, t_cds) = comparison.cds.as_ref().map_err(|e| e.clone())?;
+        let (_, t_basic) = comparison.basic.as_ref().map_err(|e| e.clone())?;
+        let (_, t_ds) = comparison.ds.as_ref().map_err(|e| e.clone())?;
 
-        println!("== {label}: {} clusters ==", sched.len());
+        println!("== {label}: {} clusters ==", cmp.schedule().len());
         println!(
             "   DT retained/iteration: {} across {} shared objects",
             cds.dt_avoided_per_iter(),
@@ -55,9 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "   basic {}   ds {} ({:+.1}%)   cds {} ({:+.1}%)\n",
             t_basic.total(),
             t_ds.total(),
-            t_ds.improvement_over(&t_basic) * 100.0,
+            t_ds.improvement_over(t_basic) * 100.0,
             t_cds.total(),
-            t_cds.improvement_over(&t_basic) * 100.0,
+            t_cds.improvement_over(t_basic) * 100.0,
         );
     }
     Ok(())

@@ -7,7 +7,7 @@
 //! cargo run --example codegen_program
 //! ```
 
-use mcds_core::{evaluate, CdsScheduler, CodeOp, DataScheduler, generate_program};
+use mcds_core::{generate_program, CodeOp, Pipeline, SchedulerKind};
 use mcds_ksched::{KernelScheduler, Objective, SearchStrategy};
 use mcds_model::{ApplicationBuilder, ArchParams, Cycles, DataKind, Words};
 
@@ -22,43 +22,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spectrum = b.data("spectrum", Words::new(256), DataKind::Intermediate);
     let mag = b.data("mag", Words::new(128), DataKind::Intermediate);
     let hits = b.data("hits", Words::new(64), DataKind::FinalResult);
-    b.kernel("window", 96, Cycles::new(180), &[pulse, coeffs], &[windowed]);
+    b.kernel(
+        "window",
+        96,
+        Cycles::new(180),
+        &[pulse, coeffs],
+        &[windowed],
+    );
     b.kernel("fft", 256, Cycles::new(420), &[windowed], &[spectrum]);
     b.kernel("mag", 64, Cycles::new(120), &[spectrum], &[mag]);
     b.kernel("cfar", 128, Cycles::new(200), &[mag, coeffs], &[hits]);
     let app = b.iterations(64).build()?;
-    let arch = ArchParams::m1();
 
-    // 1. Kernel scheduling: explore partitions with the exact (CDS)
-    //    objective.
-    let sched = KernelScheduler::new(SearchStrategy::Exhaustive)
-        .with_objective(Objective::SimulateCds)
-        .schedule(&app, &arch)?;
+    // One pipeline covers stages 1 and 2: kernel scheduling (exhaustive
+    // partition search with the exact CDS objective) followed by data
+    // scheduling and simulation.
+    let pipeline = Pipeline::new(app)
+        .arch(ArchParams::m1())
+        .clustering(
+            KernelScheduler::new(SearchStrategy::Exhaustive).with_objective(Objective::SimulateCds),
+        )
+        .scheduler(SchedulerKind::Cds);
+    let run = pipeline.run()?;
+    let (app, sched, plan) = (pipeline.app(), run.schedule(), run.plan());
     println!("kernel schedule ({} clusters):", sched.len());
     for c in sched.clusters() {
         let names: Vec<&str> = c.kernels().iter().map(|&k| app.kernel(k).name()).collect();
         println!("  {} on {}: {:?}", c.id(), sched.fb_set(c.id()), names);
     }
 
-    // 2. Data scheduling.
-    let plan = CdsScheduler::new().plan(&app, &sched, &arch)?;
-    let report = evaluate(&plan, &arch)?;
     println!(
         "\nCDS plan: RF={} DT={}/iter time={}\n",
         plan.rf(),
         plan.dt_avoided_per_iter(),
-        report.total()
+        run.report().total()
     );
 
     // 3. Code generation.
-    let prog = generate_program(&app, &sched, &plan)?;
+    let prog = generate_program(app, sched, plan)?;
     println!("; warm-up round ({} instructions)", prog.warmup().len());
     for op in prog.warmup() {
-        println!("  {}", op.display(&app));
+        println!("  {}", op.display(app));
     }
-    println!("\n; steady-state round, executed {} more times", prog.steady_rounds());
+    println!(
+        "\n; steady-state round, executed {} more times",
+        prog.steady_rounds()
+    );
     for op in prog.steady() {
-        println!("  {}", op.display(&app));
+        println!("  {}", op.display(app));
     }
 
     let dma_ins = prog

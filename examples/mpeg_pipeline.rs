@@ -2,17 +2,19 @@
 //! feasibility boundary (the Basic Scheduler cannot run MPEG in a 1K
 //! set) and how the reuse factor and improvements grow with memory.
 //!
+//! The memory axis is swept by the parallel [`SweepSpec`] engine — one
+//! workload, four architecture variants, all three schedulers.
+//!
 //! ```sh
 //! cargo run --example mpeg_pipeline
 //! ```
 
-use mcds_core::{
-    evaluate, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, ScheduleError,
-};
-use mcds_model::{ArchParams, Words};
+use mcds_core::McdsError;
+use mcds_model::Words;
+use mcds_sweep::{SweepSpec, SweepWorkload};
 use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), McdsError> {
     let app = mpeg_app(48)?;
     let sched = mpeg_schedule(&app)?;
     println!(
@@ -21,58 +23,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sched.len(),
         app.total_data_per_iteration()
     );
+
+    let report = SweepSpec::new()
+        .workload(SweepWorkload::new("MPEG", app).partition("paper", sched))
+        .fb_sizes([1u64, 2, 3, 4].map(Words::kilo))
+        .run()?;
+
     println!(
         "{:<8} {:>8} {:>12} {:>12} {:>12}",
         "FB set", "scheduler", "RF", "time", "vs basic"
     );
-
-    for kw in [1u64, 2, 3, 4] {
-        let arch = ArchParams::m1_with_fb(Words::kilo(kw));
-        let mut basic_time: Option<u64> = None;
-        for scheduler in [
-            &BasicScheduler::new() as &dyn DataScheduler,
-            &DsScheduler::new(),
-            &CdsScheduler::new(),
-        ] {
-            match scheduler.plan(&app, &sched, &arch) {
-                Ok(plan) => {
-                    let report = evaluate(&plan, &arch)?;
-                    let vs = match basic_time {
-                        Some(b) => format!(
-                            "{:+.1}%",
-                            (b as f64 - report.total().get() as f64) / b as f64 * 100.0
-                        ),
-                        None => "-".to_owned(),
-                    };
-                    if plan.scheduler() == "basic" {
-                        basic_time = Some(report.total().get());
-                    }
-                    println!(
-                        "{:<8} {:>8} {:>12} {:>12} {:>12}",
-                        format!("{kw}K"),
-                        plan.scheduler(),
-                        plan.rf(),
-                        report.total().to_string(),
-                        vs
-                    );
-                }
-                Err(ScheduleError::Infeasible {
-                    scheduler,
-                    cluster,
-                    required,
-                    capacity,
-                }) => {
-                    println!(
-                        "{:<8} {:>8} {:>12} {:>12} {:>12}",
-                        format!("{kw}K"),
-                        scheduler,
-                        "-",
-                        format!("INFEASIBLE"),
-                        format!("{cluster} needs {required} > {capacity}")
-                    );
-                }
-                Err(e) => return Err(e.into()),
-            }
+    for row in &report.rows {
+        let basic_cycles = row
+            .outcomes
+            .iter()
+            .find(|o| o.scheduler.name() == "basic")
+            .and_then(|o| o.total_cycles);
+        for o in &row.outcomes {
+            let (rf, time, vs) = match o.total_cycles {
+                Some(cycles) => (
+                    o.rf.expect("feasible points have an RF").to_string(),
+                    cycles.to_string(),
+                    match basic_cycles {
+                        Some(b) if o.scheduler.name() != "basic" => {
+                            format!("{:+.1}%", (b as f64 - cycles as f64) / b as f64 * 100.0)
+                        }
+                        _ => "-".to_owned(),
+                    },
+                ),
+                None => (
+                    "-".to_owned(),
+                    "INFEASIBLE".to_owned(),
+                    o.error.clone().unwrap_or_default(),
+                ),
+            };
+            println!(
+                "{:<8} {:>8} {:>12} {:>12} {:>12}",
+                format!("{}K", row.fb_set.get() / 1024),
+                o.scheduler,
+                rf,
+                time,
+                vs
+            );
         }
         println!();
     }

@@ -18,7 +18,12 @@ fn no_splits_in_any_experiment() {
             Ok(p) => p,
             Err(err) => panic!("{}: CDS must run: {err}", e.name),
         };
-        assert_eq!(plan.allocation().splits(), 0, "{}: split allocations", e.name);
+        assert_eq!(
+            plan.allocation().splits(),
+            0,
+            "{}: split allocations",
+            e.name
+        );
     }
 }
 
@@ -27,7 +32,9 @@ fn no_splits_in_any_experiment() {
 #[test]
 fn peaks_bounded_by_analysis() {
     for e in table1_experiments() {
-        let plan = CdsScheduler::new().plan(&e.app, &e.sched, &e.arch).expect("runs");
+        let plan = CdsScheduler::new()
+            .plan(&e.app, &e.sched, &e.arch)
+            .expect("runs");
         let lt = Lifetimes::analyze(&e.app, &e.sched);
         let bound: Words = e
             .sched
@@ -67,7 +74,9 @@ fn peaks_bounded_by_analysis() {
 #[test]
 fn steady_state_placements_are_regular() {
     for e in table1_experiments() {
-        let plan = CdsScheduler::new().plan(&e.app, &e.sched, &e.arch).expect("runs");
+        let plan = CdsScheduler::new()
+            .plan(&e.app, &e.sched, &e.arch)
+            .expect("runs");
         let report = plan.allocation();
         assert_eq!(
             report.irregular(),
@@ -78,7 +87,11 @@ fn steady_state_placements_are_regular() {
         );
         // At least one full extra round was walked, so regular hits
         // must have occurred.
-        assert!(report.regular_hits() > 0, "{}: no regular placements", e.name);
+        assert!(
+            report.regular_hits() > 0,
+            "{}: no regular placements",
+            e.name
+        );
     }
 }
 
@@ -87,7 +100,9 @@ fn steady_state_placements_are_regular() {
 #[test]
 fn allocation_walk_is_deterministic() {
     let e = &table1_experiments()[0];
-    let plan = CdsScheduler::new().plan(&e.app, &e.sched, &e.arch).expect("runs");
+    let plan = CdsScheduler::new()
+        .plan(&e.app, &e.sched, &e.arch)
+        .expect("runs");
     let lt = Lifetimes::analyze(&e.app, &e.sched);
     let run = || {
         AllocationWalk::new(
@@ -115,11 +130,23 @@ fn replacement_only_shrinks_requirements() {
         let empty = RetentionSet::empty();
         let fbs = e.arch.fb_set_words();
         let repl = AllocationWalk::new(
-            &e.app, &e.sched, &lt, &empty, 1, fbs, FootprintModel::Replacement,
+            &e.app,
+            &e.sched,
+            &lt,
+            &empty,
+            1,
+            fbs,
+            FootprintModel::Replacement,
         )
         .run(1, false);
         let basic = AllocationWalk::new(
-            &e.app, &e.sched, &lt, &empty, 1, fbs, FootprintModel::NoReplacement,
+            &e.app,
+            &e.sched,
+            &lt,
+            &empty,
+            1,
+            fbs,
+            FootprintModel::NoReplacement,
         )
         .run(1, false);
         let repl = repl.expect("replacement fits wherever the schedulers ran");

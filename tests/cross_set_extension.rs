@@ -2,7 +2,7 @@
 //! across Frame Buffer sets on a dual-ported FB
 //! (`ArchParams::fb_cross_set_access`).
 
-use mcds_core::{evaluate, CdsScheduler, Comparison, DataScheduler, generate_program};
+use mcds_core::{evaluate, generate_program, CdsScheduler, Comparison, DataScheduler};
 use mcds_model::ArchParams;
 use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
 use mcds_workloads::table1::table1_experiments;
@@ -17,9 +17,13 @@ fn dual(arch: &ArchParams) -> ArchParams {
 fn dual_port_dominates_m1_on_every_experiment() {
     let mut strictly_better = 0;
     for e in table1_experiments() {
-        let m1 = CdsScheduler::new().plan(&e.app, &e.sched, &e.arch).expect("fits");
+        let m1 = CdsScheduler::new()
+            .plan(&e.app, &e.sched, &e.arch)
+            .expect("fits");
         let dual_arch = dual(&e.arch);
-        let ext = CdsScheduler::new().plan(&e.app, &e.sched, &dual_arch).expect("fits");
+        let ext = CdsScheduler::new()
+            .plan(&e.app, &e.sched, &dual_arch)
+            .expect("fits");
         let t_m1 = evaluate(&m1, &e.arch).expect("runs");
         let t_ext = evaluate(&ext, &dual_arch).expect("runs");
         assert!(
@@ -27,7 +31,11 @@ fn dual_port_dominates_m1_on_every_experiment() {
             "{}: dual-ported FB slowed execution",
             e.name
         );
-        assert!(ext.dt_avoided_per_iter() >= m1.dt_avoided_per_iter(), "{}", e.name);
+        assert!(
+            ext.dt_avoided_per_iter() >= m1.dt_avoided_per_iter(),
+            "{}",
+            e.name
+        );
         if t_ext.total() < t_m1.total() {
             strictly_better += 1;
         }
@@ -54,7 +62,10 @@ fn mpeg_qmat_retained_cross_set() {
         .collect();
     assert!(names.contains(&"qmat"), "retained: {names:?}");
     assert!(
-        plan.retention().candidates().iter().any(|c| c.is_cross_set()),
+        plan.retention()
+            .candidates()
+            .iter()
+            .any(|c| c.is_cross_set()),
         "at least one retention must span sets"
     );
     // The allocation walk placed everything without splits.

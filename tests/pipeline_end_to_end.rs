@@ -2,9 +2,7 @@
 //! context scheduling → data scheduling → allocation → simulation, all
 //! driven through the public APIs of the workspace crates.
 
-use mcds_core::{
-    evaluate, BasicScheduler, CdsScheduler, Comparison, DataScheduler, DsScheduler,
-};
+use mcds_core::{evaluate, BasicScheduler, CdsScheduler, Comparison, DataScheduler, DsScheduler};
 use mcds_ksched::{KernelScheduler, SearchStrategy};
 use mcds_model::{ApplicationBuilder, ArchParams, Cycles, DataKind, Words};
 use mcds_workloads::mpeg::{mpeg_app, mpeg_schedule};
@@ -41,9 +39,15 @@ fn full_pipeline_with_kernel_scheduler() {
         .expect("feasible partition exists");
 
     // All three data schedulers produce valid plans that simulate.
-    let basic = BasicScheduler::new().plan(&app, &sched, &arch).expect("basic plan");
-    let ds = DsScheduler::new().plan(&app, &sched, &arch).expect("ds plan");
-    let cds = CdsScheduler::new().plan(&app, &sched, &arch).expect("cds plan");
+    let basic = BasicScheduler::new()
+        .plan(&app, &sched, &arch)
+        .expect("basic plan");
+    let ds = DsScheduler::new()
+        .plan(&app, &sched, &arch)
+        .expect("ds plan");
+    let cds = CdsScheduler::new()
+        .plan(&app, &sched, &arch)
+        .expect("cds plan");
 
     let t_basic = evaluate(&basic, &arch).expect("basic runs");
     let t_ds = evaluate(&ds, &arch).expect("ds runs");

@@ -2,8 +2,9 @@
 //! workloads (invariants 1–6 of DESIGN.md).
 
 use mcds_core::{
-    all_fit, cluster_peak, ds_formula, evaluate, AllocationWalk, BasicScheduler, CdsScheduler,
-    DataScheduler, DsScheduler, FootprintModel, Lifetimes, RetentionSet,
+    all_fit, cluster_peak, ds_formula, evaluate, find_candidates_with, max_common_rf,
+    AllocationWalk, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, FootprintModel,
+    Lifetimes, RetentionSet, ScheduleAnalysis,
 };
 use mcds_model::{ArchParams, Words};
 use mcds_workloads::synthetic::{SyntheticConfig, SyntheticGenerator};
@@ -121,6 +122,42 @@ proptest! {
                 let report = walk.run(2, false);
                 prop_assert!(report.is_ok(), "rf={rf}: walk failed: {report:?}");
             }
+        }
+    }
+
+    /// Sweep memoization: every cached invariant of
+    /// [`ScheduleAnalysis`] equals its freshly computed counterpart,
+    /// cold and warm.
+    #[test]
+    fn memoized_invariants_match_fresh((seed, cfg) in config_strategy()) {
+        let (app, sched) = SyntheticGenerator::new(seed).generate(&cfg).expect("valid");
+        let analysis = ScheduleAnalysis::new(&app, &sched);
+        let lt = Lifetimes::analyze(&app, &sched);
+        let empty = RetentionSet::empty();
+        for c in sched.clusters() {
+            for rf in [1, 2, app.iterations()] {
+                for model in [FootprintModel::Replacement, FootprintModel::NoReplacement] {
+                    let fresh = cluster_peak(&app, &sched, &lt, &empty, c.id(), rf, model);
+                    let cold = analysis.cluster_footprint(&app, &sched, c.id(), rf, model);
+                    let warm = analysis.cluster_footprint(&app, &sched, c.id(), rf, model);
+                    prop_assert_eq!(cold, fresh, "cold {} rf={}", c.id(), rf);
+                    prop_assert_eq!(warm, fresh, "warm {} rf={}", c.id(), rf);
+                }
+            }
+        }
+        for fbs in [Words::kilo(1), Words::kilo(4)] {
+            let model = FootprintModel::Replacement;
+            prop_assert_eq!(
+                analysis.max_common_rf_empty(&app, &sched, model, fbs),
+                max_common_rf(&app, &sched, &lt, &empty, model, fbs),
+                "fbs={}", fbs
+            );
+        }
+        for cross in [false, true] {
+            prop_assert_eq!(
+                analysis.sharing_candidates(&app, &sched, cross),
+                &find_candidates_with(&app, &sched, &lt, cross)[..]
+            );
         }
     }
 

@@ -1,0 +1,63 @@
+//! The `mcds sweep` acceptance grid: the Table-1 design space evaluated
+//! in parallel, deterministically.
+
+use mcds_bench::table1_sweep;
+use mcds_core::SchedulerKind;
+
+#[test]
+fn table1_grid_exceeds_fifty_points() {
+    let spec = table1_sweep(&[1, 2, 3, 8], false);
+    assert!(
+        spec.points() >= 50,
+        "grid has only {} points",
+        spec.points()
+    );
+    // 6 workloads, 9 partitions total (ATR-SLD has 3, ATR-FI has 2),
+    // 4 architectures, 3 schedulers.
+    assert_eq!(spec.points(), 9 * 4 * 3);
+}
+
+#[test]
+fn table1_sweep_is_deterministic_across_thread_counts() {
+    let fb = [1u64, 2, 8];
+    let serial = table1_sweep(&fb, false)
+        .threads(Some(1))
+        .run()
+        .expect("runs");
+    let parallel = table1_sweep(&fb, false)
+        .threads(Some(8))
+        .run()
+        .expect("runs");
+    assert_eq!(
+        serial.to_json().expect("serializes"),
+        parallel.to_json().expect("serializes")
+    );
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.points(), 9 * 3 * 3);
+}
+
+#[test]
+fn table1_sweep_reproduces_known_feasibility_shape() {
+    let report = table1_sweep(&[1, 2], false).run().expect("runs");
+    // MPEG@1K: Basic infeasible (the paper's headline boundary), CDS ok.
+    let mpeg_1k = report
+        .rows
+        .iter()
+        .find(|r| r.workload == "MPEG" && r.fb_set.get() == 1024)
+        .expect("cell exists");
+    assert!(!mpeg_1k.row.basic_feasible);
+    let cds = mpeg_1k
+        .outcomes
+        .iter()
+        .find(|o| o.scheduler == SchedulerKind::Cds)
+        .expect("on the axis");
+    assert!(cds.total_cycles.is_some(), "CDS runs MPEG in 1K: {cds:?}");
+    // E1@2K (the paper's E1* row): everything feasible, CDS ahead.
+    let e1_2k = report
+        .rows
+        .iter()
+        .find(|r| r.workload == "E1" && r.fb_set.get() == 2048)
+        .expect("cell exists");
+    assert!(e1_2k.row.basic_feasible);
+    assert!(e1_2k.row.cds_improvement.expect("ran") > 0.0);
+}

@@ -121,8 +121,16 @@ fn dt_magnitudes() {
             .row
             .dt_avoided
     };
-    assert!(dt("ATR-SLD*") >= Words::kilo(6), "ATR-SLD* DT = {}", dt("ATR-SLD*"));
-    assert!(dt("ATR-FI") <= Words::new(512), "ATR-FI DT = {}", dt("ATR-FI"));
+    assert!(
+        dt("ATR-SLD*") >= Words::kilo(6),
+        "ATR-SLD* DT = {}",
+        dt("ATR-SLD*")
+    );
+    assert!(
+        dt("ATR-FI") <= Words::new(512),
+        "ATR-FI DT = {}",
+        dt("ATR-FI")
+    );
     assert!(dt("E1") == Words::new(800), "E1 DT = {}", dt("E1"));
 }
 

@@ -1,0 +1,469 @@
+//! Vendored minimal substitute for `serde_derive`, used because the
+//! build environment has no registry access.
+//!
+//! Generates implementations of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (a `Value`-tree model, not the visitor
+//! model of real serde). Supports the subset of shapes this workspace
+//! uses: non-generic structs with named fields, tuple structs, and
+//! enums with unit / newtype / struct variants, plus the container
+//! attribute `#[serde(transparent)]` and the field attributes
+//! `#[serde(default)]` and `#[serde(flatten)]`.
+
+// Vendored API-compatible substitute; not linted.
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    flatten: bool,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading attributes, returning the `serde(...)` words seen.
+    fn take_attrs(&mut self) -> Vec<String> {
+        let mut words = Vec::new();
+        loop {
+            let is_hash = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_hash {
+                return words;
+            }
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("serde_derive: expected [...] after #");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if is_serde {
+                for t in &inner {
+                    if let TokenTree::Group(args) = t {
+                        for a in args.stream() {
+                            if let TokenTree::Ident(w) = a {
+                                words.push(w.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes an optional `pub` / `pub(...)` visibility.
+    fn take_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a type (or expression) until a top-level `,`, tracking
+    /// angle-bracket depth. The comma itself is consumed.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let words = c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.take_visibility();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            panic!("serde_derive: expected field name");
+        };
+        // Consume `:` then the type.
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(Field {
+            name: name.to_string(),
+            default: words.iter().any(|w| w == "default"),
+            flatten: words.iter().any(|w| w == "flatten"),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.take_visibility();
+        if c.at_end() {
+            break;
+        }
+        count += 1;
+        c.skip_until_comma();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.take_attrs();
+        if c.at_end() {
+            break;
+        }
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            panic!("serde_derive: expected variant name");
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.next();
+                VariantFields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Consume up to and including the variant separator.
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut c = Cursor::new(stream);
+    let words = c.take_attrs();
+    let transparent = words.iter().any(|w| w == "transparent");
+    c.take_visibility();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        panic!("serde_derive: expected type name");
+    };
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::TupleStruct(0),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Input {
+        name: name.to_string(),
+        transparent,
+        shape,
+    }
+}
+
+fn serialize_named_fields(fields: &[Field], access: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = format!("::serde::Serialize::to_value(&{access}{})", f.name);
+        if f.flatten {
+            out.push_str(&format!(
+                "match {expr} {{\n\
+                 ::serde::Value::Map(__entries) => __m.extend(__entries),\n\
+                 __other => __m.push((\"{n}\".to_string(), __other)),\n\
+                 }}\n",
+                n = f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), {expr}));\n",
+                n = f.name
+            ));
+        }
+    }
+    out
+}
+
+fn deserialize_named_fields(fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("::serde::Deserialize::missing_field(\"{}\")?", f.name)
+        };
+        let arm = if f.flatten {
+            format!("::serde::Deserialize::from_value({source})?")
+        } else {
+            format!(
+                "match {source}.get(\"{n}\") {{\n\
+                 Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 None => {missing},\n\
+                 }}",
+                n = f.name
+            )
+        };
+        out.push_str(&format!("{n}: {arm},\n", n = f.name));
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            if input.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                format!(
+                    "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{}\
+                     ::serde::Value::Map(__m)",
+                    serialize_named_fields(fields, "self.")
+                )
+            }
+        }
+        Shape::TupleStruct(n) => {
+            if input.transparent || *n == 1 {
+                assert_eq!(*n, 1, "transparent needs exactly one field");
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}\
+                             ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(__m))])\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => \
+                             ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse().expect("serde_derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            if input.transparent {
+                assert_eq!(fields.len(), 1, "transparent needs exactly one field");
+                format!(
+                    "Ok({name} {{ {f}: ::serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                format!(
+                    "if !matches!(__v, ::serde::Value::Map(_)) {{\n\
+                     return Err(::serde::Error::custom(format!(\
+                     \"expected an object for `{name}`\")));\n}}\n\
+                     Ok({name} {{\n{}\n}})",
+                    deserialize_named_fields(fields, "__v")
+                )
+            }
+        }
+        Shape::TupleStruct(n) => {
+            assert_eq!(*n, 1, "vendored serde_derive: only newtype tuple structs");
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    VariantFields::Named(fields) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{\n{}\n}}),\n",
+                            deserialize_named_fields(fields, "__inner")
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        assert_eq!(*n, 1, "vendored serde_derive: only newtype enum variants");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for `{name}`\"))),\n}},\n\
+                 ::serde::Value::Map(__entries) => {{\n\
+                 let Some((__tag, __inner)) = __entries.first() else {{\n\
+                 return Err(::serde::Error::custom(\"empty enum object\".to_string()));\n}};\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for `{name}`\"))),\n}}\n}},\n\
+                 _ => return Err(::serde::Error::custom(\
+                 \"expected a string or single-key object for an enum\".to_string())),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unreachable_code, clippy::needless_return)]\n\
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse().expect("serde_derive: generated invalid Rust")
+}
