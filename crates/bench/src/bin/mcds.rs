@@ -7,6 +7,7 @@
 //! mcds sample-app                          # print a sample application JSON
 //! mcds inspect  <app.json>                 # summary + dataflow
 //! mcds plan     <app.json> [options]       # plan + simulate
+//! mcds run      <app.json> [options]       # plan + simulate with tracing
 //! mcds explore  <app.json> [options]       # kernel-scheduler partition search
 //! mcds sweep    [app.json …] [options]     # parallel design-space sweep
 //!
@@ -18,6 +19,11 @@
 //!   --gantt                print the execution Gantt chart
 //!   --program              print the generated transfer program (code generator output)
 //!
+//! run options (in addition to the options above):
+//!   --explain              print the human-readable decision log
+//!   --trace-out F.jsonl    stream every trace event to F.jsonl (one JSON object per line)
+//!   --metrics              print the aggregated metrics counters after the run
+//!
 //! sweep options:
 //!   --fb-kw-list 1,2,3,8   FB sizes to cross every workload with
 //!   --threads N            worker threads (default: all cores; 1 = serial)
@@ -28,9 +34,10 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mcds_bench::table1_sweep;
-use mcds_core::{McdsError, Pipeline, SchedulerKind};
+use mcds_core::{JsonLinesSink, McdsError, MetricsRegistry, Pipeline, SchedulerKind};
 use mcds_ksched::{KernelScheduler, SearchStrategy};
 use mcds_model::{
     Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId, Words,
@@ -52,7 +59,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
         return Err(McdsError::spec(
-            "usage: mcds <sample-app|inspect|plan|explore|sweep> …",
+            "usage: mcds <sample-app|inspect|plan|run|explore|sweep> …",
         ));
     };
     match cmd.as_str() {
@@ -62,6 +69,7 @@ fn run(args: &[String]) -> Result<(), McdsError> {
                 .ok_or_else(|| McdsError::spec("inspect needs an app.json path"))?,
         ),
         "plan" => plan(&args[1..]),
+        "run" => traced_run(&args[1..]),
         "explore" => explore(&args[1..]),
         "sweep" => sweep(&args[1..]),
         other => Err(McdsError::spec(format!("unknown command `{other}`"))),
@@ -272,6 +280,46 @@ fn plan(args: &[String]) -> Result<(), McdsError> {
         flag(args, "--gantt"),
         flag(args, "--program"),
     )
+}
+
+fn traced_run(args: &[String]) -> Result<(), McdsError> {
+    let path = args
+        .first()
+        .ok_or_else(|| McdsError::spec("run needs an app.json path"))?;
+    let app = load_app(path)?;
+    let sched = schedule_from(args, &app)?;
+    let mut pipeline = Pipeline::new(app)
+        .arch(arch_from(args)?)
+        .schedule(sched)
+        .scheduler(scheduler_from(args)?);
+    if let Some(out) = opt(args, "--trace-out") {
+        pipeline = pipeline.trace(JsonLinesSink::create(out)?);
+    }
+    let metrics = flag(args, "--metrics").then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(m) = &metrics {
+        pipeline = pipeline.metrics(Arc::clone(m));
+    }
+    let run = if flag(args, "--explain") {
+        let (run, log) = pipeline.explain()?;
+        print!("{log}");
+        println!();
+        run
+    } else {
+        pipeline.run()?
+    };
+    print_run(
+        &pipeline,
+        &run,
+        flag(args, "--gantt"),
+        flag(args, "--program"),
+    )?;
+    if let Some(m) = metrics {
+        println!("\nmetrics:");
+        for (name, value) in m.snapshot() {
+            println!("  {name:<24} {value}");
+        }
+    }
+    Ok(())
 }
 
 fn explore(args: &[String]) -> Result<(), McdsError> {

@@ -16,7 +16,7 @@ use mcds_model::{Application, ClusterId, ClusterSchedule, DataId, Words};
 use serde::{Deserialize, Serialize};
 
 use crate::sharing::RetainedKind;
-use crate::{FootprintModel, Lifetimes, RetentionSet};
+use crate::{Event, FootprintModel, Lifetimes, Observer, RetentionSet};
 
 /// The placement role of an allocated instance — which branch of the
 /// paper's Figure 4 allocated it.
@@ -129,6 +129,7 @@ pub struct AllocationWalk<'a> {
     rf: u64,
     capacity: Words,
     model: FootprintModel,
+    observer: Observer<'a>,
 }
 
 impl<'a> AllocationWalk<'a> {
@@ -153,7 +154,16 @@ impl<'a> AllocationWalk<'a> {
             rf,
             capacity,
             model,
+            observer: Observer::none(),
         }
+    }
+
+    /// Returns the walk streaming every allocator action (alloc / free
+    /// with free-list state hashes) and counters through `observer`.
+    #[must_use]
+    pub fn observed(mut self, observer: Observer<'a>) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Runs the walk for `rounds` rounds (clamped to the application's
@@ -189,7 +199,7 @@ impl<'a> AllocationWalk<'a> {
     ) -> Result<(AllocationReport, Vec<PlacementRecord>), AllocError> {
         let total_rounds = self.app.iterations().div_ceil(self.rf);
         let rounds = rounds.min(total_rounds);
-        let mut state = WalkState::new(self.capacity, traced, record);
+        let mut state = WalkState::new(self.capacity, traced, record, self.observer);
 
         for round in 0..rounds {
             let iters = self.rf.min(self.app.iterations() - round * self.rf);
@@ -204,7 +214,7 @@ impl<'a> AllocationWalk<'a> {
 
     fn walk_stage(
         &self,
-        state: &mut WalkState,
+        state: &mut WalkState<'_>,
         round: u64,
         c: ClusterId,
         iters: u64,
@@ -348,8 +358,12 @@ impl<'a> AllocationWalk<'a> {
     }
 }
 
+fn set_u8(si: usize) -> u8 {
+    u8::try_from(si).expect("set index fits u8")
+}
+
 /// Mutable walk state: allocators, live instances, deferred frees.
-struct WalkState {
+struct WalkState<'a> {
     fbs: [FbAllocator; 2],
     mems: [PlacementMemory<(DataId, u64)>; 2],
     /// (round, cluster) of the stage being walked.
@@ -361,10 +375,11 @@ struct WalkState {
     live: HashMap<(usize, DataId, u64), AllocHandle>,
     pending: [Vec<AllocHandle>; 2],
     splits: u64,
+    observer: Observer<'a>,
 }
 
-impl WalkState {
-    fn new(capacity: Words, traced: bool, record: bool) -> Self {
+impl<'a> WalkState<'a> {
+    fn new(capacity: Words, traced: bool, record: bool, observer: Observer<'a>) -> Self {
         let mk = || {
             if traced {
                 FbAllocator::with_trace(capacity)
@@ -372,6 +387,12 @@ impl WalkState {
                 FbAllocator::new(capacity)
             }
         };
+        for si in 0..2u8 {
+            observer.emit(|| Event::FbReset {
+                set: si,
+                capacity: capacity.get(),
+            });
+        }
         WalkState {
             fbs: [mk(), mk()],
             mems: [PlacementMemory::new(), PlacementMemory::new()],
@@ -381,6 +402,7 @@ impl WalkState {
             live: HashMap::new(),
             pending: [Vec::new(), Vec::new()],
             splits: 0,
+            observer,
         }
     }
 
@@ -390,7 +412,36 @@ impl WalkState {
 
     fn drain_pending(&mut self, si: usize) -> Result<(), AllocError> {
         for handle in std::mem::take(&mut self.pending[si]) {
-            self.fbs[si].free_handle(handle)?;
+            self.free_traced(si, handle)?;
+        }
+        Ok(())
+    }
+
+    /// Frees `handle`, emitting the [`Event::FbFree`] (label and
+    /// segments must be captured *before* the release).
+    fn free_traced(&mut self, si: usize, handle: AllocHandle) -> Result<(), AllocError> {
+        let released = if self.observer.active() {
+            self.fbs[si].allocation(handle).map(|a| {
+                (
+                    a.label().to_owned(),
+                    a.segments()
+                        .iter()
+                        .map(|s| (s.start, s.len.get()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+        } else {
+            None
+        };
+        self.fbs[si].free_handle(handle)?;
+        self.observer.count("fb.frees", 1);
+        if let Some((label, segments)) = released {
+            self.observer.emit(|| Event::FbFree {
+                set: set_u8(si),
+                label,
+                segments,
+                free_hash: self.fbs[si].free_list_hash(),
+            });
         }
         Ok(())
     }
@@ -426,12 +477,30 @@ impl WalkState {
                 Ok(a) => a,
                 Err(AllocError::NoContiguousBlock { .. }) => {
                     // Last resort: split across free blocks.
-                    let a = self.fbs[si].alloc_split(label, size, dir)?;
+                    let a = self.fbs[si].alloc_split(label.clone(), size, dir)?;
                     self.splits += 1;
+                    self.observer.count("fb.splits", 1);
                     a
                 }
                 Err(e) => return Err(e),
             };
+        self.observer.count("fb.allocs", 1);
+        self.observer.emit(|| Event::FbAlloc {
+            set: set_u8(si),
+            label: label.clone(),
+            role: format!("{role:?}"),
+            segments: alloc
+                .segments()
+                .iter()
+                .map(|s| (s.start, s.len.get()))
+                .collect(),
+            side: match dir {
+                Direction::FromUpper => "upper",
+                Direction::FromLower => "lower",
+            }
+            .to_owned(),
+            free_hash: self.fbs[si].free_list_hash(),
+        });
         if self.record {
             self.placements.push(PlacementRecord {
                 round: self.at.0,
@@ -454,7 +523,7 @@ impl WalkState {
 
     fn free_instance(&mut self, si: usize, d: DataId, slot: u64) -> Result<(), AllocError> {
         if let Some(handle) = self.live.remove(&(si, d, slot)) {
-            self.fbs[si].free_handle(handle)?;
+            self.free_traced(si, handle)?;
         }
         Ok(())
     }

@@ -206,6 +206,27 @@ pub fn all_fit(
         .all(|cl| cluster_peak(app, sched, lifetimes, retention, cl.id(), rf, model) <= fbs)
 }
 
+/// Returns the first cluster (in schedule order) whose peak footprint at
+/// `rf` exceeds a Frame Buffer set of `fbs` words, together with that
+/// peak `DS(C_c)` — `None` when every cluster fits. The diagnostic
+/// counterpart of [`all_fit`], used to name the violated constraint in
+/// [`Event::RetentionRejected`](crate::Event::RetentionRejected).
+#[must_use]
+pub fn first_unfit(
+    app: &Application,
+    sched: &ClusterSchedule,
+    lifetimes: &Lifetimes,
+    retention: &RetentionSet,
+    rf: u64,
+    model: FootprintModel,
+    fbs: Words,
+) -> Option<(ClusterId, Words)> {
+    sched.clusters().iter().find_map(|cl| {
+        let peak = cluster_peak(app, sched, lifetimes, retention, cl.id(), rf, model);
+        (peak > fbs).then_some((cl.id(), peak))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +478,30 @@ mod tests {
             FootprintModel::Replacement,
             Words::new(34)
         ));
+        assert_eq!(
+            first_unfit(
+                &app,
+                &sched,
+                &lt,
+                &ret,
+                1,
+                FootprintModel::Replacement,
+                Words::new(34)
+            ),
+            Some((ClusterId::new(0), Words::new(35)))
+        );
+        assert_eq!(
+            first_unfit(
+                &app,
+                &sched,
+                &lt,
+                &ret,
+                1,
+                FootprintModel::Replacement,
+                Words::new(35)
+            ),
+            None
+        );
     }
 
     #[test]

@@ -79,23 +79,27 @@ mod retention;
 mod rf;
 mod scheduler;
 mod sharing;
+mod trace;
 
 pub use alloc_walk::{AllocationReport, AllocationWalk, PlacementRecord, PlacementRole};
 pub use analysis::ScheduleAnalysis;
 pub use codegen::{generate_program, CodeOp, CodeOpDisplay, TransferProgram};
 pub use emit::{emit_ops, stage_compute_cycles};
 pub use error::{McdsError, ScheduleError};
-pub use footprint::{all_fit, cluster_peak, ds_formula, FootprintModel};
+pub use footprint::{all_fit, cluster_peak, ds_formula, first_unfit, FootprintModel};
 pub use lifetime::Lifetimes;
 pub use pipeline::{
     ClusterProvider, Pipeline, PipelineComparison, PipelineRun, SchedulerKind, SingletonClusters,
 };
 pub use plan::{build_stages, SchedulePlan, StagePlan};
 pub use report::{table_header, Comparison, ExperimentRow};
-pub use retention::{select_greedy, RetentionRanking, RetentionSet};
+pub use retention::{select_greedy, select_greedy_with, RetentionRanking, RetentionSet};
 pub use rf::max_common_rf;
 pub use scheduler::{
-    evaluate, BasicScheduler, CdsScheduler, ContextPolicy, DataScheduler, DsScheduler,
-    SchedulerConfig,
+    evaluate, evaluate_observed, BasicScheduler, CdsScheduler, ContextPolicy, DataScheduler,
+    DsScheduler, SchedulerConfig,
 };
 pub use sharing::{find_candidates, find_candidates_with, Candidate, RetainedKind};
+pub use trace::{
+    render_explain, Event, JsonLinesSink, MetricsRegistry, NullSink, Observer, TraceSink, VecSink,
+};

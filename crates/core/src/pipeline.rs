@@ -29,14 +29,16 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use mcds_model::{Application, ArchParams, ClusterSchedule};
 use mcds_sim::SimReport;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate, BasicScheduler, CdsScheduler, Comparison, DataScheduler, DsScheduler, ExperimentRow,
-    McdsError, ScheduleAnalysis, SchedulePlan, SchedulerConfig,
+    evaluate_observed, render_explain, BasicScheduler, CdsScheduler, Comparison, DataScheduler,
+    DsScheduler, ExperimentRow, McdsError, MetricsRegistry, Observer, ScheduleAnalysis,
+    SchedulePlan, SchedulerConfig, TraceSink, VecSink,
 };
 
 /// A cluster-formation strategy: anything that can turn an application
@@ -150,6 +152,8 @@ pub struct Pipeline {
     config: SchedulerConfig,
     scheduler: SchedulerKind,
     clustering: Box<dyn ClusterProvider + Send + Sync>,
+    sink: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Pipeline {
@@ -162,6 +166,8 @@ impl Pipeline {
             config: SchedulerConfig::default(),
             scheduler: SchedulerKind::Cds,
             clustering: Box::new(SingletonClusters),
+            sink: None,
+            metrics: None,
         }
     }
 
@@ -199,6 +205,28 @@ impl Pipeline {
         self.clustering(sched)
     }
 
+    /// Attaches a [`TraceSink`]: every decision [`Event`](crate::Event)
+    /// of subsequent [`plan`](Pipeline::plan) / [`run`](Pipeline::run)
+    /// calls is recorded into it. Without a sink the instrumented paths
+    /// are allocation-free no-ops.
+    #[must_use]
+    pub fn trace(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.sink = Some(Arc::new(sink));
+        self
+    }
+
+    /// Attaches a shared [`MetricsRegistry`] for counter/histogram
+    /// rollups (pass clones of one `Arc` to aggregate across pipelines).
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    fn observer(&self) -> Observer<'_> {
+        Observer::new(self.sink.as_deref(), self.metrics.as_deref())
+    }
+
     /// The application under schedule.
     #[must_use]
     pub fn app(&self) -> &Application {
@@ -230,7 +258,15 @@ impl Pipeline {
         let schedule = self.resolve_clusters()?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
-        Ok(scheduler.plan_with_analysis(&self.app, &schedule, &self.arch, &analysis)?)
+        Ok(
+            scheduler.plan_observed(
+                &self.app,
+                &schedule,
+                &self.arch,
+                &analysis,
+                self.observer(),
+            )?,
+        )
     }
 
     /// Runs the full chain with the selected scheduler.
@@ -240,16 +276,51 @@ impl Pipeline {
     /// Clustering, planning, or evaluation errors, unified as
     /// [`McdsError`].
     pub fn run(&self) -> Result<PipelineRun, McdsError> {
+        let observer = self.observer();
         let schedule = self.resolve_clusters()?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
-        let plan = scheduler.plan_with_analysis(&self.app, &schedule, &self.arch, &analysis)?;
-        let report = evaluate(&plan, &self.arch)?;
+        let plan =
+            scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
+        let report = evaluate_observed(&plan, &self.arch, observer)?;
         Ok(PipelineRun {
             schedule,
             plan,
             report,
         })
+    }
+
+    /// Runs the full chain while capturing the decision trace, and
+    /// returns the run together with its rendered
+    /// [`render_explain`] decision log — the `mcds run --explain`
+    /// backend. Any sink attached with [`trace`](Pipeline::trace) still
+    /// receives every event.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Pipeline::run).
+    pub fn explain(&self) -> Result<(PipelineRun, String), McdsError> {
+        let local = VecSink::new();
+        let tee = TeeSink {
+            local: local.clone(),
+            other: self.sink.clone(),
+        };
+        let observer = Observer::new(Some(&tee), self.metrics.as_deref());
+        let schedule = self.resolve_clusters()?;
+        let analysis = ScheduleAnalysis::new(&self.app, &schedule);
+        let scheduler = self.scheduler.instantiate(self.config);
+        let plan =
+            scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
+        let report = evaluate_observed(&plan, &self.arch, observer)?;
+        let log = render_explain(&local.take());
+        Ok((
+            PipelineRun {
+                schedule,
+                plan,
+                report,
+            },
+            log,
+        ))
     }
 
     /// Runs all three schedulers over one resolved cluster schedule
@@ -270,6 +341,22 @@ impl Pipeline {
             comparison,
             row,
         })
+    }
+}
+
+/// Records into the `explain` buffer and forwards to the pipeline's own
+/// sink, so `--explain --trace-out` see the same stream.
+struct TeeSink {
+    local: VecSink,
+    other: Option<Arc<dyn TraceSink>>,
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: &crate::Event) {
+        self.local.record(event);
+        if let Some(other) = &self.other {
+            other.record(event);
+        }
     }
 }
 
@@ -349,6 +436,7 @@ impl PipelineComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{evaluate, Event};
     use mcds_model::{ApplicationBuilder, Cycles, DataKind, Words};
 
     fn app() -> Application {
@@ -404,6 +492,60 @@ mod tests {
             .expect("fits");
         assert_eq!(run.schedule(), &fused);
         assert_eq!(run.schedule().len(), 1);
+    }
+
+    #[test]
+    fn traced_run_streams_events_and_metrics() {
+        let sink = VecSink::new();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let run = Pipeline::new(app())
+            .scheduler(SchedulerKind::Cds)
+            .trace(sink.clone())
+            .metrics(Arc::clone(&metrics))
+            .run()
+            .expect("pipeline runs");
+        let events = sink.events();
+        assert!(matches!(events[0], Event::PlanStarted { .. }));
+        assert!(events.iter().any(|e| matches!(e, Event::RfChosen { .. })));
+        assert!(events.iter().any(|e| matches!(e, Event::FbAlloc { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::AllocationChecked { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(Event::SimCompleted { total_cycles, .. })
+                if *total_cycles == run.report().total().get()
+        ));
+        assert_eq!(metrics.get("plan.count"), Some(1));
+        assert_eq!(metrics.get("sim.runs"), Some(1));
+        assert!(metrics.get("fb.allocs").expect("counted") > 0);
+    }
+
+    #[test]
+    fn untraced_and_traced_runs_agree() {
+        let plain = Pipeline::new(app()).run().expect("runs");
+        let traced = Pipeline::new(app())
+            .trace(VecSink::new())
+            .run()
+            .expect("runs");
+        assert_eq!(plain.plan().rf(), traced.plan().rf());
+        assert_eq!(plain.report().total(), traced.report().total());
+    }
+
+    #[test]
+    fn explain_renders_decision_log_and_tees() {
+        let sink = VecSink::new();
+        let pipeline = Pipeline::new(app())
+            .scheduler(SchedulerKind::Cds)
+            .trace(sink.clone());
+        let (run, log) = pipeline.explain().expect("runs");
+        assert!(log.contains("[cds] plan px"));
+        assert!(log.contains("chose rf"));
+        assert!(log.contains("[cds] simulated"));
+        assert!(!sink.is_empty(), "attached sink still sees the stream");
+        let (_, log2) = pipeline.explain().expect("runs again");
+        assert_eq!(log, log2, "explain is deterministic");
+        let _ = run;
     }
 
     #[test]

@@ -188,7 +188,23 @@ pub fn select_greedy(
     candidates: &[Candidate],
     ranking: RetentionRanking,
     sizes: impl Fn(DataId) -> Words,
+    fits: impl FnMut(&RetentionSet) -> bool,
+) -> RetentionSet {
+    select_greedy_with(candidates, ranking, sizes, fits, |_, _, _| {})
+}
+
+/// [`select_greedy`] with a decision callback for tracing: after each
+/// fit check, `decision(candidate, tentative, accepted)` is called with
+/// the tentative set *still containing* the candidate (it is popped
+/// afterwards on rejection), so observers can inspect the footprint the
+/// verdict was based on.
+#[must_use]
+pub fn select_greedy_with(
+    candidates: &[Candidate],
+    ranking: RetentionRanking,
+    sizes: impl Fn(DataId) -> Words,
     mut fits: impl FnMut(&RetentionSet) -> bool,
+    mut decision: impl FnMut(&Candidate, &RetentionSet, bool),
 ) -> RetentionSet {
     let mut ordered: Vec<&Candidate> = candidates.iter().collect();
     match ranking {
@@ -212,7 +228,9 @@ pub fn select_greedy(
             continue;
         }
         set.add(cand.clone());
-        if fits(&set) {
+        let accepted = fits(&set);
+        decision(cand, &set, accepted);
+        if accepted {
             taken.insert((cand.data(), cand.set()));
         } else {
             set.pop();
@@ -384,6 +402,31 @@ mod tests {
         // C1/C3 are on set 1: never charged on their own set.
         assert_eq!(pt(1), Words::ZERO);
         assert_eq!(pt(3), Words::ZERO);
+    }
+
+    #[test]
+    fn decision_callback_sees_tentative_set() {
+        let (app, sched) = fixture();
+        let lt = Lifetimes::analyze(&app, &sched);
+        let cands = find_candidates(&app, &sched, &lt);
+        let mut seen: Vec<(DataId, usize, bool)> = Vec::new();
+        // Reject the big object (data 0), keep the small one.
+        let set = select_greedy_with(
+            &cands,
+            RetentionRanking::Tf,
+            |d| app.size_of(d),
+            |s| !s.candidates().iter().any(|c| c.data() == DataId::new(0)),
+            |cand, tentative, accepted| {
+                // The candidate is still in the tentative set either way.
+                assert!(tentative.candidates().iter().any(|c| c == cand));
+                seen.push((cand.data(), tentative.candidates().len(), accepted));
+            },
+        );
+        assert_eq!(set.candidates().len(), 1);
+        assert_eq!(
+            seen,
+            vec![(DataId::new(0), 1, false), (DataId::new(1), 1, true)]
+        );
     }
 
     #[test]

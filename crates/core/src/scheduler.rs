@@ -8,8 +8,9 @@ use serde::{Deserialize, Serialize};
 use crate::emit::emit_ops;
 use crate::plan::build_stages;
 use crate::{
-    all_fit, select_greedy, AllocationWalk, FootprintModel, RetentionRanking, RetentionSet,
-    ScheduleAnalysis, ScheduleError, SchedulePlan,
+    all_fit, cluster_peak, first_unfit, select_greedy, select_greedy_with, AllocationWalk, Event,
+    FootprintModel, Observer, RetentionRanking, RetentionSet, ScheduleAnalysis, ScheduleError,
+    SchedulePlan,
 };
 
 /// How context loads are planned per stage.
@@ -111,6 +112,28 @@ pub trait DataScheduler {
         let _ = analysis;
         self.plan(app, sched, arch)
     }
+
+    /// Like [`plan_with_analysis`](Self::plan_with_analysis), but also
+    /// streams decision [`Event`]s and metrics through `observer`. The
+    /// default implementation ignores the observer; the built-in
+    /// schedulers report every RF evaluation, retention verdict (with
+    /// the violated `DS(C_c) ≤ FBS` constraint on rejection) and Frame
+    /// Buffer placement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`plan`](Self::plan).
+    fn plan_observed(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+        observer: Observer<'_>,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        let _ = observer;
+        self.plan_with_analysis(app, sched, arch, analysis)
+    }
 }
 
 /// The Basic Scheduler of Maestre et al. (DATE 2000): `RF = 1`, no
@@ -156,6 +179,17 @@ impl DataScheduler for BasicScheduler {
         arch: &ArchParams,
         analysis: &ScheduleAnalysis,
     ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_observed(app, sched, arch, analysis, Observer::none())
+    }
+
+    fn plan_observed(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+        observer: Observer<'_>,
+    ) -> Result<SchedulePlan, ScheduleError> {
         plan_common(
             self.name(),
             app,
@@ -166,6 +200,7 @@ impl DataScheduler for BasicScheduler {
             FootprintModel::NoReplacement,
             ForcedRf::One,
             Retain::No,
+            observer,
         )
     }
 }
@@ -213,6 +248,17 @@ impl DataScheduler for DsScheduler {
         arch: &ArchParams,
         analysis: &ScheduleAnalysis,
     ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_observed(app, sched, arch, analysis, Observer::none())
+    }
+
+    fn plan_observed(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+        observer: Observer<'_>,
+    ) -> Result<SchedulePlan, ScheduleError> {
         plan_common(
             self.name(),
             app,
@@ -223,6 +269,7 @@ impl DataScheduler for DsScheduler {
             FootprintModel::Replacement,
             ForcedRf::Max,
             Retain::No,
+            observer,
         )
     }
 }
@@ -270,6 +317,17 @@ impl DataScheduler for CdsScheduler {
         arch: &ArchParams,
         analysis: &ScheduleAnalysis,
     ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_observed(app, sched, arch, analysis, Observer::none())
+    }
+
+    fn plan_observed(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+        observer: Observer<'_>,
+    ) -> Result<SchedulePlan, ScheduleError> {
         plan_common(
             self.name(),
             app,
@@ -280,6 +338,7 @@ impl DataScheduler for CdsScheduler {
             FootprintModel::Replacement,
             ForcedRf::Max,
             Retain::Yes,
+            observer,
         )
     }
 }
@@ -305,11 +364,19 @@ fn plan_common(
     model: FootprintModel,
     forced_rf: ForcedRf,
     retain: Retain,
+    observer: Observer<'_>,
 ) -> Result<SchedulePlan, ScheduleError> {
     arch.check_kernels_fit(app)?;
     let lifetimes = analysis.lifetimes();
     let fbs = arch.fb_set_words();
     let empty = RetentionSet::empty();
+    observer.count("plan.count", 1);
+    observer.emit(|| Event::PlanStarted {
+        scheduler: name.to_owned(),
+        application: app.name().to_owned(),
+        clusters: sched.len(),
+        fbs: fbs.get(),
+    });
 
     // 1. Candidate reuse factors. The schedulers' goal is to *minimize
     //    execution time* — a maximal RF is usually but not always best
@@ -321,6 +388,7 @@ fn plan_common(
     let rf_candidates: Vec<u64> = match forced_rf {
         ForcedRf::One => {
             if !analysis.all_fit_empty(app, sched, 1, model, fbs) {
+                observer.count("plan.infeasible", 1);
                 return Err(infeasible(name, app, sched, analysis, model, fbs));
             }
             vec![1]
@@ -328,7 +396,10 @@ fn plan_common(
         ForcedRf::Max => {
             let rf_max = analysis
                 .max_common_rf_empty(app, sched, model, fbs)
-                .ok_or_else(|| infeasible(name, app, sched, analysis, model, fbs))?;
+                .ok_or_else(|| {
+                    observer.count("plan.infeasible", 1);
+                    infeasible(name, app, sched, analysis, model, fbs)
+                })?;
             let rf_max = config.max_rf.map_or(rf_max, |cap| rf_max.min(cap)).max(1);
             if rf_max <= 64 {
                 // Exhaustive: candidate sets at growing memory sizes
@@ -397,6 +468,13 @@ fn plan_common(
         let stages = build_stages(app, sched, lifetimes, &retention, rf, ctx_plan.loads());
         let ops = emit_ops(app, sched, &stages)?;
         let total = simulator.run(&ops)?.total();
+        observer.count("plan.rf_evaluated", 1);
+        observer.emit(|| Event::RfEvaluated {
+            scheduler: name.to_owned(),
+            rf,
+            total_cycles: total.get(),
+            retained: retention.candidates().len(),
+        });
         let better = match &best {
             None => true,
             // Strictly faster wins; on a tie prefer the larger RF
@@ -409,12 +487,61 @@ fn plan_common(
             best = Some((rf, retention, stages, ops, total));
         }
     }
-    let (rf, retention, stages, ops, _) = best.expect("at least one RF candidate");
+    let (rf, retention, stages, ops, best_total) = best.expect("at least one RF candidate");
+    observer.observe("plan.rf", rf);
+    observer.emit(|| Event::RfChosen {
+        scheduler: name.to_owned(),
+        rf,
+        total_cycles: best_total.get(),
+    });
+
+    // Re-run the deterministic greedy selection at the chosen RF purely
+    // to narrate each verdict — only when someone is listening, so the
+    // default path never pays for it.
+    if matches!(retain, Retain::Yes) && observer.engaged() {
+        let _ = select_greedy_with(
+            candidates,
+            config.retention_ranking,
+            |d| app.size_of(d),
+            |tentative| all_fit(app, sched, lifetimes, tentative, rf, model, fbs),
+            |cand, tentative, accepted| {
+                if accepted {
+                    observer.count("retention.accepted", 1);
+                    observer.count("retention.words_avoided", cand.avoided_per_iter().get());
+                } else {
+                    observer.count("retention.rejected", 1);
+                }
+                observer.emit(|| {
+                    retention_event(
+                        app, sched, lifetimes, cand, tentative, accepted, rf, model, fbs,
+                    )
+                });
+            },
+        );
+    }
+    if observer.active() {
+        for cl in sched.clusters() {
+            let ds = cluster_peak(app, sched, lifetimes, &retention, cl.id(), rf, model);
+            observer.emit(|| Event::ClusterFootprint {
+                cluster: id_u32(cl.id()),
+                rf,
+                ds: ds.get(),
+                fbs: fbs.get(),
+            });
+        }
+    }
 
     // 5. Allocation validation (§5): walk up to two rounds — enough to
     //    exercise the steady state and cross-round regularity.
-    let walk = AllocationWalk::new(app, sched, lifetimes, &retention, rf, fbs, model);
+    let walk =
+        AllocationWalk::new(app, sched, lifetimes, &retention, rf, fbs, model).observed(observer);
     let allocation = walk.run(2, false)?;
+    observer.emit(|| Event::AllocationChecked {
+        peak_set0: allocation.peak()[0].get(),
+        peak_set1: allocation.peak()[1].get(),
+        allocs: allocation.allocs(),
+        splits: allocation.splits(),
+    });
 
     Ok(SchedulePlan::new(
         name.to_owned(),
@@ -424,6 +551,65 @@ fn plan_common(
         ops,
         allocation,
     ))
+}
+
+fn id_u32(id: impl Into<usize>) -> u32 {
+    u32::try_from(id.into()).expect("id fits u32")
+}
+
+/// Builds the accept/reject event for one retention verdict, naming the
+/// worst-case cluster and its `DS(C_c)` footprint under the tentative
+/// set (which still contains the candidate either way).
+#[allow(clippy::too_many_arguments)]
+fn retention_event(
+    app: &Application,
+    sched: &ClusterSchedule,
+    lifetimes: &crate::Lifetimes,
+    cand: &crate::Candidate,
+    tentative: &RetentionSet,
+    accepted: bool,
+    rf: u64,
+    model: FootprintModel,
+    fbs: Words,
+) -> Event {
+    let data = id_u32(cand.data());
+    let name = app.data_object(cand.data()).name().to_owned();
+    let set = u8::try_from(cand.set().index()).expect("set fits u8");
+    if accepted {
+        let (worst, ds) = sched
+            .clusters()
+            .iter()
+            .map(|cl| {
+                (
+                    cl.id(),
+                    cluster_peak(app, sched, lifetimes, tentative, cl.id(), rf, model),
+                )
+            })
+            .max_by_key(|&(_, peak)| peak)
+            .expect("schedules are non-empty");
+        Event::RetentionAccepted {
+            data,
+            name,
+            set,
+            tf: cand.tf(),
+            avoided_per_iter: cand.avoided_per_iter().get(),
+            worst_cluster: id_u32(worst),
+            ds: ds.get(),
+            fbs: fbs.get(),
+        }
+    } else {
+        let (cluster, ds) = first_unfit(app, sched, lifetimes, tentative, rf, model, fbs)
+            .expect("a rejected candidate violates some cluster's constraint");
+        Event::RetentionRejected {
+            data,
+            name,
+            set,
+            tf: cand.tf(),
+            cluster: id_u32(cluster),
+            ds: ds.get(),
+            fbs: fbs.get(),
+        }
+    }
 }
 
 fn infeasible(
@@ -460,7 +646,44 @@ fn infeasible(
 /// Propagates simulator errors (none occur for plans produced by the
 /// schedulers in this crate).
 pub fn evaluate(plan: &SchedulePlan, arch: &ArchParams) -> Result<SimReport, ScheduleError> {
-    Ok(Simulator::new(*arch).run(plan.ops())?)
+    evaluate_observed(plan, arch, Observer::none())
+}
+
+/// Runs a plan on the M1 simulator, reporting completion (and, with the
+/// `sim-op-events` feature, every op's timeline span) through
+/// `observer`.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_observed(
+    plan: &SchedulePlan,
+    arch: &ArchParams,
+    observer: Observer<'_>,
+) -> Result<SimReport, ScheduleError> {
+    let simulator = Simulator::new(*arch);
+    let ops = plan.ops();
+    let report = if cfg!(feature = "sim-op-events") && observer.active() {
+        simulator.run_observed(ops, |i, start, finish| {
+            observer.emit(|| Event::SimOp {
+                index: i,
+                kind: ops.ops()[i].label().to_owned(),
+                start: start.get(),
+                finish: finish.get(),
+            });
+        })?
+    } else {
+        simulator.run(ops)?
+    };
+    observer.count("sim.runs", 1);
+    observer.count("sim.total_cycles", report.total().get());
+    observer.emit(|| Event::SimCompleted {
+        scheduler: plan.scheduler().to_owned(),
+        total_cycles: report.total().get(),
+        dma_busy: report.dma_busy().get(),
+        rc_busy: report.rc_busy().get(),
+    });
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -208,6 +208,19 @@ impl FbAllocator {
         self.live.values()
     }
 
+    /// The live allocation named by `handle`, if any.
+    #[must_use]
+    pub fn allocation(&self, handle: AllocHandle) -> Option<&Allocation> {
+        self.live.get(&handle)
+    }
+
+    /// [`FreeList::state_hash`] of the current free-block structure —
+    /// the fingerprint trace events carry so replays can be verified.
+    #[must_use]
+    pub fn free_list_hash(&self) -> u64 {
+        self.free.state_hash()
+    }
+
     /// Contiguous first-fit allocation in the given direction.
     ///
     /// # Errors
@@ -237,7 +250,11 @@ impl FbAllocator {
                 largest_block: self.free.largest_block(),
             });
         };
-        Ok(self.commit(label.into(), vec![Segment { start, len: size }]))
+        Ok(self.commit(
+            label.into(),
+            vec![Segment { start, len: size }],
+            Some(direction),
+        ))
     }
 
     /// Exact placement at `start` — the regularity fast path: "to
@@ -268,7 +285,7 @@ impl FbAllocator {
         if !self.free.take_at(start, size) {
             return Err(AllocError::RangeNotFree { start, size });
         }
-        Ok(self.commit(label.into(), vec![Segment { start, len: size }]))
+        Ok(self.commit(label.into(), vec![Segment { start, len: size }], None))
     }
 
     /// Allocation that may split the object across several free blocks —
@@ -299,7 +316,11 @@ impl FbAllocator {
         // Fast path: contiguous fit.
         let from_upper = matches!(direction, Direction::FromUpper);
         if let Some(start) = self.free.take_first_fit(size, from_upper) {
-            return Ok(self.commit(label.into(), vec![Segment { start, len: size }]));
+            return Ok(self.commit(
+                label.into(),
+                vec![Segment { start, len: size }],
+                Some(direction),
+            ));
         }
         // Split: greedily consume whole extremal blocks in direction
         // order until the request is covered. Total free space was
@@ -316,7 +337,61 @@ impl FbAllocator {
             segments.push(Segment { start, len: piece });
             remaining -= piece;
         }
-        Ok(self.commit(label.into(), segments))
+        Ok(self.commit(label.into(), segments, Some(direction)))
+    }
+
+    /// Grows a live allocation in place by `extra` words, extending its
+    /// highest segment upwards (the adjacent addresses must be free) —
+    /// the incremental variant of re-allocating a batched object when
+    /// the reuse factor rises.
+    ///
+    /// Returns the added segment.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroSize`] for empty requests;
+    /// [`AllocError::UnknownHandle`] if `handle` is not live;
+    /// [`AllocError::OutOfBounds`] if growth would pass the set end;
+    /// [`AllocError::RangeNotFree`] if another object occupies the
+    /// adjacent range (nothing is changed in that case).
+    pub fn extend_handle(
+        &mut self,
+        handle: AllocHandle,
+        extra: Words,
+    ) -> Result<Segment, AllocError> {
+        if extra.is_zero() {
+            return Err(AllocError::ZeroSize);
+        }
+        let Some(alloc) = self.live.get(&handle) else {
+            return Err(AllocError::UnknownHandle);
+        };
+        let top = alloc.segments.last().expect("non-empty allocation");
+        let start = top.end();
+        if start + extra.get() > self.capacity().get() {
+            return Err(AllocError::OutOfBounds {
+                start,
+                size: extra,
+                capacity: self.capacity(),
+            });
+        }
+        if !self.free.take_at(start, extra) {
+            return Err(AllocError::RangeNotFree { start, size: extra });
+        }
+        let added = Segment { start, len: extra };
+        let alloc = self.live.get_mut(&handle).expect("checked live above");
+        alloc.segments.last_mut().expect("non-empty").len += extra;
+        let (label, segments) = (alloc.label.clone(), vec![added]);
+        self.stats.record_extend(extra, self.used());
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::new(
+                TraceKind::Extend,
+                label,
+                segments,
+                None,
+                self.free.state_hash(),
+            ));
+        }
+        Ok(added)
     }
 
     /// Frees an allocation, returning its space to the free list with
@@ -348,12 +423,19 @@ impl FbAllocator {
                 TraceKind::Free,
                 alloc.label().to_owned(),
                 alloc.segments().to_vec(),
+                None,
+                self.free.state_hash(),
             ));
         }
         Ok(())
     }
 
-    fn commit(&mut self, label: String, mut segments: Vec<Segment>) -> Allocation {
+    fn commit(
+        &mut self,
+        label: String,
+        mut segments: Vec<Segment>,
+        direction: Option<Direction>,
+    ) -> Allocation {
         segments.sort_by_key(|s| s.start);
         let handle = AllocHandle(self.next_handle);
         self.next_handle += 1;
@@ -371,6 +453,8 @@ impl FbAllocator {
                 TraceKind::Alloc,
                 alloc.label().to_owned(),
                 alloc.segments().to_vec(),
+                direction,
+                self.free.state_hash(),
             ));
         }
         self.live.insert(handle, alloc.clone());
@@ -572,6 +656,88 @@ mod tests {
             .alloc("lo", Words::new(4), Direction::FromLower)
             .expect("fits");
         assert_eq!(lo.start(), 90);
+    }
+
+    #[test]
+    fn extend_grows_in_place() {
+        let mut fb = FbAllocator::with_trace(Words::new(100));
+        let a = fb
+            .alloc("buf", Words::new(10), Direction::FromLower)
+            .expect("fits");
+        let added = fb.extend_handle(a.handle(), Words::new(5)).expect("free");
+        assert_eq!(
+            added,
+            Segment {
+                start: 10,
+                len: Words::new(5)
+            }
+        );
+        let live = fb.allocation(a.handle()).expect("live");
+        assert_eq!(live.size(), Words::new(15));
+        assert_eq!(live.segments().len(), 1, "stays contiguous");
+        assert_eq!(fb.used(), Words::new(15));
+        // Blocking the adjacent range makes a further extend fail
+        // without changing anything.
+        let _pin = fb.alloc_at("pin", 15, Words::new(5)).expect("free");
+        let err = fb.extend_handle(a.handle(), Words::new(5)).unwrap_err();
+        assert!(matches!(err, AllocError::RangeNotFree { start: 15, .. }));
+        assert_eq!(
+            fb.allocation(a.handle()).expect("live").size(),
+            Words::new(15)
+        );
+        // Freeing returns the merged range in one piece.
+        fb.free_handle(a.handle()).expect("live");
+        assert_eq!(fb.used(), Words::new(5));
+        let trace = fb.trace().expect("tracing enabled");
+        assert_eq!(trace[1].kind(), TraceKind::Extend);
+        assert_eq!(trace[1].label(), "buf");
+        assert_eq!(trace[1].free_hash(), {
+            // Hash recorded mid-trace matches an independent replay.
+            let mut fl = crate::FreeList::new(Words::new(100));
+            assert!(fl.take_at(0, Words::new(15)));
+            fl.state_hash()
+        });
+    }
+
+    #[test]
+    fn extend_edge_cases() {
+        let mut fb = FbAllocator::new(Words::new(10));
+        let a = fb
+            .alloc("a", Words::new(8), Direction::FromLower)
+            .expect("fits");
+        assert_eq!(
+            fb.extend_handle(a.handle(), Words::ZERO).unwrap_err(),
+            AllocError::ZeroSize
+        );
+        assert!(matches!(
+            fb.extend_handle(a.handle(), Words::new(5)).unwrap_err(),
+            AllocError::OutOfBounds { .. }
+        ));
+        fb.free(a).expect("live");
+        let stale = AllocHandle(0);
+        assert_eq!(
+            fb.extend_handle(stale, Words::new(1)).unwrap_err(),
+            AllocError::UnknownHandle
+        );
+    }
+
+    #[test]
+    fn trace_events_carry_direction_and_hash() {
+        let mut fb = FbAllocator::with_trace(Words::new(64));
+        let a = fb
+            .alloc("hi", Words::new(16), Direction::FromUpper)
+            .expect("fits");
+        let _exact = fb.alloc_at("pin", 0, Words::new(8)).expect("free");
+        fb.free(a).expect("live");
+        let trace = fb.trace().expect("tracing enabled");
+        assert_eq!(trace[0].direction(), Some(Direction::FromUpper));
+        assert_eq!(trace[1].direction(), None, "alloc_at has no direction");
+        assert_eq!(trace[2].direction(), None, "frees have no direction");
+        assert_eq!(
+            trace[2].free_hash(),
+            fb.free_list_hash(),
+            "last event's hash is the current state"
+        );
     }
 
     #[test]

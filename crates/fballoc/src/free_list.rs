@@ -89,6 +89,31 @@ impl FreeList {
             .collect()
     }
 
+    /// FNV-1a hash of the free-block structure (capacity plus every
+    /// `(start, len)` pair in address order). Two lists with identical
+    /// free ranges hash identically, so a replayed event stream can be
+    /// checked against the hash recorded in
+    /// [`TraceEvent::free_hash`](crate::TraceEvent::free_hash) without
+    /// storing the whole list.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.capacity.get());
+        for b in &self.blocks {
+            mix(b.start);
+            mix(b.len);
+        }
+        h
+    }
+
     /// Returns `true` if `[start, start+size)` is entirely free.
     #[must_use]
     pub fn is_free(&self, start: u64, size: Words) -> bool {
@@ -367,6 +392,27 @@ mod tests {
         let mut fl = FreeList::new(Words::new(30));
         assert!(fl.take_at(0, Words::new(30)));
         fl.insert(25, Words::new(10));
+    }
+
+    #[test]
+    fn state_hash_tracks_structure_not_history() {
+        let mut a = FreeList::new(Words::new(100));
+        let mut b = FreeList::new(Words::new(100));
+        assert_eq!(a.state_hash(), b.state_hash());
+        // Different op orders, same resulting free ranges.
+        assert!(a.take_at(10, Words::new(20)));
+        assert!(a.take_at(50, Words::new(20)));
+        assert!(b.take_at(50, Words::new(20)));
+        assert!(b.take_at(10, Words::new(20)));
+        assert_eq!(a.state_hash(), b.state_hash());
+        // Different structure, different hash.
+        assert!(a.take_at(80, Words::new(5)));
+        assert_ne!(a.state_hash(), b.state_hash());
+        // Capacity participates.
+        assert_ne!(
+            FreeList::new(Words::new(64)).state_hash(),
+            FreeList::new(Words::new(128)).state_hash()
+        );
     }
 
     #[test]

@@ -3,35 +3,49 @@
 use mcds_model::Words;
 use serde::{Deserialize, Serialize};
 
-use crate::allocator::Segment;
+use crate::allocator::{Direction, Segment};
 
-/// Whether a trace event records an allocation or a release.
+/// Whether a trace event records an allocation, a release, or an
+/// in-place growth of a live allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceKind {
     /// Space was claimed.
     Alloc,
     /// Space was released back to the free list.
     Free,
+    /// A live allocation grew in place; the event's segments are the
+    /// *added* range only.
+    Extend,
 }
 
 /// One allocator action, labelled with the object it concerned.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
     kind: TraceKind,
     label: String,
     segments: Vec<Segment>,
+    direction: Option<Direction>,
+    free_hash: u64,
 }
 
 impl TraceEvent {
-    pub(crate) fn new(kind: TraceKind, label: String, segments: Vec<Segment>) -> Self {
+    pub(crate) fn new(
+        kind: TraceKind,
+        label: String,
+        segments: Vec<Segment>,
+        direction: Option<Direction>,
+        free_hash: u64,
+    ) -> Self {
         TraceEvent {
             kind,
             label,
             segments,
+            direction,
+            free_hash,
         }
     }
 
-    /// Alloc or free.
+    /// Alloc, free, or extend.
     #[must_use]
     pub fn kind(&self) -> TraceKind {
         self.kind
@@ -47,6 +61,22 @@ impl TraceEvent {
     #[must_use]
     pub fn segments(&self) -> &[Segment] {
         &self.segments
+    }
+
+    /// Which two-ended side the request grew from, if the operation had
+    /// a direction (exact [`alloc_at`](crate::FbAllocator::alloc_at)
+    /// placements and frees have none).
+    #[must_use]
+    pub fn direction(&self) -> Option<Direction> {
+        self.direction
+    }
+
+    /// [`FreeList::state_hash`](crate::FreeList::state_hash) of the
+    /// allocator's free list immediately *after* this operation — the
+    /// replay checkpoint the property tests verify against.
+    #[must_use]
+    pub fn free_hash(&self) -> u64 {
+        self.free_hash
     }
 }
 
@@ -96,7 +126,7 @@ pub fn render_map_at(events: &[TraceEvent], capacity: Words, rows: usize, upto: 
             for w in seg.start..seg.end() {
                 let w = usize::try_from(w).expect("address fits usize");
                 owner[w] = match ev.kind() {
-                    TraceKind::Alloc => Some(ev.label()),
+                    TraceKind::Alloc | TraceKind::Extend => Some(ev.label()),
                     TraceKind::Free => None,
                 };
             }
@@ -118,7 +148,7 @@ pub fn render_peak_map(events: &[TraceEvent], capacity: Words, rows: usize) -> S
             .map(|s| i64::try_from(s.len.get()).expect("segment fits i64"))
             .sum();
         match ev.kind() {
-            TraceKind::Alloc => occupied += words,
+            TraceKind::Alloc | TraceKind::Extend => occupied += words,
             TraceKind::Free => occupied -= words,
         }
         if occupied > best.1 {

@@ -49,6 +49,22 @@ impl Simulator {
     /// (which already validated structure); the `Result` keeps room for
     /// future semantic checks.
     pub fn run(&self, schedule: &OpSchedule) -> Result<SimReport, SimError> {
+        self.run_observed(schedule, |_, _, _| {})
+    }
+
+    /// Like [`run`](Self::run), but calls `observe(index, start, finish)`
+    /// for every op as it is placed on the timeline — the hook the
+    /// tracing layer uses to stream per-op events without the simulator
+    /// depending on it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](Self::run).
+    pub fn run_observed(
+        &self,
+        schedule: &OpSchedule,
+        mut observe: impl FnMut(usize, Cycles, Cycles),
+    ) -> Result<SimReport, SimError> {
         let mut finish: Vec<Cycles> = Vec::with_capacity(schedule.len());
         let mut spans: Vec<OpSpan> = Vec::with_capacity(schedule.len());
 
@@ -109,6 +125,7 @@ impl Simulator {
                 }
             }
 
+            observe(i, start, end);
             finish.push(end);
             spans.push(OpSpan {
                 op: OpId::new(u32::try_from(i).expect("op index fits u32")),
@@ -254,6 +271,26 @@ mod tests {
             .run(&OpScheduleBuilder::new().build().expect("valid"))
             .expect("runs");
         assert_eq!(report.total(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn observed_run_reports_every_op_span() {
+        let mut b = OpScheduleBuilder::new();
+        let l = b.load_data("l", FbSet::Set0, Words::new(100), &[]);
+        b.compute("k", KernelId::new(0), FbSet::Set0, Cycles::new(50), &[l]);
+        let schedule = b.build().expect("valid");
+        let mut seen = Vec::new();
+        let report = Simulator::new(zero_setup())
+            .run_observed(&schedule, |i, start, end| seen.push((i, start, end)))
+            .expect("runs");
+        assert_eq!(
+            seen,
+            vec![
+                (0, Cycles::ZERO, Cycles::new(100)),
+                (1, Cycles::new(100), Cycles::new(150)),
+            ]
+        );
+        assert_eq!(report.total(), Cycles::new(150));
     }
 
     #[test]

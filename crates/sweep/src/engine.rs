@@ -10,7 +10,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use mcds_core::{
-    evaluate, ExperimentRow, McdsError, ScheduleAnalysis, ScheduleError, SchedulerKind,
+    evaluate_observed, render_explain, ExperimentRow, McdsError, Observer, ScheduleAnalysis,
+    ScheduleError, SchedulerKind, TraceSink, VecSink,
 };
 use mcds_model::{Application, ArchParams, ClusterSchedule, Cycles, Words};
 
@@ -24,6 +25,7 @@ struct PointMeasure {
     rf: u64,
     dt_avoided: Words,
     total: Cycles,
+    explain: Option<String>,
 }
 
 /// One (workload, partition, architecture) cell of the grid.
@@ -109,14 +111,23 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
         let cell = &cells[t / n_sched];
         let kind = spec.schedulers[t % n_sched];
         let scheduler = kind.instantiate(spec.config);
+        // Per-task sink (when explain capture is on) plus the shared
+        // metrics registry; both optional, both allocation-free when
+        // absent.
+        let sink = spec.capture_explain.then(VecSink::new);
+        let observer = Observer::new(
+            sink.as_ref().map(|s| s as &dyn TraceSink),
+            spec.metrics.as_deref(),
+        );
         let result = scheduler
-            .plan_with_analysis(cell.app, cell.sched, &cell.arch, cell.analysis)
+            .plan_observed(cell.app, cell.sched, &cell.arch, cell.analysis, observer)
             .and_then(|plan| {
-                let report = evaluate(&plan, &cell.arch)?;
+                let report = evaluate_observed(&plan, &cell.arch, observer)?;
                 Ok(PointMeasure {
                     rf: plan.rf(),
                     dt_avoided: plan.dt_avoided_per_iter(),
                     total: report.total(),
+                    explain: sink.as_ref().map(|s| render_explain(&s.take())),
                 })
             });
         let _ = slots[t].set(result);
@@ -189,6 +200,7 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
                         rf: r.as_ref().ok().map(|m| m.rf),
                         total_cycles: r.as_ref().ok().map(|m| m.total.get()),
                         error: r.as_ref().err().map(ToString::to_string),
+                        explain: r.as_ref().ok().and_then(|m| m.explain.clone()),
                     }
                 })
                 .collect();
@@ -203,5 +215,8 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
         })
         .collect();
 
-    Ok(SweepReport { rows })
+    Ok(SweepReport {
+        rows,
+        metrics: spec.metrics.as_ref().map(|m| m.snapshot()),
+    })
 }

@@ -23,6 +23,9 @@ pub struct SchedulerOutcome {
     pub total_cycles: Option<u64>,
     /// The failure, rendered, when the point was infeasible.
     pub error: Option<String>,
+    /// The rendered decision log for this point, when the sweep ran
+    /// with [`capture_explain`](crate::SweepSpec::capture_explain).
+    pub explain: Option<String>,
 }
 
 /// One grid cell: a (workload, partition, architecture) triple with the
@@ -56,6 +59,10 @@ impl SweepRow {
 pub struct SweepReport {
     /// One row per (workload, partition, architecture) cell.
     pub rows: Vec<SweepRow>,
+    /// Aggregated [`MetricsRegistry`](mcds_core::MetricsRegistry)
+    /// snapshot (sorted by name), when the sweep ran with
+    /// [`metrics`](crate::SweepSpec::metrics) attached.
+    pub metrics: Option<Vec<(String, u64)>>,
 }
 
 impl SweepReport {

@@ -1,6 +1,8 @@
 //! Sweep specification: the grid to evaluate.
 
-use mcds_core::{McdsError, SchedulerConfig, SchedulerKind};
+use std::sync::Arc;
+
+use mcds_core::{McdsError, MetricsRegistry, SchedulerConfig, SchedulerKind};
 use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
 
 use crate::SweepReport;
@@ -71,6 +73,8 @@ pub struct SweepSpec {
     pub(crate) schedulers: Vec<SchedulerKind>,
     pub(crate) config: SchedulerConfig,
     pub(crate) threads: Option<usize>,
+    pub(crate) metrics: Option<Arc<MetricsRegistry>>,
+    pub(crate) capture_explain: bool,
 }
 
 impl SweepSpec {
@@ -84,6 +88,8 @@ impl SweepSpec {
             schedulers: SchedulerKind::ALL.to_vec(),
             config: SchedulerConfig::default(),
             threads: None,
+            metrics: None,
+            capture_explain: false,
         }
     }
 
@@ -130,6 +136,29 @@ impl SweepSpec {
     #[must_use]
     pub fn threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a shared [`MetricsRegistry`]: every worker thread
+    /// records its scheduling/allocation/simulation counters into it,
+    /// and the finished report carries the aggregated
+    /// [`snapshot`](MetricsRegistry::snapshot) in
+    /// [`SweepReport::metrics`](crate::SweepReport::metrics). Totals
+    /// are exact and deterministic for a fixed grid whatever the
+    /// worker count.
+    #[must_use]
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// When `true`, every grid point also captures its decision trace
+    /// and stores the rendered `--explain` log in
+    /// [`SchedulerOutcome::explain`](crate::SchedulerOutcome::explain).
+    /// Off by default: tracing a large grid costs memory.
+    #[must_use]
+    pub fn capture_explain(mut self, capture: bool) -> Self {
+        self.capture_explain = capture;
         self
     }
 

@@ -1,7 +1,9 @@
 //! The sweep's core contract: the report is a pure function of the
 //! spec — thread count and OS scheduling never show through.
 
-use mcds_core::{McdsError, SchedulerKind};
+use std::sync::Arc;
+
+use mcds_core::{McdsError, MetricsRegistry, SchedulerKind};
 use mcds_model::{Application, ApplicationBuilder, ClusterSchedule, Cycles, DataKind, Words};
 use mcds_sweep::{SweepSpec, SweepWorkload};
 
@@ -58,6 +60,64 @@ fn parallel_equals_serial_byte_for_byte() {
             "CSV must not depend on thread count ({workers} workers)"
         );
     }
+}
+
+#[test]
+fn metrics_totals_are_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let report = spec()
+            .metrics(Arc::clone(&registry))
+            .threads(Some(workers))
+            .run()
+            .expect("runs");
+        (registry.snapshot(), report)
+    };
+    let (serial, serial_report) = run(1);
+    assert!(!serial.is_empty(), "instrumented sweep records counters");
+    assert_eq!(serial_report.metrics.as_deref(), Some(serial.as_slice()));
+    // One plan attempt per grid point, successful or not.
+    let plans = serial
+        .iter()
+        .find(|(n, _)| n == "plan.count")
+        .map(|(_, v)| *v);
+    assert_eq!(plans, Some(27));
+    for workers in [2, 8] {
+        let (parallel, parallel_report) = run(workers);
+        assert_eq!(
+            serial, parallel,
+            "aggregated metrics must not depend on thread count ({workers} workers)"
+        );
+        assert_eq!(parallel_report.metrics, serial_report.metrics);
+    }
+}
+
+#[test]
+fn captured_explains_are_deterministic_and_in_report() {
+    let run = |workers: usize| {
+        spec()
+            .capture_explain(true)
+            .threads(Some(workers))
+            .run()
+            .expect("runs")
+    };
+    let serial = run(1);
+    for r in &serial.rows {
+        for o in &r.outcomes {
+            // Every feasible point carries a rendered decision log.
+            assert_eq!(o.explain.is_some(), o.total_cycles.is_some());
+            if let Some(text) = &o.explain {
+                assert!(text.contains("] plan "), "log starts the plan: {text}");
+                assert!(text.contains("] simulated:"), "log ends the run: {text}");
+            }
+        }
+    }
+    let parallel = run(8);
+    assert_eq!(
+        serial.to_json().expect("serializes"),
+        parallel.to_json().expect("serializes"),
+        "captured explains must not depend on thread count"
+    );
 }
 
 #[test]

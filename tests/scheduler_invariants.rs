@@ -3,8 +3,8 @@
 
 use mcds_core::{
     all_fit, cluster_peak, ds_formula, evaluate, find_candidates_with, max_common_rf,
-    AllocationWalk, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, FootprintModel,
-    Lifetimes, RetentionSet, ScheduleAnalysis,
+    AllocationWalk, BasicScheduler, CdsScheduler, DataScheduler, DsScheduler, Event,
+    FootprintModel, Lifetimes, Observer, RetentionSet, ScheduleAnalysis, VecSink,
 };
 use mcds_model::{ArchParams, Words};
 use mcds_workloads::synthetic::{SyntheticConfig, SyntheticGenerator};
@@ -158,6 +158,40 @@ proptest! {
                 analysis.sharing_candidates(&app, &sched, cross),
                 &find_candidates_with(&app, &sched, &lt, cross)[..]
             );
+        }
+    }
+
+    /// Trace contract: retention decisions stream in non-increasing TF
+    /// order (the §4 greedy visits candidates best-first), every
+    /// *accepted* event satisfies its recorded DS(C_c) <= FBS, and
+    /// every *rejected* event cites a genuinely violated constraint.
+    #[test]
+    fn retention_events_are_tf_ordered_and_feasible((seed, cfg) in config_strategy()) {
+        let (app, sched) = SyntheticGenerator::new(seed).generate(&cfg).expect("valid");
+        let arch = ArchParams::m1_with_fb(Words::kilo(2));
+        let analysis = ScheduleAnalysis::new(&app, &sched);
+        let sink = VecSink::new();
+        let observer = Observer::new(Some(&sink), None);
+        if CdsScheduler::new()
+            .plan_observed(&app, &sched, &arch, &analysis, observer)
+            .is_ok()
+        {
+            let mut last_tf = f64::INFINITY;
+            for ev in sink.take() {
+                match ev {
+                    Event::RetentionAccepted { name, tf, ds, fbs, .. } => {
+                        prop_assert!(tf <= last_tf, "TF order violated at {name}: {tf} after {last_tf}");
+                        prop_assert!(ds <= fbs, "accepted {name} leaves DS {ds} > FBS {fbs}");
+                        last_tf = tf;
+                    }
+                    Event::RetentionRejected { name, tf, ds, fbs, .. } => {
+                        prop_assert!(tf <= last_tf, "TF order violated at {name}: {tf} after {last_tf}");
+                        prop_assert!(ds > fbs, "rejected {name} cites no violation: DS {ds} <= FBS {fbs}");
+                        last_tf = tf;
+                    }
+                    _ => {}
+                }
+            }
         }
     }
 
