@@ -10,6 +10,8 @@
 //! mcds run      <app.json> [options]       # plan + simulate with tracing
 //! mcds explore  <app.json> [options]       # kernel-scheduler partition search
 //! mcds sweep    [app.json …] [options]     # parallel design-space sweep
+//! mcds serve    [options]                  # scheduling service (newline-delimited JSON over TCP)
+//! mcds client   [options]                  # load-test client; prints a JSON report
 //!
 //! options:
 //!   --clusters "0,1;2;3"   kernel ids per cluster, ';'-separated (default: one per kernel)
@@ -29,6 +31,21 @@
 //!   --threads N            worker threads (default: all cores; 1 = serial)
 //!   --format table|json|csv                (default: table)
 //!
+//! serve options:
+//!   --addr A:P             bind address (default: 127.0.0.1:7171; port 0 picks a free port)
+//!   --workers N            scheduling worker threads (default: cores, capped at 8)
+//!   --queue-depth N        admission queue capacity; full queue rejects (default: 64)
+//!
+//! client options:
+//!   --addr A:P             server address (default: 127.0.0.1:7171)
+//!   --connections N        concurrent connections (default: 4)
+//!   --requests M           requests per connection (default: 50)
+//!   --seed S               workload-mix seed; connection i uses S+i (default: 1)
+//!   --iterations N         streaming iterations per request (default: 16)
+//!   --fb-kw N              FB set size in kilowords per request (default: 8)
+//!   --scheduler basic|ds|cds               (default: server default)
+//!   --deadline-ms D        per-request deadline (default: none)
+//!
 //! `mcds sweep` without application files sweeps the paper's Table-1
 //! workloads.
 //! ```
@@ -42,6 +59,7 @@ use mcds_ksched::{KernelScheduler, SearchStrategy};
 use mcds_model::{
     Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId, Words,
 };
+use mcds_serve::{run_load, LoadConfig, ServeConfig, Server};
 use mcds_sim::{bottleneck, render_gantt, Simulator};
 use mcds_sweep::{SweepReport, SweepSpec, SweepWorkload};
 
@@ -59,7 +77,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
         return Err(McdsError::spec(
-            "usage: mcds <sample-app|inspect|plan|run|explore|sweep> …",
+            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client> …",
         ));
     };
     match cmd.as_str() {
@@ -72,6 +90,8 @@ fn run(args: &[String]) -> Result<(), McdsError> {
         "run" => traced_run(&args[1..]),
         "explore" => explore(&args[1..]),
         "sweep" => sweep(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "client" => client(&args[1..]),
         other => Err(McdsError::spec(format!("unknown command `{other}`"))),
     }
 }
@@ -394,6 +414,69 @@ fn sweep(args: &[String]) -> Result<(), McdsError> {
     );
     let report = spec.run()?;
     print_sweep(&report, format)
+}
+
+fn parsed_opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, McdsError>
+where
+    T::Err: std::fmt::Display,
+{
+    opt(args, name)
+        .map(|v| {
+            v.parse()
+                .map_err(|e| McdsError::spec(format!("{name}: {e}")))
+        })
+        .transpose()
+}
+
+fn serve(args: &[String]) -> Result<(), McdsError> {
+    let mut config = ServeConfig {
+        addr: opt(args, "--addr").unwrap_or("127.0.0.1:7171").to_owned(),
+        ..ServeConfig::default()
+    };
+    if let Some(workers) = parsed_opt(args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(depth) = parsed_opt(args, "--queue-depth")? {
+        config.queue_depth = depth;
+    }
+    let server = Server::bind(config)?;
+    println!("mcds-serve listening on {}", server.local_addr());
+    let summary = server.run()?;
+    println!(
+        "{}",
+        serde_json::to_string(&summary).map_err(|e| McdsError::spec(e.to_string()))?
+    );
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<(), McdsError> {
+    let mut config = LoadConfig {
+        addr: opt(args, "--addr").unwrap_or("127.0.0.1:7171").to_owned(),
+        scheduler: opt(args, "--scheduler").map(str::to_owned),
+        deadline_ms: parsed_opt(args, "--deadline-ms")?,
+        ..LoadConfig::default()
+    };
+    if let Some(connections) = parsed_opt(args, "--connections")? {
+        config.connections = connections;
+    }
+    if let Some(requests) = parsed_opt(args, "--requests")? {
+        config.requests = requests;
+    }
+    if let Some(seed) = parsed_opt(args, "--seed")? {
+        config.seed = seed;
+    }
+    if let Some(iterations) = parsed_opt(args, "--iterations")? {
+        config.iterations = iterations;
+    }
+    if let Some(fb_kw) = parsed_opt(args, "--fb-kw")? {
+        config.fb_kw = fb_kw;
+    }
+    let report = run_load(&config)?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| McdsError::spec(e.to_string()))?
+    );
+    Ok(())
 }
 
 fn print_sweep(report: &SweepReport, format: &str) -> Result<(), McdsError> {

@@ -1,0 +1,144 @@
+//! Cooperative cancellation for long-running pipeline work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag (plus an optional
+//! deadline) that a serving layer hands to a
+//! [`Pipeline`](crate::Pipeline) so an in-flight request can be
+//! abandoned at the next stage boundary instead of running to
+//! completion — the paper's compile-time stages become preemptible
+//! units of server work.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::McdsError;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional wall-clock deadline.
+///
+/// Clones share state: cancelling any clone cancels them all. The token
+/// trips either explicitly ([`cancel`](Self::cancel), e.g. on server
+/// shutdown) or implicitly once the deadline passes; instrumentation
+/// points poll it with [`check`](Self::check).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only trips when [`cancel`](Self::cancel) is called.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that also trips once `budget` has elapsed from now.
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken::at(Instant::now() + budget)
+    }
+
+    /// A token that also trips at the given instant.
+    #[must_use]
+    pub fn at(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Trips the token (and every clone of it).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once cancelled or past the deadline.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline, if one was set. Zero once passed.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Fails with [`McdsError::Cancelled`] once the token has tripped —
+    /// the polling point instrumented code calls at stage boundaries.
+    ///
+    /// # Errors
+    ///
+    /// [`McdsError::Cancelled`] naming the trigger (`deadline exceeded`
+    /// or `cancelled`).
+    pub fn check(&self) -> Result<(), McdsError> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Err(McdsError::Cancelled("cancelled".to_owned()));
+        }
+        if self.inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(McdsError::Cancelled("deadline exceeded".to_owned()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        let err = t.check().unwrap_err();
+        assert!(err.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let err = t.check().unwrap_err();
+        assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.remaining().expect("deadline set") > Duration::ZERO);
+    }
+}

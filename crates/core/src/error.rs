@@ -103,6 +103,10 @@ pub enum McdsError {
     Spec(String),
     /// Reading or writing an artifact failed.
     Io(std::io::Error),
+    /// The run was abandoned mid-pipeline: its
+    /// [`CancelToken`](crate::CancelToken) tripped (deadline exceeded
+    /// or explicit cancellation, e.g. server shutdown).
+    Cancelled(String),
 }
 
 impl McdsError {
@@ -124,6 +128,7 @@ impl fmt::Display for McdsError {
             McdsError::Clustering(e) => write!(f, "kernel scheduling failed: {e}"),
             McdsError::Spec(msg) => write!(f, "invalid request: {msg}"),
             McdsError::Io(e) => write!(f, "io error: {e}"),
+            McdsError::Cancelled(reason) => write!(f, "run abandoned: {reason}"),
         }
     }
 }
@@ -135,6 +140,7 @@ impl Error for McdsError {
             McdsError::Clustering(e) => Some(e.as_ref()),
             McdsError::Spec(_) => None,
             McdsError::Io(e) => Some(e),
+            McdsError::Cancelled(_) => None,
         }
     }
 }

@@ -1,0 +1,198 @@
+//! Content-addressed request keys.
+//!
+//! A scheduling request is fully determined by its inputs: the
+//! [`Application`], the cluster partition, the [`ArchParams`] and the
+//! (scheduler, config) pair. [`request_key`] condenses those into one
+//! 64-bit FNV-1a hash over a *canonical* encoding of their
+//! serialization trees — map keys are sorted before hashing, so two
+//! requests whose JSON spells the same object with different key order
+//! (or different whitespace) hash identically, while any semantic
+//! perturbation changes the key.
+//!
+//! The sweep engine uses the key to collapse duplicate grid points into
+//! one evaluation; `mcds-serve` uses it as the address of its outcome
+//! cache.
+
+use serde::{Serialize, Value};
+
+use mcds_model::{Application, ArchParams, ClusterSchedule};
+
+use crate::{SchedulerConfig, SchedulerKind};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Hashes one [`Value`] tree in canonical form: every node is prefixed
+/// with a type tag, strings and sequences with their length, and map
+/// entries are visited in sorted key order regardless of their order in
+/// the tree.
+fn hash_value(h: &mut Fnv1a, value: &Value) {
+    match value {
+        Value::Null => h.write(&[0]),
+        Value::Bool(b) => h.write(&[1, u8::from(*b)]),
+        Value::UInt(n) => {
+            h.write(&[2]);
+            h.write_u64(*n);
+        }
+        Value::Int(n) => {
+            h.write(&[3]);
+            h.write_u64(*n as u64);
+        }
+        Value::Float(x) => {
+            h.write(&[4]);
+            // Canonicalize the two zero representations; other bit
+            // patterns (including NaNs) hash as-is.
+            let bits = if *x == 0.0 { 0u64 } else { x.to_bits() };
+            h.write_u64(bits);
+        }
+        Value::Str(s) => {
+            h.write(&[5]);
+            h.write_u64(s.len() as u64);
+            h.write(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            h.write(&[6]);
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+        Value::Map(entries) => {
+            h.write(&[7]);
+            h.write_u64(entries.len() as u64);
+            let mut order: Vec<usize> = (0..entries.len()).collect();
+            order.sort_by(|&a, &b| entries[a].0.cmp(&entries[b].0));
+            for i in order {
+                let (key, item) = &entries[i];
+                h.write_u64(key.len() as u64);
+                h.write(key.as_bytes());
+                hash_value(h, item);
+            }
+        }
+    }
+}
+
+/// Canonical FNV-1a hash of one serialization tree. Key order inside
+/// maps does not affect the result; every other difference does.
+#[must_use]
+pub fn canonical_value_hash(value: &Value) -> u64 {
+    let mut h = Fnv1a::new();
+    hash_value(&mut h, value);
+    h.0
+}
+
+/// The content-addressed key of one scheduling request: a canonical
+/// hash over (application, partition, architecture, scheduler, config).
+///
+/// Pass `None` for `sched` when the request uses the default singleton
+/// partition — an explicit singleton partition hashes differently on
+/// purpose (it pins cluster ids).
+#[must_use]
+pub fn request_key(
+    app: &Application,
+    sched: Option<&ClusterSchedule>,
+    arch: &ArchParams,
+    kind: SchedulerKind,
+    config: &SchedulerConfig,
+) -> u64 {
+    let tree = Value::Seq(vec![
+        Value::Str(kind.name().to_owned()),
+        app.to_value(),
+        sched.map_or(Value::Null, Serialize::to_value),
+        arch.to_value(),
+        config.to_value(),
+    ]);
+    canonical_value_hash(&tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcds_model::{ApplicationBuilder, Cycles, DataKind, Words};
+
+    fn app(iterations: u64) -> Application {
+        let mut b = ApplicationBuilder::new("key");
+        let a = b.data("a", Words::new(64), DataKind::ExternalInput);
+        let f = b.data("f", Words::new(32), DataKind::FinalResult);
+        b.kernel("k", 16, Cycles::new(200), &[a], &[f]);
+        b.iterations(iterations).build().expect("valid")
+    }
+
+    #[test]
+    fn map_key_order_is_irrelevant() {
+        let v1 = Value::Map(vec![
+            ("a".to_owned(), Value::UInt(1)),
+            ("b".to_owned(), Value::Seq(vec![Value::Bool(true)])),
+        ]);
+        let v2 = Value::Map(vec![
+            ("b".to_owned(), Value::Seq(vec![Value::Bool(true)])),
+            ("a".to_owned(), Value::UInt(1)),
+        ]);
+        assert_eq!(canonical_value_hash(&v1), canonical_value_hash(&v2));
+    }
+
+    #[test]
+    fn value_differences_change_the_hash() {
+        let base = Value::Map(vec![("a".to_owned(), Value::UInt(1))]);
+        let renamed = Value::Map(vec![("b".to_owned(), Value::UInt(1))]);
+        let changed = Value::Map(vec![("a".to_owned(), Value::UInt(2))]);
+        assert_ne!(canonical_value_hash(&base), canonical_value_hash(&renamed));
+        assert_ne!(canonical_value_hash(&base), canonical_value_hash(&changed));
+    }
+
+    #[test]
+    fn request_key_separates_every_axis() {
+        let config = SchedulerConfig::default();
+        let arch = ArchParams::m1();
+        let k = request_key(&app(8), None, &arch, SchedulerKind::Cds, &config);
+        assert_eq!(
+            k,
+            request_key(&app(8), None, &arch, SchedulerKind::Cds, &config),
+            "pure function of the inputs"
+        );
+        assert_ne!(
+            k,
+            request_key(&app(9), None, &arch, SchedulerKind::Cds, &config),
+            "application perturbation"
+        );
+        assert_ne!(
+            k,
+            request_key(&app(8), None, &arch, SchedulerKind::Ds, &config),
+            "scheduler perturbation"
+        );
+        let big = ArchParams::m1_with_fb(Words::kilo(2));
+        assert_ne!(
+            k,
+            request_key(&app(8), None, &big, SchedulerKind::Cds, &config),
+            "architecture perturbation"
+        );
+        let a = app(8);
+        let singles = ClusterSchedule::singletons(&a).expect("valid");
+        assert_ne!(
+            k,
+            request_key(&a, Some(&singles), &arch, SchedulerKind::Cds, &config),
+            "explicit partition differs from implicit default"
+        );
+    }
+}

@@ -67,10 +67,12 @@
 
 mod alloc_walk;
 mod analysis;
+mod cancel;
 mod codegen;
 mod emit;
 mod error;
 mod footprint;
+mod key;
 mod lifetime;
 mod pipeline;
 mod plan;
@@ -83,10 +85,12 @@ mod trace;
 
 pub use alloc_walk::{AllocationReport, AllocationWalk, PlacementRecord, PlacementRole};
 pub use analysis::ScheduleAnalysis;
+pub use cancel::CancelToken;
 pub use codegen::{generate_program, CodeOp, CodeOpDisplay, TransferProgram};
 pub use emit::{emit_ops, stage_compute_cycles};
 pub use error::{McdsError, ScheduleError};
 pub use footprint::{all_fit, cluster_peak, ds_formula, first_unfit, FootprintModel};
+pub use key::{canonical_value_hash, request_key};
 pub use lifetime::Lifetimes;
 pub use pipeline::{
     ClusterProvider, Pipeline, PipelineComparison, PipelineRun, SchedulerKind, SingletonClusters,

@@ -36,9 +36,9 @@ use mcds_sim::SimReport;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate_observed, render_explain, BasicScheduler, CdsScheduler, Comparison, DataScheduler,
-    DsScheduler, ExperimentRow, McdsError, MetricsRegistry, Observer, ScheduleAnalysis,
-    SchedulePlan, SchedulerConfig, TraceSink, VecSink,
+    evaluate_observed, render_explain, BasicScheduler, CancelToken, CdsScheduler, Comparison,
+    DataScheduler, DsScheduler, ExperimentRow, McdsError, MetricsRegistry, Observer,
+    ScheduleAnalysis, SchedulePlan, SchedulerConfig, TraceSink, VecSink,
 };
 
 /// A cluster-formation strategy: anything that can turn an application
@@ -154,6 +154,7 @@ pub struct Pipeline {
     clustering: Box<dyn ClusterProvider + Send + Sync>,
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Pipeline {
@@ -168,6 +169,7 @@ impl Pipeline {
             clustering: Box::new(SingletonClusters),
             sink: None,
             metrics: None,
+            cancel: None,
         }
     }
 
@@ -223,8 +225,27 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a [`CancelToken`]: [`plan`](Pipeline::plan),
+    /// [`run`](Pipeline::run) and [`explain`](Pipeline::explain) poll
+    /// it at every stage boundary (admission, after clustering, after
+    /// planning, before evaluation) and abandon the request with
+    /// [`McdsError::Cancelled`] once it trips — the serving layer's
+    /// per-request deadline enforcement.
+    #[must_use]
+    pub fn cancellation(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     fn observer(&self) -> Observer<'_> {
         Observer::new(self.sink.as_deref(), self.metrics.as_deref())
+    }
+
+    fn check_cancel(&self) -> Result<(), McdsError> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
     }
 
     /// The application under schedule.
@@ -255,7 +276,9 @@ impl Pipeline {
     ///
     /// Clustering or planning errors, unified as [`McdsError`].
     pub fn plan(&self) -> Result<SchedulePlan, McdsError> {
+        self.check_cancel()?;
         let schedule = self.resolve_clusters()?;
+        self.check_cancel()?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
         Ok(
@@ -276,12 +299,15 @@ impl Pipeline {
     /// Clustering, planning, or evaluation errors, unified as
     /// [`McdsError`].
     pub fn run(&self) -> Result<PipelineRun, McdsError> {
+        self.check_cancel()?;
         let observer = self.observer();
         let schedule = self.resolve_clusters()?;
+        self.check_cancel()?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
         let plan =
             scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
+        self.check_cancel()?;
         let report = evaluate_observed(&plan, &self.arch, observer)?;
         Ok(PipelineRun {
             schedule,
@@ -306,11 +332,14 @@ impl Pipeline {
             other: self.sink.clone(),
         };
         let observer = Observer::new(Some(&tee), self.metrics.as_deref());
+        self.check_cancel()?;
         let schedule = self.resolve_clusters()?;
+        self.check_cancel()?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
         let plan =
             scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
+        self.check_cancel()?;
         let report = evaluate_observed(&plan, &self.arch, observer)?;
         let log = render_explain(&local.take());
         Ok((
@@ -546,6 +575,45 @@ mod tests {
         let (_, log2) = pipeline.explain().expect("runs again");
         assert_eq!(log, log2, "explain is deterministic");
         let _ = run;
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_any_work() {
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Pipeline::new(app())
+            .cancellation(token)
+            .run()
+            .expect_err("admission check trips");
+        assert!(matches!(err, McdsError::Cancelled(_)));
+        assert!(err.to_string().contains("run abandoned"));
+    }
+
+    #[test]
+    fn elapsed_deadline_aborts_run_and_explain() {
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let pipeline = Pipeline::new(app()).cancellation(token);
+        assert!(matches!(
+            pipeline.run().expect_err("deadline"),
+            McdsError::Cancelled(_)
+        ));
+        assert!(matches!(
+            pipeline.explain().expect_err("deadline"),
+            McdsError::Cancelled(_)
+        ));
+    }
+
+    #[test]
+    fn unexpired_deadline_does_not_change_the_result() {
+        let plain = Pipeline::new(app()).run().expect("runs");
+        let timed = Pipeline::new(app())
+            .cancellation(CancelToken::with_deadline(std::time::Duration::from_secs(
+                3600,
+            )))
+            .run()
+            .expect("deadline far away");
+        assert_eq!(plain.plan().rf(), timed.plan().rf());
+        assert_eq!(plain.report().total(), timed.report().total());
     }
 
     #[test]

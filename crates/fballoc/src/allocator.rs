@@ -325,15 +325,27 @@ impl FbAllocator {
         // Split: greedily consume whole extremal blocks in direction
         // order until the request is covered. Total free space was
         // checked above, so this terminates.
-        let mut segments = Vec::new();
+        let mut segments: Vec<Segment> = Vec::new();
         let mut remaining = size;
         while !remaining.is_zero() {
             let piece = remaining.min(self.free.largest_block());
-            debug_assert!(!piece.is_zero(), "free accounting violated");
-            let start = self
-                .free
-                .take_first_fit(piece, from_upper)
-                .expect("a block of at least largest_block size exists");
+            let taken = (!piece.is_zero())
+                .then(|| self.free.take_first_fit(piece, from_upper))
+                .flatten();
+            let Some(start) = taken else {
+                // The free list failed to supply its own reported
+                // largest block — bookkeeping is corrupt. Give back
+                // what was already carved so the caller sees a typed
+                // error over unchanged state, not a panic.
+                debug_assert!(false, "free list cannot supply its own largest block");
+                for seg in segments {
+                    self.free.insert(seg.start, seg.len);
+                }
+                self.stats.record_failure();
+                return Err(AllocError::Corrupted(
+                    "free list cannot supply its own largest block",
+                ));
+            };
             segments.push(Segment { start, len: piece });
             remaining -= piece;
         }
@@ -365,7 +377,13 @@ impl FbAllocator {
         let Some(alloc) = self.live.get(&handle) else {
             return Err(AllocError::UnknownHandle);
         };
-        let top = alloc.segments.last().expect("non-empty allocation");
+        let Some(top) = alloc.segments.last() else {
+            // Every commit stores at least one segment; an empty live
+            // allocation means the table is corrupt.
+            debug_assert!(false, "live allocation has no segments");
+            return Err(AllocError::Corrupted("live allocation has no segments"));
+        };
+        let label = alloc.label.clone();
         let start = top.end();
         if start + extra.get() > self.capacity().get() {
             return Err(AllocError::OutOfBounds {
@@ -378,9 +396,20 @@ impl FbAllocator {
             return Err(AllocError::RangeNotFree { start, size: extra });
         }
         let added = Segment { start, len: extra };
-        let alloc = self.live.get_mut(&handle).expect("checked live above");
-        alloc.segments.last_mut().expect("non-empty").len += extra;
-        let (label, segments) = (alloc.label.clone(), vec![added]);
+        let last = self
+            .live
+            .get_mut(&handle)
+            .and_then(|a| a.segments.last_mut());
+        let Some(last) = last else {
+            // The handle resolved moments ago; losing it between the
+            // two lookups means the table is corrupt. Give the carved
+            // range back so state stays consistent.
+            debug_assert!(false, "live table lost a handle mid-extend");
+            self.free.insert(start, extra);
+            return Err(AllocError::Corrupted("live table lost a handle mid-extend"));
+        };
+        last.len += extra;
+        let segments = vec![added];
         self.stats.record_extend(extra, self.used());
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::new(

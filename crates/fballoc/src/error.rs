@@ -46,6 +46,11 @@ pub enum AllocError {
     ZeroSize,
     /// The handle passed to `free` does not name a live allocation.
     UnknownHandle,
+    /// The allocator's internal bookkeeping contradicted itself (free
+    /// list and live table out of sync). Debug builds assert instead;
+    /// release builds surface this so a serving thread can drop the
+    /// allocator and report the request failed rather than panic.
+    Corrupted(&'static str),
 }
 
 impl fmt::Display for AllocError {
@@ -78,6 +83,9 @@ impl fmt::Display for AllocError {
             ),
             AllocError::ZeroSize => write!(f, "zero-sized allocation requested"),
             AllocError::UnknownHandle => write!(f, "handle does not name a live allocation"),
+            AllocError::Corrupted(msg) => {
+                write!(f, "frame buffer allocator state corrupt: {msg}")
+            }
         }
     }
 }

@@ -52,30 +52,69 @@ impl Application {
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this application.
+    /// Panics if `id` does not belong to this application. Untrusted
+    /// ids (e.g. from deserialized input) go through
+    /// [`try_kernel`](Self::try_kernel) instead.
     #[must_use]
     pub fn kernel(&self, id: KernelId) -> &Kernel {
-        &self.kernels[id.index()]
+        self.try_kernel(id)
+            .unwrap_or_else(|e| panic!("{e} (of {} kernels)", self.kernels.len()))
+    }
+
+    /// Fallible kernel lookup for ids from untrusted sources.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NoSuchKernel`] if `id` does not belong to this
+    /// application.
+    pub fn try_kernel(&self, id: KernelId) -> Result<&Kernel, ModelError> {
+        self.kernels
+            .get(id.index())
+            .ok_or(ModelError::NoSuchKernel(id))
     }
 
     /// Looks up a data object by id.
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this application.
+    /// Panics if `id` does not belong to this application. Untrusted
+    /// ids go through [`try_data_object`](Self::try_data_object)
+    /// instead.
     #[must_use]
     pub fn data_object(&self, id: DataId) -> &DataObject {
-        &self.data[id.index()]
+        self.try_data_object(id)
+            .unwrap_or_else(|e| panic!("{e} (of {} data objects)", self.data.len()))
+    }
+
+    /// Fallible data-object lookup for ids from untrusted sources.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NoSuchData`] if `id` does not belong to this
+    /// application.
+    pub fn try_data_object(&self, id: DataId) -> Result<&DataObject, ModelError> {
+        self.data.get(id.index()).ok_or(ModelError::NoSuchData(id))
     }
 
     /// Size of one iteration's instance of `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this application.
+    /// Panics if `id` does not belong to this application. Untrusted
+    /// ids go through [`try_size_of`](Self::try_size_of) instead.
     #[must_use]
     pub fn size_of(&self, id: DataId) -> Words {
         self.data_object(id).size()
+    }
+
+    /// Fallible size lookup for ids from untrusted sources.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NoSuchData`] if `id` does not belong to this
+    /// application.
+    pub fn try_size_of(&self, id: DataId) -> Result<Words, ModelError> {
+        Ok(self.try_data_object(id)?.size())
     }
 
     /// Computes producer/consumer relations and the kernel dependency
@@ -342,6 +381,31 @@ mod tests {
         assert_eq!(app.kernel(KernelId::new(1)).name(), "k1");
         assert_eq!(app.data_object(DataId::new(0)).name(), "a");
         assert_eq!(app.size_of(DataId::new(1)), Words::new(5));
+    }
+
+    #[test]
+    fn foreign_ids_are_typed_errors_not_panics() {
+        let app = three_stage().iterations(10).build().expect("valid");
+        assert_eq!(
+            app.try_kernel(KernelId::new(9)).unwrap_err(),
+            ModelError::NoSuchKernel(KernelId::new(9))
+        );
+        assert_eq!(
+            app.try_data_object(DataId::new(9)).unwrap_err(),
+            ModelError::NoSuchData(DataId::new(9))
+        );
+        assert_eq!(
+            app.try_size_of(DataId::new(9)).unwrap_err(),
+            ModelError::NoSuchData(DataId::new(9))
+        );
+        assert_eq!(
+            app.try_kernel(KernelId::new(0)).expect("valid id").name(),
+            "k0"
+        );
+        assert_eq!(
+            app.try_size_of(DataId::new(2)).expect("valid id"),
+            Words::new(5)
+        );
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub enum ModelError {
         /// The consuming kernel (scheduled too early).
         consumer: KernelId,
     },
+    /// A kernel id does not belong to the application it was used with
+    /// (e.g. an id from a different, deserialized application).
+    NoSuchKernel(KernelId),
+    /// A data id does not belong to the application it was used with.
+    NoSuchData(DataId),
     /// A kernel needs more contexts than the Context Memory holds.
     ContextsExceedMemory {
         /// The oversized kernel.
@@ -120,6 +125,12 @@ impl fmt::Display for ModelError {
                 f,
                 "schedule executes consumer {consumer} before producer {producer}"
             ),
+            ModelError::NoSuchKernel(k) => {
+                write!(f, "kernel {k} does not belong to this application")
+            }
+            ModelError::NoSuchData(d) => {
+                write!(f, "data object {d} does not belong to this application")
+            }
             ModelError::ContextsExceedMemory {
                 kernel,
                 required,

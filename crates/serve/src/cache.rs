@@ -1,0 +1,253 @@
+//! Content-addressed outcome cache with single-flight deduplication.
+//!
+//! The cache maps a canonical request key
+//! ([`mcds_core::request_key`]) to the serialized scheduling outcome.
+//! The first requester of a key becomes the *leader* and computes;
+//! concurrent requesters of the same key block until the leader
+//! publishes, so one popular request costs one pipeline run no matter
+//! how many connections ask for it.
+//!
+//! Both successes and deterministic scheduling errors (e.g. "infeasible
+//! at this memory size") are cached — they are pure functions of the
+//! request. Abandoned runs (deadline exceeded, shutdown) are *never*
+//! cached: the leader's [`FlightGuard`] removes the in-flight entry so
+//! a later request with a longer deadline recomputes instead of
+//! inheriting the short deadline's failure.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::protocol::Outcome;
+
+/// A published result: the outcome, or a deterministic error message.
+pub type CachedResult = Arc<Result<Outcome, String>>;
+
+enum Entry {
+    InFlight,
+    Ready(CachedResult),
+}
+
+/// What [`OutcomeCache::begin`] resolved the key to.
+pub enum Begin {
+    /// A published result was available (or a leader published while we
+    /// waited) — a cache hit.
+    Hit(CachedResult),
+    /// This caller is the leader: compute, then
+    /// [`fulfill`](FlightGuard::fulfill) or
+    /// [`abandon`](FlightGuard::abandon) the guard.
+    Lead(FlightGuard),
+    /// The caller's deadline expired while waiting for a leader.
+    TimedOut,
+}
+
+/// The leader's obligation: exactly one of
+/// [`fulfill`](Self::fulfill) / [`abandon`](Self::abandon). Dropping
+/// the guard without either (e.g. on panic) abandons, so waiters never
+/// hang on a dead leader.
+pub struct FlightGuard {
+    cache: Arc<OutcomeCache>,
+    key: u64,
+    done: bool,
+}
+
+impl FlightGuard {
+    /// Publishes the result for every current and future requester.
+    pub fn fulfill(mut self, result: Result<Outcome, String>) -> CachedResult {
+        self.done = true;
+        let shared = Arc::new(result);
+        let mut map = self.cache.map.lock().expect("cache lock");
+        map.insert(self.key, Entry::Ready(Arc::clone(&shared)));
+        drop(map);
+        self.cache.ready.notify_all();
+        shared
+    }
+
+    /// Removes the in-flight entry without publishing — the run was
+    /// abandoned and must not poison the cache. A waiting requester
+    /// becomes the next leader.
+    pub fn abandon(mut self) {
+        self.done = true;
+        self.cache.remove_in_flight(self.key);
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache.remove_in_flight(self.key);
+        }
+    }
+}
+
+/// The cache. Shared across connection and worker threads via `Arc`.
+#[derive(Default)]
+pub struct OutcomeCache {
+    map: Mutex<HashMap<u64, Entry>>,
+    ready: Condvar,
+}
+
+impl OutcomeCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(OutcomeCache::default())
+    }
+
+    /// Resolves `key`: an immediate hit, leadership of the first
+    /// computation, or a timeout while waiting for another leader
+    /// (`deadline` bounds the wait; `None` waits indefinitely).
+    #[must_use]
+    pub fn begin(self: &Arc<Self>, key: u64, deadline: Option<Instant>) -> Begin {
+        let mut map = self.map.lock().expect("cache lock");
+        loop {
+            match map.get(&key) {
+                Some(Entry::Ready(r)) => return Begin::Hit(Arc::clone(r)),
+                None => {
+                    map.insert(key, Entry::InFlight);
+                    return Begin::Lead(FlightGuard {
+                        cache: Arc::clone(self),
+                        key,
+                        done: false,
+                    });
+                }
+                Some(Entry::InFlight) => match deadline {
+                    None => map = self.ready.wait(map).expect("cache lock"),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Begin::TimedOut;
+                        }
+                        map = self.ready.wait_timeout(map, d - now).expect("cache lock").0;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Published entry count (in-flight entries excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|e| matches!(e, Entry::Ready(_)))
+            .count()
+    }
+
+    /// `true` when nothing has been published yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn remove_in_flight(&self, key: u64) {
+        let mut map = self.map.lock().expect("cache lock");
+        // Only clear our own in-flight marker: a racing re-publish
+        // (cannot normally happen, but cheap to guard) stays.
+        if matches!(map.get(&key), Some(Entry::InFlight)) {
+            map.remove(&key);
+        }
+        drop(map);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn outcome(cycles: u64) -> Outcome {
+        Outcome {
+            app: "t".to_owned(),
+            scheduler: "cds".to_owned(),
+            clusters: 1,
+            rf: 1,
+            dt_avoided_words: 0,
+            data_words: 0,
+            context_words: 0,
+            total_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn first_leads_then_hits() {
+        let cache = OutcomeCache::new();
+        let Begin::Lead(guard) = cache.begin(7, None) else {
+            panic!("empty cache: first requester leads");
+        };
+        guard.fulfill(Ok(outcome(10)));
+        let Begin::Hit(r) = cache.begin(7, None) else {
+            panic!("published entry: second requester hits");
+        };
+        assert_eq!(r.as_ref().as_ref().expect("ok").total_cycles, 10);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_errors_are_cached_too() {
+        let cache = OutcomeCache::new();
+        let Begin::Lead(guard) = cache.begin(1, None) else {
+            panic!("leads");
+        };
+        guard.fulfill(Err("infeasible".to_owned()));
+        let Begin::Hit(r) = cache.begin(1, None) else {
+            panic!("hits");
+        };
+        assert_eq!(r.as_ref().as_ref().unwrap_err(), "infeasible");
+    }
+
+    #[test]
+    fn abandon_and_drop_clear_the_flight() {
+        let cache = OutcomeCache::new();
+        let Begin::Lead(guard) = cache.begin(2, None) else {
+            panic!("leads");
+        };
+        guard.abandon();
+        // The next requester leads again instead of hanging or seeing a
+        // poisoned entry.
+        let Begin::Lead(guard) = cache.begin(2, None) else {
+            panic!("abandoned key has no entry");
+        };
+        drop(guard); // panic-safety path: plain drop also clears
+        assert!(matches!(cache.begin(2, None), Begin::Lead(_)));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn waiters_receive_the_leaders_result() {
+        let cache = OutcomeCache::new();
+        let Begin::Lead(guard) = cache.begin(3, None) else {
+            panic!("leads");
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || match cache.begin(3, None) {
+                    Begin::Hit(r) => r.as_ref().as_ref().expect("ok").total_cycles,
+                    _ => panic!("waiter must resolve to the published result"),
+                })
+            })
+            .collect();
+        // Give the waiters time to block on the in-flight entry.
+        std::thread::sleep(Duration::from_millis(20));
+        guard.fulfill(Ok(outcome(42)));
+        for w in waiters {
+            assert_eq!(w.join().expect("no panic"), 42);
+        }
+    }
+
+    #[test]
+    fn waiting_respects_the_deadline() {
+        let cache = OutcomeCache::new();
+        let Begin::Lead(_guard) = cache.begin(4, None) else {
+            panic!("leads");
+        };
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let started = Instant::now();
+        assert!(matches!(cache.begin(4, Some(deadline)), Begin::TimedOut));
+        assert!(started.elapsed() < Duration::from_secs(5), "bounded wait");
+    }
+}

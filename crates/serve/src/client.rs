@@ -1,0 +1,239 @@
+//! Load-test client: N connections × M requests over a workload mix.
+//!
+//! Each connection samples workload names from its own deterministic
+//! [`RequestMix`](mcds_workloads::mix::RequestMix) (seeded `seed +
+//! connection index`, so runs are reproducible yet connections
+//! diverge), measures the client-observed round-trip latency of every
+//! request, and checks that responses for the same request key carry
+//! **byte-identical** outcomes — the end-to-end determinism claim of
+//! the serving layer.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use mcds_core::McdsError;
+use mcds_workloads::mix::RequestMix;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{ScheduleRequest, ScheduleResponse};
+
+/// Load-generator tunables.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests: usize,
+    /// Base RNG seed; connection `i` samples with `seed + i`.
+    pub seed: u64,
+    /// Streaming iterations passed with every request.
+    pub iterations: u64,
+    /// Frame Buffer set size in kilowords sent with every request.
+    /// The default (8) fits every catalog workload; shrink it to
+    /// exercise deterministic infeasibility errors.
+    pub fb_kw: u64,
+    /// Scheduler name sent with every request (`None` → server
+    /// default).
+    pub scheduler: Option<String>,
+    /// Per-request deadline in milliseconds (`None` → no deadline).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            connections: 4,
+            requests: 50,
+            seed: 1,
+            iterations: 16,
+            fb_kw: 8,
+            scheduler: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Aggregated results of one load run. Serializes to the
+/// `BENCH_serve.json` evidence format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Connections opened.
+    pub connections: u64,
+    /// Requests sent (across all connections).
+    pub requests: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `error` responses.
+    pub errors: u64,
+    /// `rejected` responses (admission queue full).
+    pub rejected: u64,
+    /// `ok` responses served from the cache.
+    pub cache_hits: u64,
+    /// `ok` responses that were computed.
+    pub cache_misses: u64,
+    /// Distinct request keys observed.
+    pub distinct_keys: u64,
+    /// `true` iff every response for the same key carried a
+    /// byte-identical outcome.
+    pub consistent_outcomes: bool,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_ms: u64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median client-observed round-trip latency (µs).
+    pub p50_us: u64,
+    /// 95th-percentile latency (µs).
+    pub p95_us: u64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: u64,
+    /// Worst-case latency (µs).
+    pub max_us: u64,
+}
+
+/// One response as observed by a connection.
+struct Sample {
+    latency_us: u64,
+    status: String,
+    cache: Option<String>,
+    key: Option<String>,
+    outcome_json: Option<String>,
+}
+
+/// Runs the load: `connections` threads, each sending `requests`
+/// schedule requests sampled from the standard workload mix, then
+/// aggregates latency percentiles and the byte-identity check.
+///
+/// # Errors
+///
+/// [`McdsError::Io`] when a connection cannot be established or dies
+/// mid-run. Protocol-level failures (`error`/`rejected` responses) are
+/// *counted*, not returned as errors.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, McdsError> {
+    let started = Instant::now();
+    let samples: Vec<Vec<Sample>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.connections.max(1))
+            .map(|i| s.spawn(move || drive_connection(config, i as u64)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("connection thread must not panic"))
+            .collect::<Result<Vec<_>, std::io::Error>>()
+    })?;
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport {
+        connections: config.connections.max(1) as u64,
+        requests: 0,
+        ok: 0,
+        errors: 0,
+        rejected: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        distinct_keys: 0,
+        consistent_outcomes: true,
+        elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+        throughput_rps: 0.0,
+        p50_us: 0,
+        p95_us: 0,
+        p99_us: 0,
+        max_us: 0,
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut by_key: HashMap<String, String> = HashMap::new();
+    for sample in samples.into_iter().flatten() {
+        report.requests += 1;
+        latencies.push(sample.latency_us);
+        match sample.status.as_str() {
+            "ok" => {
+                report.ok += 1;
+                match sample.cache.as_deref() {
+                    Some("hit") => report.cache_hits += 1,
+                    _ => report.cache_misses += 1,
+                }
+            }
+            "rejected" => report.rejected += 1,
+            _ => report.errors += 1,
+        }
+        if let (Some(key), Some(json)) = (sample.key, sample.outcome_json) {
+            match by_key.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(json);
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    if o.get() != &json {
+                        report.consistent_outcomes = false;
+                    }
+                }
+            }
+        }
+    }
+    report.distinct_keys = by_key.len() as u64;
+    if elapsed.as_secs_f64() > 0.0 {
+        report.throughput_rps = report.requests as f64 / elapsed.as_secs_f64();
+    }
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50);
+    report.p95_us = percentile(&latencies, 95);
+    report.p99_us = percentile(&latencies, 99);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    Ok(report)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() - 1) * q / 100;
+    sorted[rank]
+}
+
+fn drive_connection(config: &LoadConfig, index: u64) -> Result<Vec<Sample>, std::io::Error> {
+    let stream = TcpStream::connect(&config.addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut mix = RequestMix::standard(config.seed.wrapping_add(index));
+    let mut samples = Vec::with_capacity(config.requests);
+    let mut line = String::new();
+    for _ in 0..config.requests {
+        let name = mix.next_name().expect("standard mix is non-empty");
+        let mut request = ScheduleRequest::schedule(name);
+        request.iterations = Some(config.iterations);
+        request.fb_kw = Some(config.fb_kw);
+        request.scheduler = config.scheduler.clone();
+        request.deadline_ms = config.deadline_ms;
+        let mut payload = serde_json::to_string(&request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        payload.push('\n');
+        let sent = Instant::now();
+        writer.write_all(payload.as_bytes())?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-run",
+            ));
+        }
+        let latency_us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let response: ScheduleResponse = serde_json::from_str(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let outcome_json = match &response.outcome {
+            Some(outcome) => serde_json::to_string(outcome).ok(),
+            None => None,
+        };
+        samples.push(Sample {
+            latency_us,
+            status: response.status,
+            cache: response.cache,
+            key: response.key,
+            outcome_json,
+        });
+    }
+    Ok(samples)
+}

@@ -1,0 +1,48 @@
+//! # mcds-serve — a concurrent scheduling service
+//!
+//! Wraps the `mcds-core` [`Pipeline`](mcds_core::Pipeline) in a small
+//! std-only daemon speaking newline-delimited JSON over TCP, plus the
+//! matching load-test client. Three layers:
+//!
+//! * **Caching** — every `schedule` request is reduced to a canonical
+//!   content key ([`mcds_core::request_key`], FNV-1a over the
+//!   canonicalized value tree) and answered from the
+//!   [`OutcomeCache`]; concurrent identical requests are deduplicated
+//!   single-flight so one popular request costs one pipeline run.
+//! * **Robustness** — a bounded admission queue rejects (never
+//!   buffers unboundedly) under overload, per-request deadlines are
+//!   enforced mid-pipeline through
+//!   [`CancelToken`](mcds_core::CancelToken), a malformed request
+//!   poisons only its own connection, and `shutdown` drains
+//!   gracefully.
+//! * **Observability** — the shared
+//!   [`MetricsRegistry`](mcds_core::MetricsRegistry) counts
+//!   requests, hits, misses, rejections, and latency, exposed over the
+//!   wire via the `stats` verb.
+//!
+//! See `DESIGN.md` §10 for the protocol grammar and semantics.
+//!
+//! ```no_run
+//! use mcds_serve::{LoadConfig, ServeConfig, Server, run_load};
+//!
+//! let server = Server::bind(ServeConfig::default())?;
+//! let addr = server.local_addr().to_string();
+//! let handle = std::thread::spawn(move || server.run());
+//! let report = run_load(&LoadConfig { addr, ..LoadConfig::default() })?;
+//! assert!(report.cache_hits > 0);
+//! # handle.join().unwrap()?;
+//! # Ok::<(), mcds_core::McdsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+mod protocol;
+mod server;
+
+pub use cache::{Begin, CachedResult, FlightGuard, OutcomeCache};
+pub use client::{run_load, LoadConfig, LoadReport};
+pub use protocol::{format_key, Outcome, ScheduleRequest, ScheduleResponse, StatEntry};
+pub use server::{ServeConfig, ServeSummary, Server};

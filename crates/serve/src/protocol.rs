@@ -1,0 +1,237 @@
+//! The wire protocol: newline-delimited JSON, one object per line.
+//!
+//! Every request is one [`ScheduleRequest`] object on one line; the
+//! server answers with exactly one [`ScheduleResponse`] line. Four
+//! verbs exist:
+//!
+//! ```text
+//! {"verb":"schedule","workload":"e1","iterations":16,"scheduler":"cds","deadline_ms":500}
+//! {"verb":"schedule","app":{…inline application…},"fb_kw":2}
+//! {"verb":"ping"}
+//! {"verb":"stats"}
+//! {"verb":"shutdown"}
+//! ```
+//!
+//! A `schedule` request names its application either by catalog name
+//! (`workload`, resolved through [`mcds_workloads::mix::by_name`]) or
+//! inline (`app`, a full serialized
+//! [`Application`](mcds_model::Application)); the architecture is M1
+//! with an optional `fb_kw` kiloword override or a full inline `arch`.
+
+use serde::{Deserialize, Serialize};
+
+use mcds_model::{Application, ArchParams};
+
+/// One request line. Unknown fields are ignored; a missing optional
+/// field takes its documented default.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleRequest {
+    /// `schedule`, `ping`, `stats`, or `shutdown`.
+    pub verb: String,
+    /// Catalog workload name (`e1`, `e2`, `e3`, `mpeg`, `atr-sld`,
+    /// `atr-fi`). Mutually exclusive with `app`.
+    pub workload: Option<String>,
+    /// Streaming iterations for a catalog workload (default 16).
+    pub iterations: Option<u64>,
+    /// Inline application (validated server-side before scheduling).
+    pub app: Option<Application>,
+    /// Full inline architecture; overrides `fb_kw`.
+    pub arch: Option<ArchParams>,
+    /// Frame Buffer set size in kilowords over the M1 baseline
+    /// (default 1).
+    pub fb_kw: Option<u64>,
+    /// Scheduler name (`basic`, `ds`, `cds`; default `cds`).
+    pub scheduler: Option<String>,
+    /// Per-request deadline in milliseconds; the pipeline abandons the
+    /// run at the next stage boundary once it expires.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ScheduleRequest {
+    /// A bare request with the given verb and every option unset.
+    #[must_use]
+    pub fn verb(verb: &str) -> Self {
+        ScheduleRequest {
+            verb: verb.to_owned(),
+            workload: None,
+            iterations: None,
+            app: None,
+            arch: None,
+            fb_kw: None,
+            scheduler: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// A `schedule` request for a catalog workload.
+    #[must_use]
+    pub fn schedule(workload: &str) -> Self {
+        let mut r = ScheduleRequest::verb("schedule");
+        r.workload = Some(workload.to_owned());
+        r
+    }
+}
+
+/// The condensed result of one scheduling run — everything the
+/// serving benchmark compares, nothing architecture-internal. Identical
+/// requests must serialize to byte-identical outcomes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Application name.
+    pub app: String,
+    /// Scheduler that produced the plan.
+    pub scheduler: String,
+    /// Number of clusters scheduled.
+    pub clusters: u64,
+    /// Chosen reuse factor.
+    pub rf: u64,
+    /// Data transfers avoided per iteration (words) by retention.
+    pub dt_avoided_words: u64,
+    /// Total data words moved by the plan.
+    pub data_words: u64,
+    /// Total context words loaded.
+    pub context_words: u64,
+    /// Simulated execution time in cycles.
+    pub total_cycles: u64,
+}
+
+/// One `stats` counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatEntry {
+    /// Counter name (e.g. `serve.cache.hits`).
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One response line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleResponse {
+    /// `ok`, `error`, or `rejected` (admission queue full).
+    pub status: String,
+    /// Echo of the request verb (`schedule`, `ping`, `stats`,
+    /// `shutdown`).
+    pub verb: String,
+    /// Content-addressed request key as 16 hex digits (`schedule`
+    /// only).
+    pub key: Option<String>,
+    /// `hit` or `miss` (`schedule` only).
+    pub cache: Option<String>,
+    /// The scheduling outcome on success.
+    pub outcome: Option<Outcome>,
+    /// Diagnostic on `error`/`rejected`.
+    pub error: Option<String>,
+    /// Metrics snapshot (`stats` only).
+    pub stats: Option<Vec<StatEntry>>,
+    /// Server-side latency of this request in microseconds.
+    pub latency_us: u64,
+}
+
+impl ScheduleResponse {
+    fn bare(status: &str, verb: &str) -> Self {
+        ScheduleResponse {
+            status: status.to_owned(),
+            verb: verb.to_owned(),
+            key: None,
+            cache: None,
+            outcome: None,
+            error: None,
+            stats: None,
+            latency_us: 0,
+        }
+    }
+
+    /// A successful non-schedule response (`ping`, `shutdown`).
+    #[must_use]
+    pub fn ok(verb: &str) -> Self {
+        ScheduleResponse::bare("ok", verb)
+    }
+
+    /// A successful `schedule` response.
+    #[must_use]
+    pub fn outcome(key: u64, cache_hit: bool, outcome: Outcome) -> Self {
+        let mut r = ScheduleResponse::bare("ok", "schedule");
+        r.key = Some(format_key(key));
+        r.cache = Some(if cache_hit { "hit" } else { "miss" }.to_owned());
+        r.outcome = Some(outcome);
+        r
+    }
+
+    /// An `error` response.
+    #[must_use]
+    pub fn error(verb: &str, message: impl Into<String>) -> Self {
+        let mut r = ScheduleResponse::bare("error", verb);
+        r.error = Some(message.into());
+        r
+    }
+
+    /// An overload rejection (bounded admission queue full).
+    #[must_use]
+    pub fn rejected(key: u64) -> Self {
+        let mut r = ScheduleResponse::bare("rejected", "schedule");
+        r.key = Some(format_key(key));
+        r.error = Some("overloaded: admission queue full".to_owned());
+        r
+    }
+
+    /// A `stats` response carrying a metrics snapshot.
+    #[must_use]
+    pub fn stats(entries: Vec<StatEntry>) -> Self {
+        let mut r = ScheduleResponse::bare("ok", "stats");
+        r.stats = Some(entries);
+        r
+    }
+}
+
+/// Renders a request key as the protocol's 16-hex-digit form.
+#[must_use]
+pub fn format_key(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_and_tolerates_missing_options() {
+        let mut r = ScheduleRequest::schedule("e1");
+        r.iterations = Some(16);
+        r.deadline_ms = Some(250);
+        let line = serde_json::to_string(&r).expect("serializes");
+        let back: ScheduleRequest = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back.verb, "schedule");
+        assert_eq!(back.workload.as_deref(), Some("e1"));
+        assert_eq!(back.deadline_ms, Some(250));
+
+        let minimal: ScheduleRequest =
+            serde_json::from_str(r#"{"verb":"ping"}"#).expect("options default to None");
+        assert_eq!(minimal.verb, "ping");
+        assert!(minimal.workload.is_none() && minimal.app.is_none());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let out = Outcome {
+            app: "e1".to_owned(),
+            scheduler: "cds".to_owned(),
+            clusters: 3,
+            rf: 4,
+            dt_avoided_words: 96,
+            data_words: 4096,
+            context_words: 512,
+            total_cycles: 123_456,
+        };
+        let resp = ScheduleResponse::outcome(0xdead_beef, false, out.clone());
+        let line = serde_json::to_string(&resp).expect("serializes");
+        let back: ScheduleResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back.status, "ok");
+        assert_eq!(back.key.as_deref(), Some("00000000deadbeef"));
+        assert_eq!(back.cache.as_deref(), Some("miss"));
+        assert_eq!(back.outcome, Some(out));
+
+        let rej = ScheduleResponse::rejected(1);
+        assert_eq!(rej.status, "rejected");
+        assert!(rej.error.as_deref().expect("reason").contains("overloaded"));
+    }
+}

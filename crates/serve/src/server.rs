@@ -1,0 +1,509 @@
+//! The scheduling daemon.
+//!
+//! One listener thread accepts connections; each connection gets a
+//! scoped handler thread that parses newline-delimited requests and
+//! answers them. `schedule` requests resolve to a canonical
+//! [`request_key`] and go through the [`OutcomeCache`]: hits answer
+//! immediately, the single leader per key is pushed onto a **bounded
+//! admission queue** (full queue → explicit `rejected` response, not
+//! unbounded memory) and computed by a fixed worker pool through
+//! [`Pipeline`] with a [`CancelToken`] deadline. The `shutdown` verb
+//! drains gracefully: the listener stops accepting, every connection
+//! finishes its buffered requests, the workers finish the queue, then
+//! [`Server::run`] returns.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mcds_core::{
+    request_key, CancelToken, McdsError, MetricsRegistry, Pipeline, SchedulerConfig, SchedulerKind,
+};
+use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Begin, CachedResult, FlightGuard, OutcomeCache};
+use crate::protocol::{format_key, Outcome, ScheduleRequest, ScheduleResponse, StatEntry};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads computing schedules.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue rejects instead of
+    /// buffering. `0` rejects every compute (useful for overload
+    /// tests).
+    pub queue_depth: usize,
+    /// Poll interval for accept/read loops while idle, in
+    /// milliseconds.
+    pub poll_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .clamp(1, 8),
+            queue_depth: 64,
+            poll_ms: 25,
+        }
+    }
+}
+
+/// What one server lifetime handled, returned by [`Server::run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Total request lines handled.
+    pub requests: u64,
+    /// `schedule` cache hits (including single-flight waiters).
+    pub cache_hits: u64,
+    /// `schedule` computations performed.
+    pub cache_misses: u64,
+    /// Overload rejections (admission queue full).
+    pub rejected: u64,
+    /// Runs abandoned on a deadline.
+    pub deadline_misses: u64,
+    /// Malformed or failed requests.
+    pub errors: u64,
+}
+
+/// One admitted computation. The request key travels inside the
+/// [`FlightGuard`].
+struct Job {
+    app: Application,
+    sched: Option<ClusterSchedule>,
+    arch: ArchParams,
+    kind: SchedulerKind,
+    cancel: CancelToken,
+    guard: FlightGuard,
+    tx: Sender<CachedResult>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Box<Job>>,
+    closed: bool,
+}
+
+/// The bounded admission queue.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    depth: usize,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Admits the job, or hands it back when the queue is full or
+    /// closed — the caller turns that into an explicit rejection.
+    fn try_push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed || state.jobs.len() >= self.depth {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Next job, blocking; `None` once the queue is closed and empty.
+    fn pop(&self) -> Option<Box<Job>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// Shared state of one server lifetime.
+struct Ctx {
+    cache: Arc<OutcomeCache>,
+    metrics: Arc<MetricsRegistry>,
+    queue: JobQueue,
+    shutdown: AtomicBool,
+    poll: Duration,
+}
+
+/// A bound, not-yet-running scheduling daemon.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServeConfig,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Server {
+    /// Binds the listener (without accepting yet).
+    ///
+    /// # Errors
+    ///
+    /// [`McdsError::Io`] when the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Server, McdsError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            config,
+            metrics: Arc::new(MetricsRegistry::new()),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry (shared with the pipelines it
+    /// runs; also exposed over the wire via the `stats` verb).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains: buffered
+    /// requests on open connections are answered, queued jobs finish,
+    /// and the final counters are returned.
+    ///
+    /// # Errors
+    ///
+    /// [`McdsError::Io`] on listener failures. Per-connection and
+    /// per-request errors never abort the server.
+    pub fn run(self) -> Result<ServeSummary, McdsError> {
+        self.listener.set_nonblocking(true)?;
+        let ctx = Ctx {
+            cache: OutcomeCache::new(),
+            metrics: Arc::clone(&self.metrics),
+            queue: JobQueue::new(self.config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            poll: Duration::from_millis(self.config.poll_ms.max(1)),
+        };
+        std::thread::scope(|s| -> Result<(), McdsError> {
+            for _ in 0..self.config.workers.max(1) {
+                s.spawn(|| worker_loop(&ctx));
+            }
+            let mut conns = Vec::new();
+            while !ctx.shutdown.load(Ordering::Acquire) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let ctx = &ctx;
+                        conns.push(s.spawn(move || handle_conn(stream, ctx)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ctx.poll);
+                    }
+                    Err(e) => {
+                        ctx.shutdown.store(true, Ordering::Release);
+                        ctx.queue.close();
+                        return Err(e.into());
+                    }
+                }
+            }
+            // Drain: connections first (they may still enqueue), then
+            // the queue; the workers exit once it is closed and empty.
+            for c in conns {
+                let _ = c.join();
+            }
+            ctx.queue.close();
+            Ok(())
+        })?;
+        let count = |name: &str| self.metrics.get(name).unwrap_or(0);
+        Ok(ServeSummary {
+            requests: count("serve.requests"),
+            cache_hits: count("serve.cache.hits"),
+            cache_misses: count("serve.cache.misses"),
+            rejected: count("serve.rejected"),
+            deadline_misses: count("serve.deadline_misses"),
+            errors: count("serve.errors"),
+        })
+    }
+}
+
+/// One worker: pops admitted jobs and computes them through the
+/// pipeline. Deterministic results (success or scheduling error) are
+/// published to the cache; abandoned runs are not.
+fn worker_loop(ctx: &Ctx) {
+    while let Some(job) = ctx.queue.pop() {
+        let app_name = job.app.name().to_owned();
+        let mut pipeline = Pipeline::new(job.app)
+            .arch(job.arch)
+            .scheduler(job.kind)
+            .metrics(Arc::clone(&ctx.metrics))
+            .cancellation(job.cancel);
+        if let Some(sched) = job.sched {
+            pipeline = pipeline.schedule(sched);
+        }
+        let result = match pipeline.run() {
+            Ok(run) => {
+                let plan = run.plan();
+                Ok(Outcome {
+                    app: app_name,
+                    scheduler: job.kind.name().to_owned(),
+                    clusters: run.schedule().len() as u64,
+                    rf: plan.rf(),
+                    dt_avoided_words: plan.dt_avoided_per_iter().get(),
+                    data_words: plan.total_data_words().get(),
+                    context_words: plan.total_context_words(),
+                    total_cycles: run.report().total().get(),
+                })
+            }
+            Err(e) => Err(e),
+        };
+        match result {
+            Err(McdsError::Cancelled(reason)) => {
+                // Not a pure function of the request — never cached.
+                ctx.metrics.incr("serve.deadline_misses");
+                job.guard.abandon();
+                let _ = job
+                    .tx
+                    .send(Arc::new(Err(format!("run abandoned: {reason}"))));
+            }
+            Ok(outcome) => {
+                let shared = job.guard.fulfill(Ok(outcome));
+                let _ = job.tx.send(shared);
+            }
+            Err(e) => {
+                // Scheduling errors are deterministic → cacheable.
+                let shared = job.guard.fulfill(Err(e.to_string()));
+                let _ = job.tx.send(shared);
+            }
+        }
+    }
+}
+
+/// One connection: reads request lines, answers each with one response
+/// line. Any per-request failure produces an `error` response on this
+/// connection only — the server and its other connections are
+/// unaffected.
+fn handle_conn(stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(ctx.poll));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Answer every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let response = handle_line(text, ctx);
+            let Ok(mut out) = serde_json::to_string(&response) else {
+                continue;
+            };
+            out.push('\n');
+            if stream.write_all(out.as_bytes()).is_err() {
+                return;
+            }
+        }
+        // Between lines: honor a drain request, then wait for more
+        // bytes.
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(line: &str, ctx: &Ctx) -> ScheduleResponse {
+    let started = Instant::now();
+    ctx.metrics.incr("serve.requests");
+    let mut response = match serde_json::from_str::<ScheduleRequest>(line) {
+        Ok(request) => dispatch(request, ctx),
+        Err(e) => {
+            ctx.metrics.incr("serve.errors");
+            ScheduleResponse::error("unknown", format!("malformed request: {e}"))
+        }
+    };
+    response.latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    ctx.metrics.observe("serve.latency_us", response.latency_us);
+    response
+}
+
+fn dispatch(request: ScheduleRequest, ctx: &Ctx) -> ScheduleResponse {
+    match request.verb.as_str() {
+        "ping" => ScheduleResponse::ok("ping"),
+        "stats" => ScheduleResponse::stats(
+            ctx.metrics
+                .snapshot()
+                .into_iter()
+                .map(|(name, value)| StatEntry { name, value })
+                .collect(),
+        ),
+        "shutdown" => {
+            ctx.shutdown.store(true, Ordering::Release);
+            ScheduleResponse::ok("shutdown")
+        }
+        "schedule" => schedule(request, ctx),
+        other => {
+            ctx.metrics.incr("serve.errors");
+            ScheduleResponse::error(
+                other,
+                format!("unknown verb `{other}` (expected schedule, ping, stats, shutdown)"),
+            )
+        }
+    }
+}
+
+/// Resolves a `schedule` request into pipeline inputs.
+fn resolve(
+    request: ScheduleRequest,
+) -> Result<
+    (
+        Application,
+        Option<ClusterSchedule>,
+        ArchParams,
+        SchedulerKind,
+    ),
+    String,
+> {
+    let kind: SchedulerKind = request
+        .scheduler
+        .as_deref()
+        .unwrap_or("cds")
+        .parse()
+        .map_err(|e: McdsError| e.to_string())?;
+    let arch = match request.arch {
+        Some(arch) => arch,
+        None => ArchParams::m1()
+            .to_builder()
+            .fb_set_words(Words::kilo(request.fb_kw.unwrap_or(1).max(1)))
+            .build(),
+    };
+    let (app, sched) = match (request.app, request.workload.as_deref()) {
+        (Some(_), Some(_)) => return Err("`app` and `workload` are mutually exclusive".to_owned()),
+        (None, None) => return Err("schedule needs `app` or `workload`".to_owned()),
+        (Some(app), None) => {
+            app.validate().map_err(|e| format!("invalid app: {e}"))?;
+            (app, None)
+        }
+        (None, Some(name)) => {
+            let iterations = request.iterations.unwrap_or(16);
+            let (app, sched) = mcds_workloads::mix::by_name(name, iterations)
+                .ok_or_else(|| format!("unknown workload `{name}` (and iterations must be > 0)"))?;
+            (app, Some(sched))
+        }
+    };
+    Ok((app, sched, arch, kind))
+}
+
+fn schedule(request: ScheduleRequest, ctx: &Ctx) -> ScheduleResponse {
+    let deadline = request
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (app, sched, arch, kind) = match resolve(request) {
+        Ok(inputs) => inputs,
+        Err(message) => {
+            ctx.metrics.incr("serve.errors");
+            return ScheduleResponse::error("schedule", message);
+        }
+    };
+    let key = request_key(
+        &app,
+        sched.as_ref(),
+        &arch,
+        kind,
+        &SchedulerConfig::default(),
+    );
+    match ctx.cache.begin(key, deadline) {
+        Begin::Hit(result) => {
+            ctx.metrics.incr("serve.cache.hits");
+            cached_response(key, true, &result, ctx)
+        }
+        Begin::TimedOut => {
+            ctx.metrics.incr("serve.deadline_misses");
+            let mut r = ScheduleResponse::error("schedule", "run abandoned: deadline exceeded");
+            r.key = Some(format_key(key));
+            r
+        }
+        Begin::Lead(guard) => {
+            let cancel = deadline.map_or_else(CancelToken::new, CancelToken::at);
+            let (tx, rx) = std::sync::mpsc::channel();
+            let job = Box::new(Job {
+                app,
+                sched,
+                arch,
+                kind,
+                cancel,
+                guard,
+                tx,
+            });
+            if let Err(job) = ctx.queue.try_push(job) {
+                ctx.metrics.incr("serve.rejected");
+                job.guard.abandon();
+                return ScheduleResponse::rejected(key);
+            }
+            match rx.recv() {
+                Ok(result) => {
+                    ctx.metrics.incr("serve.cache.misses");
+                    cached_response(key, false, &result, ctx)
+                }
+                Err(_) => {
+                    ctx.metrics.incr("serve.errors");
+                    let mut r =
+                        ScheduleResponse::error("schedule", "internal: worker dropped the request");
+                    r.key = Some(format_key(key));
+                    r
+                }
+            }
+        }
+    }
+}
+
+fn cached_response(key: u64, hit: bool, result: &CachedResult, ctx: &Ctx) -> ScheduleResponse {
+    let cache = if hit { "hit" } else { "miss" };
+    match result.as_ref() {
+        Ok(outcome) => ScheduleResponse::outcome(key, hit, outcome.clone()),
+        Err(message) => {
+            ctx.metrics.incr("serve.errors");
+            let mut r = ScheduleResponse::error("schedule", message.clone());
+            r.key = Some(format_key(key));
+            r.cache = Some(cache.to_owned());
+            r
+        }
+    }
+}

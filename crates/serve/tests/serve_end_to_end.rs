@@ -1,0 +1,177 @@
+//! End-to-end tests for the serving layer: a real server on a loopback
+//! port, real TCP clients, and the load generator, covering caching,
+//! overload rejection, per-connection error isolation, deadlines, and
+//! graceful drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+
+use mcds_core::McdsError;
+use mcds_serve::{run_load, LoadConfig, ScheduleResponse, ServeConfig, ServeSummary, Server};
+
+/// Binds on a free loopback port and runs the server on its own
+/// thread.
+fn start(config: ServeConfig) -> (SocketAddr, JoinHandle<Result<ServeSummary, McdsError>>) {
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// One raw protocol connection for hand-written request lines.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: SocketAddr) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Conn {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn request(&mut self, line: &str) -> ScheduleResponse {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        serde_json::from_str(response.trim()).expect("response parses")
+    }
+}
+
+#[test]
+fn load_run_hits_the_cache_and_drains_cleanly() {
+    let (addr, handle) = start(ServeConfig {
+        workers: 2,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    });
+
+    let report = run_load(&LoadConfig {
+        addr: addr.to_string(),
+        connections: 4,
+        requests: 25,
+        seed: 7,
+        ..LoadConfig::default()
+    })
+    .expect("load run succeeds");
+    assert_eq!(report.requests, 100, "every request gets a response");
+    assert_eq!(report.ok, 100, "no errors under normal load");
+    assert_eq!(report.errors + report.rejected, 0);
+    assert!(
+        report.cache_hits >= 1,
+        "repeated workloads must hit the cache (hits={})",
+        report.cache_hits
+    );
+    assert!(report.cache_misses >= 1, "first requests compute");
+    assert!(
+        report.consistent_outcomes,
+        "identical keys must serialize to byte-identical outcomes"
+    );
+    assert!(report.distinct_keys >= 2 && report.distinct_keys <= 6);
+
+    let mut control = Conn::open(addr);
+    let pong = control.request(r#"{"verb":"ping"}"#);
+    assert_eq!((pong.status.as_str(), pong.verb.as_str()), ("ok", "ping"));
+    let stats = control.request(r#"{"verb":"stats"}"#);
+    let entries = stats.stats.expect("stats payload");
+    let get = |name: &str| {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0, |e| e.value)
+    };
+    assert!(get("serve.requests") >= 102, "load + ping + stats counted");
+    assert_eq!(get("serve.cache.hits"), report.cache_hits);
+    assert_eq!(get("serve.cache.misses"), report.cache_misses);
+
+    let bye = control.request(r#"{"verb":"shutdown"}"#);
+    assert_eq!(bye.status, "ok");
+    let summary = handle.join().expect("no panic").expect("clean drain");
+    assert_eq!(summary.cache_hits, report.cache_hits);
+    assert_eq!(summary.errors, 0);
+}
+
+#[test]
+fn full_queue_rejects_instead_of_hanging() {
+    // queue_depth 0: every computation is an overload.
+    let (addr, handle) = start(ServeConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..ServeConfig::default()
+    });
+    let mut conn = Conn::open(addr);
+    let response = conn.request(r#"{"verb":"schedule","workload":"e1"}"#);
+    assert_eq!(response.status, "rejected");
+    assert!(
+        response.error.expect("reason").contains("overloaded"),
+        "rejection must say why"
+    );
+    assert!(response.key.is_some(), "rejection still reports the key");
+    conn.request(r#"{"verb":"shutdown"}"#);
+    let summary = handle.join().expect("no panic").expect("clean drain");
+    assert!(summary.rejected >= 1);
+}
+
+#[test]
+fn malformed_requests_poison_only_their_own_connection() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut bad = Conn::open(addr);
+    let mut good = Conn::open(addr);
+
+    let garbage = bad.request("this is not json");
+    assert_eq!(garbage.status, "error");
+    assert!(garbage.error.expect("diagnostic").contains("malformed"));
+    let unknown = bad.request(r#"{"verb":"frobnicate"}"#);
+    assert_eq!(unknown.status, "error");
+    let incomplete = bad.request(r#"{"verb":"schedule"}"#);
+    assert_eq!(incomplete.status, "error");
+
+    // The same connection keeps working after its errors…
+    let pong = bad.request(r#"{"verb":"ping"}"#);
+    assert_eq!(pong.status, "ok");
+    // …and the other connection never noticed.
+    let ok = good.request(r#"{"verb":"schedule","workload":"e2","iterations":8}"#);
+    assert_eq!(ok.status, "ok");
+    assert!(ok.outcome.is_some());
+
+    good.request(r#"{"verb":"shutdown"}"#);
+    let summary = handle.join().expect("no panic").expect("clean drain");
+    assert!(summary.errors >= 3);
+}
+
+#[test]
+fn expired_deadlines_abandon_the_run_without_poisoning_the_cache() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut conn = Conn::open(addr);
+
+    let expired = conn.request(r#"{"verb":"schedule","workload":"e3","deadline_ms":0}"#);
+    assert_eq!(expired.status, "error");
+    assert!(
+        expired.error.expect("diagnostic").contains("abandoned"),
+        "deadline failures must be explicit"
+    );
+
+    // The abandoned run was not cached: the retry computes (a miss)
+    // and succeeds.
+    let retry = conn.request(r#"{"verb":"schedule","workload":"e3"}"#);
+    assert_eq!(retry.status, "ok");
+    assert_eq!(retry.cache.as_deref(), Some("miss"));
+    // And now it is cached.
+    let again = conn.request(r#"{"verb":"schedule","workload":"e3"}"#);
+    assert_eq!(again.cache.as_deref(), Some("hit"));
+    assert_eq!(
+        again.outcome.expect("hit carries the outcome"),
+        retry.outcome.expect("miss carries the outcome"),
+        "hit and miss must agree"
+    );
+
+    conn.request(r#"{"verb":"shutdown"}"#);
+    let summary = handle.join().expect("no panic").expect("clean drain");
+    assert!(summary.deadline_misses >= 1);
+    assert!(summary.cache_hits >= 1);
+}

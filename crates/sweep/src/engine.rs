@@ -6,12 +6,13 @@
 //! slot, so the assembled report is in grid order no matter how the OS
 //! interleaves the threads.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use mcds_core::{
-    evaluate_observed, render_explain, ExperimentRow, McdsError, Observer, ScheduleAnalysis,
-    ScheduleError, SchedulerKind, TraceSink, VecSink,
+    evaluate_observed, render_explain, request_key, ExperimentRow, McdsError, Observer,
+    ScheduleAnalysis, ScheduleError, SchedulerKind, TraceSink, VecSink,
 };
 use mcds_model::{Application, ArchParams, ClusterSchedule, Cycles, Words};
 
@@ -93,6 +94,23 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
 
     let n_sched = spec.schedulers.len();
     let tasks = cells.len() * n_sched;
+
+    // Content-addressed dedup: two tasks whose (app, partition, arch,
+    // scheduler, config) hash to the same request key are the same
+    // evaluation, so only the first (the *canonical* task) runs and
+    // every duplicate reads its slot. The mapping is computed serially
+    // before the workers start, so it is deterministic.
+    let mut canonical: Vec<usize> = Vec::with_capacity(tasks);
+    let mut first_by_key: HashMap<u64, usize> = HashMap::with_capacity(tasks);
+    for t in 0..tasks {
+        let cell = &cells[t / n_sched];
+        let kind = spec.schedulers[t % n_sched];
+        let key = request_key(cell.app, Some(cell.sched), &cell.arch, kind, &spec.config);
+        canonical.push(*first_by_key.entry(key).or_insert(t));
+    }
+    let unique: Vec<usize> = (0..tasks).filter(|&t| canonical[t] == t).collect();
+    let n_unique = unique.len();
+
     let workers = spec
         .threads
         .unwrap_or_else(|| {
@@ -100,7 +118,7 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         })
-        .clamp(1, tasks.max(1));
+        .clamp(1, n_unique.max(1));
 
     // Each task writes its own slot; slot index == grid index.
     let slots: Vec<OnceLock<Result<PointMeasure, ScheduleError>>> =
@@ -134,18 +152,18 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
     };
 
     if workers == 1 {
-        for t in 0..tasks {
+        for &t in &unique {
             evaluate_task(t);
         }
     } else {
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
-                    let t = cursor.fetch_add(1, Ordering::Relaxed);
-                    if t >= tasks {
+                    let u = cursor.fetch_add(1, Ordering::Relaxed);
+                    if u >= n_unique {
                         break;
                     }
-                    evaluate_task(t);
+                    evaluate_task(unique[u]);
                 });
             }
         });
@@ -160,7 +178,7 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
                 spec.schedulers
                     .iter()
                     .position(|&k| k == kind)
-                    .map(|si| slots[ci * n_sched + si].get().expect("task ran"))
+                    .map(|si| slots[canonical[ci * n_sched + si]].get().expect("task ran"))
             };
             let ok = |kind| point(kind).and_then(|r| r.as_ref().ok());
             let improvement = |kind| -> Option<f64> {

@@ -121,6 +121,36 @@ fn captured_explains_are_deterministic_and_in_report() {
 }
 
 #[test]
+fn duplicate_grid_points_evaluate_once() {
+    // Two sweep workloads wrapping the *same* application are the same
+    // content-addressed requests; the engine must collapse them into
+    // one evaluation while still reporting both rows.
+    let app = chain("dup", 3, 40, 16);
+    let registry = Arc::new(MetricsRegistry::new());
+    let report = SweepSpec::new()
+        .workload(SweepWorkload::new("first", app.clone()))
+        .workload(SweepWorkload::new("second", app.clone()))
+        .fb_sizes([Words::kilo(1)])
+        .metrics(Arc::clone(&registry))
+        .run()
+        .expect("runs");
+    assert_eq!(report.points(), 6, "both rows still reported");
+    let plans = registry
+        .snapshot()
+        .iter()
+        .find(|(n, _)| n == "plan.count")
+        .map(|(_, v)| *v);
+    assert_eq!(plans, Some(3), "one plan per unique request, not per row");
+    let (a, b) = (&report.rows[0], &report.rows[1]);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.scheduler, y.scheduler);
+        assert_eq!(x.rf, y.rf);
+        assert_eq!(x.total_cycles, y.total_cycles);
+    }
+}
+
+#[test]
 fn grid_shape_and_order() {
     let report = spec().run().expect("runs");
     // 2 partitions of `shared` + 1 implicit of `tiny`, × 3 FB sizes.

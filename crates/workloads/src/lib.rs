@@ -14,6 +14,9 @@
 //! * [`atr::atr_sld_app`] / [`atr::atr_fi_app`] — template-correlation
 //!   SLD and focus-of-attention FI models;
 //! * [`e_series`] — the synthetic E1/E2/E3 applications;
+//! * [`mix`] — a named-workload catalog ([`mix::by_name`]) and the
+//!   seeded [`mix::RequestMix`] sampler behind the serving load
+//!   generator;
 //! * [`synthetic::SyntheticGenerator`] — seeded random applications for
 //!   stress tests and property tests;
 //! * [`table1::table1_experiments`] — the registry binding every Table 1
@@ -38,6 +41,7 @@
 
 pub mod atr;
 pub mod e_series;
+pub mod mix;
 pub mod mpeg;
 pub mod synthetic;
 pub mod table1;
