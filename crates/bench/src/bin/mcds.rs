@@ -12,6 +12,7 @@
 //! mcds sweep    [app.json …] [options]     # parallel design-space sweep
 //! mcds serve    [options]                  # scheduling service (newline-delimited JSON over TCP)
 //! mcds client   [options]                  # load-test client; prints a JSON report
+//! mcds chaos    [options]                  # deterministic fault-injection soak; prints JSON per seed
 //!
 //! options:
 //!   --clusters "0,1;2;3"   kernel ids per cluster, ';'-separated (default: one per kernel)
@@ -35,6 +36,10 @@
 //!   --addr A:P             bind address (default: 127.0.0.1:7171; port 0 picks a free port)
 //!   --workers N            scheduling worker threads (default: cores, capped at 8)
 //!   --queue-depth N        admission queue capacity; full queue rejects (default: 64)
+//!   --max-frame-kb N       largest accepted request frame in KiB (default: 256)
+//!   --fault-seed S         attach a deterministic chaos-preset fault plan seeded S
+//!   --degrade-below-ms D   deadlines under D ms skip straight to the degraded scheduler
+//!   --no-degrade           disable the degraded (within-cluster-only) fallback
 //!
 //! client options:
 //!   --addr A:P             server address (default: 127.0.0.1:7171)
@@ -45,6 +50,14 @@
 //!   --fb-kw N              FB set size in kilowords per request (default: 8)
 //!   --scheduler basic|ds|cds               (default: server default)
 //!   --deadline-ms D        per-request deadline (default: none)
+//!   --retries N            retry attempts per request (default: 3)
+//!   --retry-budget-ms B    total retry budget per request (default: 2000)
+//!
+//! chaos options:
+//!   --seed S               first fault seed (default: 7)
+//!   --seeds N              soak N consecutive seeds S, S+1, … (default: 1)
+//!   --requests M           requests per seed (default: 200)
+//!   --workers N            server worker threads per seed (default: 2)
 //!
 //! `mcds sweep` without application files sweeps the paper's Table-1
 //! workloads.
@@ -54,7 +67,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mcds_bench::table1_sweep;
-use mcds_core::{JsonLinesSink, McdsError, MetricsRegistry, Pipeline, SchedulerKind};
+use mcds_core::{
+    FaultConfig, FaultPlan, JsonLinesSink, McdsError, MetricsRegistry, Pipeline, SchedulerKind,
+};
 use mcds_ksched::{KernelScheduler, SearchStrategy};
 use mcds_model::{
     Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId, Words,
@@ -77,7 +92,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
         return Err(McdsError::spec(
-            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client> …",
+            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|chaos> …",
         ));
     };
     match cmd.as_str() {
@@ -92,6 +107,7 @@ fn run(args: &[String]) -> Result<(), McdsError> {
         "sweep" => sweep(&args[1..]),
         "serve" => serve(&args[1..]),
         "client" => client(&args[1..]),
+        "chaos" => chaos(&args[1..]),
         other => Err(McdsError::spec(format!("unknown command `{other}`"))),
     }
 }
@@ -439,6 +455,18 @@ fn serve(args: &[String]) -> Result<(), McdsError> {
     if let Some(depth) = parsed_opt(args, "--queue-depth")? {
         config.queue_depth = depth;
     }
+    if let Some(kb) = parsed_opt::<usize>(args, "--max-frame-kb")? {
+        config.max_frame_bytes = kb.saturating_mul(1024);
+    }
+    if let Some(seed) = parsed_opt(args, "--fault-seed")? {
+        config.faults = Some(Arc::new(FaultPlan::new(FaultConfig::chaos(seed))));
+    }
+    if let Some(below) = parsed_opt(args, "--degrade-below-ms")? {
+        config.degrade_below_ms = below;
+    }
+    if flag(args, "--no-degrade") {
+        config.degrade = false;
+    }
     let server = Server::bind(config)?;
     println!("mcds-serve listening on {}", server.local_addr());
     let summary = server.run()?;
@@ -471,11 +499,241 @@ fn client(args: &[String]) -> Result<(), McdsError> {
     if let Some(fb_kw) = parsed_opt(args, "--fb-kw")? {
         config.fb_kw = fb_kw;
     }
+    if let Some(retries) = parsed_opt(args, "--retries")? {
+        config.retries = retries;
+    }
+    if let Some(budget) = parsed_opt(args, "--retry-budget-ms")? {
+        config.retry_budget_ms = budget;
+    }
     let report = run_load(&config)?;
     println!(
         "{}",
         serde_json::to_string_pretty(&report).map_err(|e| McdsError::spec(e.to_string()))?
     );
+    Ok(())
+}
+
+/// One seed's deterministic chaos-soak verdict. Every field is a pure
+/// function of `(seed, requests)` — two runs with the same arguments
+/// must print byte-identical JSON (timing goes to stderr instead).
+#[derive(serde::Serialize)]
+struct ChaosSeedSummary {
+    seed: u64,
+    requests: u64,
+    ok: u64,
+    errors: u64,
+    rejected: u64,
+    retried: u64,
+    transport_errors: u64,
+    degraded: u64,
+    distinct_keys: u64,
+    consistent_outcomes: bool,
+    audited_workloads: u64,
+    cache_poisoned: bool,
+    worker_restarts: u64,
+    faults: mcds_core::FaultSnapshot,
+}
+
+/// One raw request with transport-level retries, for the audit and
+/// shutdown phases of a chaos run. Opens a fresh connection per
+/// attempt so an injected disconnect cannot poison the next try.
+fn chaos_request(addr: &str, line: &str, attempts: u32) -> Option<mcds_serve::ScheduleResponse> {
+    use std::io::{BufRead, BufReader, Write};
+    for _ in 0..attempts {
+        let Ok(stream) = std::net::TcpStream::connect(addr) else {
+            return None; // Listener gone (post-shutdown) — no retry.
+        };
+        let _ = stream.set_nodelay(true);
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let mut reader = BufReader::new(stream);
+        if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+            continue;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 && response.ends_with('\n') => {
+                match serde_json::from_str::<mcds_serve::ScheduleResponse>(response.trim()) {
+                    Ok(parsed) if parsed.status == "ok" => return Some(parsed),
+                    // Retryable failure or garbage: fall through.
+                    Ok(_) | Err(_) => continue,
+                }
+            }
+            // Disconnect / truncated frame: injected fault — retry.
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// The outcome the (unfaulted) pipeline computes for a catalog
+/// workload — the ground truth the cache-poisoning audit compares
+/// served outcomes against.
+fn reference_outcome(
+    name: &str,
+    iterations: u64,
+    fb_kw: u64,
+    kind: SchedulerKind,
+    degraded: bool,
+) -> Result<mcds_serve::Outcome, McdsError> {
+    let (app, sched) = mcds_workloads::mix::by_name(name, iterations)
+        .ok_or_else(|| McdsError::spec(format!("unknown catalog workload `{name}`")))?;
+    let arch = ArchParams::m1()
+        .to_builder()
+        .fb_set_words(Words::kilo(fb_kw))
+        .build();
+    let run = Pipeline::new(app.clone())
+        .arch(arch)
+        .schedule(sched)
+        .scheduler(kind)
+        .run()?;
+    let plan = run.plan();
+    Ok(mcds_serve::Outcome {
+        app: app.name().to_owned(),
+        scheduler: kind.name().to_owned(),
+        clusters: run.schedule().len() as u64,
+        rf: plan.rf(),
+        dt_avoided_words: plan.dt_avoided_per_iter().get(),
+        data_words: plan.total_data_words().get(),
+        context_words: plan.total_context_words(),
+        total_cycles: run.report().total().get(),
+        degraded,
+    })
+}
+
+/// Deterministic fault-injection soak: for each seed, start a live
+/// server with the chaos-preset fault plan, drive it with the retrying
+/// client, audit the cache against locally recomputed ground truth,
+/// and print one line of reproducible JSON. Exits non-zero on any
+/// hang, inconsistency, or cache poisoning.
+fn chaos(args: &[String]) -> Result<(), McdsError> {
+    let first_seed: u64 = parsed_opt(args, "--seed")?.unwrap_or(7);
+    let seeds: u64 = parsed_opt(args, "--seeds")?.unwrap_or(1).max(1);
+    let requests: usize = parsed_opt(args, "--requests")?.unwrap_or(200);
+    let workers: usize = parsed_opt(args, "--workers")?.unwrap_or(2);
+    let mut failed = false;
+    for seed in first_seed..first_seed.saturating_add(seeds) {
+        let started = std::time::Instant::now();
+        let plan = Arc::new(FaultPlan::new(FaultConfig::chaos(seed)));
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_depth: 64,
+            faults: Some(Arc::clone(&plan)),
+            ..ServeConfig::default()
+        })?;
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        // Soak phase: one connection (keeps the fault sequence
+        // independent of thread interleaving), no deadlines (keeps it
+        // independent of wall-clock), generous retry budget.
+        let report = run_load(&LoadConfig {
+            addr: addr.clone(),
+            connections: 1,
+            requests,
+            seed,
+            retries: 8,
+            retry_budget_ms: 30_000,
+            ..LoadConfig::default()
+        })?;
+
+        // Audit phase: every catalog workload the mix samples from,
+        // recomputed locally with a clean pipeline and compared against
+        // what the (faulted) server serves. Any mismatch on a
+        // non-degraded outcome is cache poisoning.
+        let mut audited = 0u64;
+        let mut poisoned = false;
+        for name in mcds_workloads::mix::CATALOG {
+            let line =
+                format!(r#"{{"verb":"schedule","workload":"{name}","iterations":16,"fb_kw":8}}"#);
+            let Some(response) = chaos_request(&addr, &line, 20) else {
+                eprintln!("chaos seed {seed}: audit of `{name}` got no ok response");
+                poisoned = true;
+                continue;
+            };
+            let Some(served) = response.outcome else {
+                continue;
+            };
+            let kind = if served.degraded {
+                SchedulerKind::Ds
+            } else {
+                SchedulerKind::Cds
+            };
+            let expected = reference_outcome(name, 16, 8, kind, served.degraded)?;
+            audited += 1;
+            if served != expected {
+                eprintln!(
+                    "chaos seed {seed}: POISONED `{name}`: served {} expected {}",
+                    serde_json::to_string(&served).unwrap_or_default(),
+                    serde_json::to_string(&expected).unwrap_or_default(),
+                );
+                poisoned = true;
+            }
+        }
+
+        // Snapshot before the shutdown handshake: the number of
+        // shutdown attempts is fault-dependent, and keeping those
+        // queries out of the snapshot keeps the printed JSON a pure
+        // function of the seed.
+        let snapshot = plan.snapshot();
+
+        // Shutdown phase: the shutdown frame itself can be hit by
+        // injected read/write faults, so retry until the server thread
+        // actually exits (bounded by a watchdog).
+        let watchdog = std::time::Instant::now();
+        while !handle.is_finished() {
+            if watchdog.elapsed() > std::time::Duration::from_secs(60) {
+                return Err(McdsError::spec(format!(
+                    "chaos seed {seed}: server did not drain within 60s (hang)"
+                )));
+            }
+            let _ = chaos_request(&addr, r#"{"verb":"shutdown"}"#, 5);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let summary = handle
+            .join()
+            .map_err(|_| McdsError::spec(format!("chaos seed {seed}: server thread panicked")))??;
+
+        let verdict = ChaosSeedSummary {
+            seed,
+            requests: report.requests,
+            ok: report.ok,
+            errors: report.errors,
+            rejected: report.rejected,
+            retried: report.retried,
+            transport_errors: report.transport_errors,
+            degraded: report.degraded,
+            distinct_keys: report.distinct_keys,
+            consistent_outcomes: report.consistent_outcomes,
+            audited_workloads: audited,
+            cache_poisoned: poisoned,
+            worker_restarts: summary.worker_restarts,
+            faults: snapshot,
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&verdict).map_err(|e| McdsError::spec(e.to_string()))?
+        );
+        eprintln!(
+            "chaos seed {seed}: {} requests, {} retried, {} degraded, {} faults injected, {:.1}s",
+            report.requests,
+            report.retried,
+            report.degraded,
+            verdict.faults.total_fired(),
+            started.elapsed().as_secs_f64(),
+        );
+        if poisoned || !report.consistent_outcomes || report.ok == 0 {
+            failed = true;
+        }
+    }
+    if failed {
+        return Err(McdsError::spec(
+            "chaos soak detected cache poisoning or inconsistent outcomes",
+        ));
+    }
     Ok(())
 }
 

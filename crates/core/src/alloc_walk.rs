@@ -16,7 +16,7 @@ use mcds_model::{Application, ClusterId, ClusterSchedule, DataId, Words};
 use serde::{Deserialize, Serialize};
 
 use crate::sharing::RetainedKind;
-use crate::{Event, FootprintModel, Lifetimes, Observer, RetentionSet};
+use crate::{Event, Fault, FootprintModel, Lifetimes, Observer, RetentionSet, Seam};
 
 /// The placement role of an allocated instance — which branch of the
 /// paper's Figure 4 allocated it.
@@ -472,6 +472,16 @@ impl<'a> WalkState<'a> {
     ) -> Result<(), AllocError> {
         let size = app.size_of(d);
         let label = format!("{}#{}", app.data_object(d).name(), slot);
+        // Fault seam: a plan attached to the observer can force this
+        // allocation to fail transiently or report simulated
+        // corruption. `Injected` is never cached upstream.
+        match self.observer.fault(Seam::FbAlloc) {
+            Some(Fault::CorruptAlloc) => {
+                return Err(AllocError::Injected("simulated free-list corruption"))
+            }
+            Some(_) => return Err(AllocError::Injected("transient allocation failure")),
+            None => {}
+        }
         let alloc =
             match self.mems[si].alloc(&mut self.fbs[si], (d, slot), label.clone(), size, dir) {
                 Ok(a) => a,

@@ -7,7 +7,7 @@
 //! completion — the paper's compile-time stages become preemptible
 //! units of server work.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -17,6 +17,11 @@ use crate::McdsError;
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// When set, [`CancelToken::check`] trips on its n-th call
+    /// (0-indexed) and every later one — a deterministic trigger for
+    /// exhaustive stage-boundary cancellation tests.
+    trip_at_check: Option<u64>,
+    checks: AtomicU64,
 }
 
 /// A shared cancellation flag with an optional wall-clock deadline.
@@ -34,12 +39,7 @@ impl CancelToken {
     /// A token that only trips when [`cancel`](Self::cancel) is called.
     #[must_use]
     pub fn new() -> Self {
-        CancelToken {
-            inner: Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
-                deadline: None,
-            }),
-        }
+        CancelToken::build(None, None)
     }
 
     /// A token that also trips once `budget` has elapsed from now.
@@ -51,10 +51,25 @@ impl CancelToken {
     /// A token that also trips at the given instant.
     #[must_use]
     pub fn at(deadline: Instant) -> Self {
+        CancelToken::build(Some(deadline), None)
+    }
+
+    /// A token whose `n`-th [`check`](Self::check) call (0-indexed) and
+    /// every later one fail — a deterministic, wall-clock-free way to
+    /// cancel at exactly one pipeline stage boundary. `after_checks(0)`
+    /// trips on the first check; clones share the counter.
+    #[must_use]
+    pub fn after_checks(n: u64) -> Self {
+        CancelToken::build(None, Some(n))
+    }
+
+    fn build(deadline: Option<Instant>, trip_at_check: Option<u64>) -> Self {
         CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
-                deadline: Some(deadline),
+                deadline,
+                trip_at_check,
+                checks: AtomicU64::new(0),
             }),
         }
     }
@@ -92,6 +107,15 @@ impl CancelToken {
         }
         if self.inner.deadline.is_some_and(|d| Instant::now() >= d) {
             return Err(McdsError::Cancelled("deadline exceeded".to_owned()));
+        }
+        if let Some(n) = self.inner.trip_at_check {
+            let seen = self.inner.checks.fetch_add(1, Ordering::AcqRel);
+            if seen >= n {
+                self.cancel();
+                return Err(McdsError::Cancelled(format!(
+                    "cancelled at check boundary {seen}"
+                )));
+            }
         }
         Ok(())
     }
@@ -132,6 +156,24 @@ mod tests {
         assert_eq!(t.remaining(), Some(Duration::ZERO));
         let err = t.check().unwrap_err();
         assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn after_checks_trips_at_the_indexed_boundary() {
+        let t = CancelToken::after_checks(2);
+        assert!(t.check().is_ok(), "check 0 passes");
+        assert!(t.check().is_ok(), "check 1 passes");
+        let err = t.check().unwrap_err();
+        assert!(err.to_string().contains("check boundary 2"));
+        assert!(t.is_cancelled(), "tripping latches the token");
+        assert!(t.check().is_err(), "stays tripped");
+    }
+
+    #[test]
+    fn after_checks_zero_trips_immediately() {
+        let t = CancelToken::after_checks(0);
+        assert!(!t.is_cancelled(), "is_cancelled does not consume checks");
+        assert!(t.check().is_err());
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub enum McdsError {
     /// [`CancelToken`](crate::CancelToken) tripped (deadline exceeded
     /// or explicit cancellation, e.g. server shutdown).
     Cancelled(String),
+    /// An injected fault ([`FaultPlan`](crate::FaultPlan)) aborted the
+    /// run. Transient by construction: the same request without the
+    /// fault would have behaved normally, so this outcome must never be
+    /// cached and is safe to retry.
+    Faulted(String),
 }
 
 impl McdsError {
@@ -119,6 +124,14 @@ impl McdsError {
     pub fn spec(msg: impl Into<String>) -> Self {
         McdsError::Spec(msg.into())
     }
+
+    /// `true` for failures that are *not* a deterministic function of
+    /// the request — cancellations and injected faults. Transient
+    /// errors must never be cached and are safe to retry.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, McdsError::Cancelled(_) | McdsError::Faulted(_))
+    }
 }
 
 impl fmt::Display for McdsError {
@@ -129,6 +142,7 @@ impl fmt::Display for McdsError {
             McdsError::Spec(msg) => write!(f, "invalid request: {msg}"),
             McdsError::Io(e) => write!(f, "io error: {e}"),
             McdsError::Cancelled(reason) => write!(f, "run abandoned: {reason}"),
+            McdsError::Faulted(reason) => write!(f, "injected fault: {reason}"),
         }
     }
 }
@@ -141,12 +155,19 @@ impl Error for McdsError {
             McdsError::Spec(_) => None,
             McdsError::Io(e) => Some(e),
             McdsError::Cancelled(_) => None,
+            McdsError::Faulted(_) => None,
         }
     }
 }
 
 impl From<ScheduleError> for McdsError {
     fn from(e: ScheduleError) -> Self {
+        // Injected allocation faults are transient, not a property of
+        // the request: surface them as `Faulted` so callers (and the
+        // serve-side outcome cache) never treat them as deterministic.
+        if let ScheduleError::Alloc(AllocError::Injected(what)) = e {
+            return McdsError::Faulted(format!("fballoc {what}"));
+        }
         McdsError::Schedule(e)
     }
 }
@@ -165,7 +186,7 @@ impl From<SimError> for McdsError {
 
 impl From<AllocError> for McdsError {
     fn from(e: AllocError) -> Self {
-        McdsError::Schedule(ScheduleError::Alloc(e))
+        McdsError::from(ScheduleError::Alloc(e))
     }
 }
 
@@ -196,6 +217,29 @@ mod tests {
 
         let io: McdsError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn injected_alloc_faults_surface_as_transient() {
+        let faulted: McdsError = AllocError::Injected("transient allocation failure").into();
+        assert!(matches!(faulted, McdsError::Faulted(_)));
+        assert!(faulted.is_transient());
+        assert!(faulted.to_string().contains("injected fault"));
+        assert!(faulted.source().is_none());
+
+        let via_schedule: McdsError = ScheduleError::Alloc(AllocError::Injected("x")).into();
+        assert!(via_schedule.is_transient());
+
+        let cancelled = McdsError::Cancelled("deadline exceeded".to_owned());
+        assert!(cancelled.is_transient());
+
+        let real: McdsError = AllocError::ZeroSize.into();
+        assert!(
+            !real.is_transient(),
+            "genuine alloc failures are deterministic"
+        );
+        let spec = McdsError::spec("nope");
+        assert!(!spec.is_transient());
     }
 
     #[test]

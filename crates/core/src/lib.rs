@@ -71,6 +71,7 @@ mod cancel;
 mod codegen;
 mod emit;
 mod error;
+mod fault;
 mod footprint;
 mod key;
 mod lifetime;
@@ -89,6 +90,7 @@ pub use cancel::CancelToken;
 pub use codegen::{generate_program, CodeOp, CodeOpDisplay, TransferProgram};
 pub use emit::{emit_ops, stage_compute_cycles};
 pub use error::{McdsError, ScheduleError};
+pub use fault::{splitmix64, Fault, FaultConfig, FaultPlan, FaultSnapshot, Seam, SeamStats};
 pub use footprint::{all_fit, cluster_peak, ds_formula, first_unfit, FootprintModel};
 pub use key::{canonical_value_hash, request_key};
 pub use lifetime::Lifetimes;

@@ -37,8 +37,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     evaluate_observed, render_explain, BasicScheduler, CancelToken, CdsScheduler, Comparison,
-    DataScheduler, DsScheduler, ExperimentRow, McdsError, MetricsRegistry, Observer,
-    ScheduleAnalysis, SchedulePlan, SchedulerConfig, TraceSink, VecSink,
+    DataScheduler, DsScheduler, ExperimentRow, Fault, FaultPlan, McdsError, MetricsRegistry,
+    Observer, ScheduleAnalysis, SchedulePlan, SchedulerConfig, Seam, TraceSink, VecSink,
 };
 
 /// A cluster-formation strategy: anything that can turn an application
@@ -155,6 +155,7 @@ pub struct Pipeline {
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
     cancel: Option<CancelToken>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Pipeline {
@@ -170,6 +171,7 @@ impl Pipeline {
             sink: None,
             metrics: None,
             cancel: None,
+            faults: None,
         }
     }
 
@@ -237,8 +239,20 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a deterministic [`FaultPlan`]: stage boundaries and the
+    /// allocation walk consult it and inject the faults it fires
+    /// (stage delays / cancellations, transient allocation failures).
+    /// Intended for robustness testing — production pipelines simply
+    /// omit it.
+    #[must_use]
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     fn observer(&self) -> Observer<'_> {
         Observer::new(self.sink.as_deref(), self.metrics.as_deref())
+            .with_faults(self.faults.as_deref())
     }
 
     fn check_cancel(&self) -> Result<(), McdsError> {
@@ -246,6 +260,23 @@ impl Pipeline {
             Some(token) => token.check(),
             None => Ok(()),
         }
+    }
+
+    /// One stage boundary: consult the fault plan for this seam (a
+    /// fired `StageDelay` stalls here; a fired `StageCancel` aborts the
+    /// run exactly like a tripped deadline), then poll the cancel
+    /// token.
+    fn checkpoint(&self, seam: Seam) -> Result<(), McdsError> {
+        match self.observer().fault(seam) {
+            Some(Fault::StageDelay(d)) => std::thread::sleep(d),
+            Some(Fault::StageCancel) => {
+                return Err(McdsError::Cancelled(format!(
+                    "injected stage fault at {seam}"
+                )))
+            }
+            Some(_) | None => {}
+        }
+        self.check_cancel()
     }
 
     /// The application under schedule.
@@ -276,9 +307,9 @@ impl Pipeline {
     ///
     /// Clustering or planning errors, unified as [`McdsError`].
     pub fn plan(&self) -> Result<SchedulePlan, McdsError> {
-        self.check_cancel()?;
+        self.checkpoint(Seam::PipelineAdmission)?;
         let schedule = self.resolve_clusters()?;
-        self.check_cancel()?;
+        self.checkpoint(Seam::PipelineClustering)?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
         Ok(
@@ -299,15 +330,15 @@ impl Pipeline {
     /// Clustering, planning, or evaluation errors, unified as
     /// [`McdsError`].
     pub fn run(&self) -> Result<PipelineRun, McdsError> {
-        self.check_cancel()?;
+        self.checkpoint(Seam::PipelineAdmission)?;
         let observer = self.observer();
         let schedule = self.resolve_clusters()?;
-        self.check_cancel()?;
+        self.checkpoint(Seam::PipelineClustering)?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
         let plan =
             scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
-        self.check_cancel()?;
+        self.checkpoint(Seam::PipelinePlanning)?;
         let report = evaluate_observed(&plan, &self.arch, observer)?;
         Ok(PipelineRun {
             schedule,
@@ -331,15 +362,16 @@ impl Pipeline {
             local: local.clone(),
             other: self.sink.clone(),
         };
-        let observer = Observer::new(Some(&tee), self.metrics.as_deref());
-        self.check_cancel()?;
+        let observer =
+            Observer::new(Some(&tee), self.metrics.as_deref()).with_faults(self.faults.as_deref());
+        self.checkpoint(Seam::PipelineAdmission)?;
         let schedule = self.resolve_clusters()?;
-        self.check_cancel()?;
+        self.checkpoint(Seam::PipelineClustering)?;
         let analysis = ScheduleAnalysis::new(&self.app, &schedule);
         let scheduler = self.scheduler.instantiate(self.config);
         let plan =
             scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
-        self.check_cancel()?;
+        self.checkpoint(Seam::PipelinePlanning)?;
         let report = evaluate_observed(&plan, &self.arch, observer)?;
         let log = render_explain(&local.take());
         Ok((
@@ -614,6 +646,62 @@ mod tests {
             .expect("deadline far away");
         assert_eq!(plain.plan().rf(), timed.plan().rf());
         assert_eq!(plain.report().total(), timed.report().total());
+    }
+
+    #[test]
+    fn injected_stage_cancel_aborts_and_counts() {
+        use crate::FaultConfig;
+        let metrics = Arc::new(MetricsRegistry::new());
+        // Rate 1M at admission: the very first decision fires. Probe
+        // for a seed whose flavor roll is StageCancel (not StageDelay)
+        // so the run aborts instead of merely stalling.
+        let admission_always =
+            |seed| FaultConfig::new(seed).with_rate(Seam::PipelineAdmission, 1_000_000);
+        let seed = (0..100)
+            .find(|&s| {
+                let probe = FaultPlan::new(admission_always(s));
+                matches!(
+                    probe.decide(Seam::PipelineAdmission),
+                    Some(Fault::StageCancel)
+                )
+            })
+            .expect("some small seed rolls a cancel");
+        let plan = Arc::new(FaultPlan::new(admission_always(seed)));
+        let err = Pipeline::new(app())
+            .metrics(Arc::clone(&metrics))
+            .faults(Arc::clone(&plan))
+            .run()
+            .expect_err("admission fault fires");
+        assert!(matches!(err, McdsError::Cancelled(_)), "got {err}");
+        assert!(err.to_string().contains("pipeline.admission"));
+        assert_eq!(metrics.get("fault.pipeline.admission"), Some(1));
+        assert_eq!(plan.snapshot().total_fired(), 1);
+    }
+
+    #[test]
+    fn injected_alloc_fault_is_transient_not_deterministic() {
+        use crate::FaultConfig;
+        let plan = Arc::new(FaultPlan::new(
+            FaultConfig::new(3).with_rate(Seam::FbAlloc, 1_000_000),
+        ));
+        let err = Pipeline::new(app())
+            .faults(plan)
+            .run()
+            .expect_err("every allocation faults");
+        assert!(err.is_transient(), "got {err}");
+        assert!(matches!(err, McdsError::Faulted(_)));
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_changes_nothing() {
+        use crate::FaultConfig;
+        let plain = Pipeline::new(app()).run().expect("runs");
+        let faulted = Pipeline::new(app())
+            .faults(Arc::new(FaultPlan::new(FaultConfig::new(5))))
+            .run()
+            .expect("all rates zero");
+        assert_eq!(plain.plan().rf(), faulted.plan().rf());
+        assert_eq!(plain.report().total(), faulted.report().total());
     }
 
     #[test]

@@ -54,6 +54,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::Serialize;
 
+use crate::fault::{Fault, FaultPlan, Seam};
+
 /// One observed decision or action, in schedule order.
 ///
 /// Address ranges are `(start, len)` word pairs; `set` is the Frame
@@ -366,6 +368,7 @@ impl Drop for JsonLinesSink {
 pub struct Observer<'a> {
     sink: Option<&'a dyn TraceSink>,
     metrics: Option<&'a MetricsRegistry>,
+    faults: Option<&'a FaultPlan>,
 }
 
 impl<'a> Observer<'a> {
@@ -379,7 +382,11 @@ impl<'a> Observer<'a> {
     /// An observer over optional borrowed sink and metrics.
     #[must_use]
     pub fn new(sink: Option<&'a dyn TraceSink>, metrics: Option<&'a MetricsRegistry>) -> Self {
-        Observer { sink, metrics }
+        Observer {
+            sink,
+            metrics,
+            faults: None,
+        }
     }
 
     /// An observer recording events into `sink` only.
@@ -388,7 +395,16 @@ impl<'a> Observer<'a> {
         Observer {
             sink: Some(sink),
             metrics: None,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan: instrumented seams start
+    /// consulting it via [`fault`](Self::fault).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<&'a FaultPlan>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// `true` if a sink is attached (event closures will run).
@@ -429,6 +445,17 @@ impl<'a> Observer<'a> {
             m.observe(name, v);
         }
     }
+
+    /// One fault decision at `seam` — `None` unless a
+    /// [`FaultPlan`](crate::FaultPlan) is attached *and* its
+    /// deterministic counter fires here. Firing bumps the seam's
+    /// `fault.*` counter on the attached metrics registry.
+    #[inline]
+    pub fn fault(&self, seam: Seam) -> Option<Fault> {
+        let fault = self.faults?.decide(seam)?;
+        self.count(seam.metric(), 1);
+        Some(fault)
+    }
 }
 
 impl fmt::Debug for Observer<'_> {
@@ -436,6 +463,7 @@ impl fmt::Debug for Observer<'_> {
         f.debug_struct("Observer")
             .field("sink", &self.sink.is_some())
             .field("metrics", &self.metrics.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }

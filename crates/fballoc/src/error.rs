@@ -51,6 +51,11 @@ pub enum AllocError {
     /// release builds surface this so a serving thread can drop the
     /// allocator and report the request failed rather than panic.
     Corrupted(&'static str),
+    /// A deterministic fault-injection plan forced this allocation to
+    /// fail (transient failure or simulated corruption). Unlike every
+    /// other variant this is *not* a property of the request: callers
+    /// must treat it as transient — never cache it, safe to retry.
+    Injected(&'static str),
 }
 
 impl fmt::Display for AllocError {
@@ -86,6 +91,7 @@ impl fmt::Display for AllocError {
             AllocError::Corrupted(msg) => {
                 write!(f, "frame buffer allocator state corrupt: {msg}")
             }
+            AllocError::Injected(msg) => write!(f, "injected allocation fault: {msg}"),
         }
     }
 }

@@ -176,6 +176,12 @@ pub struct ApplicationBuilder {
     kernels: Vec<Kernel>,
     data: Vec<DataObject>,
     iterations: u64,
+    /// Set once a declaration would overflow the `u32` id space; the
+    /// builder keeps accepting calls (ids saturate) and [`build`]
+    /// reports the overflow as a typed error.
+    ///
+    /// [`build`]: ApplicationBuilder::build
+    overflowed: bool,
 }
 
 impl ApplicationBuilder {
@@ -188,12 +194,17 @@ impl ApplicationBuilder {
             kernels: Vec::new(),
             data: Vec::new(),
             iterations: 1,
+            overflowed: false,
         }
     }
 
     /// Declares a data object and returns its id.
     pub fn data(&mut self, name: impl Into<String>, size: Words, kind: DataKind) -> DataId {
-        let id = DataId::new(u32::try_from(self.data.len()).expect("too many data objects"));
+        let Ok(index) = u32::try_from(self.data.len()) else {
+            self.overflowed = true;
+            return DataId::new(u32::MAX);
+        };
+        let id = DataId::new(index);
         self.data.push(DataObject::new(id, name, size, kind));
         id
     }
@@ -208,7 +219,11 @@ impl ApplicationBuilder {
         inputs: &[DataId],
         outputs: &[DataId],
     ) -> KernelId {
-        let id = KernelId::new(u32::try_from(self.kernels.len()).expect("too many kernels"));
+        let Ok(index) = u32::try_from(self.kernels.len()) else {
+            self.overflowed = true;
+            return KernelId::new(u32::MAX);
+        };
+        let id = KernelId::new(index);
         self.kernels.push(Kernel::new(
             id,
             name,
@@ -234,8 +249,12 @@ impl ApplicationBuilder {
     /// Returns a [`ModelError`] if the application is empty, runs zero
     /// iterations, references unknown or zero-sized data, has duplicate
     /// or missing producers, produces an external input, leaves an
-    /// intermediate result unconsumed, or contains a dependency cycle.
+    /// intermediate result unconsumed, contains a dependency cycle, or
+    /// declared more objects than the `u32` id space holds.
     pub fn build(self) -> Result<Application, ModelError> {
+        if self.overflowed {
+            return Err(ModelError::IdSpaceExhausted);
+        }
         let app = Application {
             name: self.name,
             kernels: self.kernels,

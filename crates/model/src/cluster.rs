@@ -138,16 +138,13 @@ impl ClusterSchedule {
     /// repeated or missing, or the concatenated execution order violates
     /// a dataflow dependency.
     pub fn new(app: &Application, partition: Vec<Vec<KernelId>>) -> Result<Self, ModelError> {
-        let clusters: Vec<Cluster> = partition
-            .into_iter()
-            .enumerate()
-            .map(|(i, ks)| {
-                Cluster::new(
-                    ClusterId::new(u32::try_from(i).expect("too many clusters")),
-                    ks,
-                )
-            })
-            .collect();
+        let mut clusters: Vec<Cluster> = Vec::with_capacity(partition.len());
+        for (i, ks) in partition.into_iter().enumerate() {
+            let Ok(index) = u32::try_from(i) else {
+                return Err(ModelError::IdSpaceExhausted);
+            };
+            clusters.push(Cluster::new(ClusterId::new(index), ks));
+        }
         let schedule = ClusterSchedule { clusters };
         schedule.validate(app)?;
         Ok(schedule)
@@ -171,9 +168,12 @@ impl ClusterSchedule {
             }
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(ModelError::KernelMissing(KernelId::new(
-                u32::try_from(missing).expect("kernel index fits u32"),
-            )));
+            // `seen` is indexed by validated kernel ids, so the position
+            // always fits; degenerate input still gets a typed error.
+            let Ok(index) = u32::try_from(missing) else {
+                return Err(ModelError::IdSpaceExhausted);
+            };
+            return Err(ModelError::KernelMissing(KernelId::new(index)));
         }
         let df = app.dataflow();
         if !df.respects_order(&flat) {

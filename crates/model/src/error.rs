@@ -72,6 +72,11 @@ pub enum ModelError {
     NoSuchKernel(KernelId),
     /// A data id does not belong to the application it was used with.
     NoSuchData(DataId),
+    /// The application declares more kernels, data objects or clusters
+    /// than the `u32` id space can name — a degenerate input (e.g. a
+    /// runaway generator), rejected with a typed error instead of a
+    /// panic.
+    IdSpaceExhausted,
     /// A kernel needs more contexts than the Context Memory holds.
     ContextsExceedMemory {
         /// The oversized kernel.
@@ -125,6 +130,9 @@ impl fmt::Display for ModelError {
                 f,
                 "schedule executes consumer {consumer} before producer {producer}"
             ),
+            ModelError::IdSpaceExhausted => {
+                write!(f, "application exceeds the u32 id space")
+            }
             ModelError::NoSuchKernel(k) => {
                 write!(f, "kernel {k} does not belong to this application")
             }

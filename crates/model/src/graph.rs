@@ -155,13 +155,15 @@ impl DataflowInfo {
         }
         let mut order = Vec::with_capacity(n);
         let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-        while !ready.is_empty() {
-            // Stable: pick the smallest ready index.
-            let i = *ready.iter().min().expect("non-empty");
+        // Stable: pick the smallest ready index each round.
+        while let Some(&i) = ready.iter().min() {
             ready.retain(|&x| x != i);
-            order.push(KernelId::new(
-                u32::try_from(i).expect("kernel index fits u32"),
-            ));
+            let Ok(index) = u32::try_from(i) else {
+                // Kernel ids are already validated `u32`s, so the index
+                // fits; bail rather than panic on degenerate input.
+                break;
+            };
+            order.push(KernelId::new(index));
             for s in &self.succ[i] {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {

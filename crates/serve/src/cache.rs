@@ -23,6 +23,16 @@ use crate::protocol::Outcome;
 /// A published result: the outcome, or a deterministic error message.
 pub type CachedResult = Arc<Result<Outcome, String>>;
 
+/// The cache key a request's *degraded* outcome lives under: a salted
+/// permutation of its canonical key. Degraded results (within-cluster
+/// scheduler fallback) must never alias the full-quality result, so a
+/// later request with a generous deadline still computes the real
+/// thing.
+#[must_use]
+pub fn degraded_key(key: u64) -> u64 {
+    mcds_core::splitmix64(key ^ 0xDE62_ADED_0000_0001)
+}
+
 enum Entry {
     InFlight,
     Ready(CachedResult),
@@ -125,6 +135,20 @@ impl OutcomeCache {
         }
     }
 
+    /// Publishes a result directly, without leading a flight — used by
+    /// the degraded fallback path, which computes under the *degraded*
+    /// key while the primary key's flight is abandoned. Overwrites any
+    /// existing entry (results are deterministic, so a racing leader
+    /// publishes the identical value) and wakes every waiter.
+    pub fn publish(&self, key: u64, result: Result<Outcome, String>) -> CachedResult {
+        let shared = Arc::new(result);
+        let mut map = self.map.lock().expect("cache lock");
+        map.insert(key, Entry::Ready(Arc::clone(&shared)));
+        drop(map);
+        self.ready.notify_all();
+        shared
+    }
+
     /// Published entry count (in-flight entries excluded).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -169,6 +193,7 @@ mod tests {
             data_words: 0,
             context_words: 0,
             total_cycles: cycles,
+            degraded: false,
         }
     }
 
@@ -237,6 +262,28 @@ mod tests {
         for w in waiters {
             assert_eq!(w.join().expect("no panic"), 42);
         }
+    }
+
+    #[test]
+    fn publish_overrides_and_wakes() {
+        let cache = OutcomeCache::new();
+        // Publish under a degraded key while the primary flight is
+        // still open: the primary key is untouched.
+        let Begin::Lead(guard) = cache.begin(8, None) else {
+            panic!("leads");
+        };
+        let dkey = degraded_key(8);
+        assert_ne!(dkey, 8);
+        cache.publish(dkey, Ok(outcome(5)));
+        let Begin::Hit(r) = cache.begin(dkey, None) else {
+            panic!("published degraded entry hits");
+        };
+        assert_eq!(r.as_ref().as_ref().expect("ok").total_cycles, 5);
+        guard.abandon();
+        assert!(
+            matches!(cache.begin(8, None), Begin::Lead(_)),
+            "primary key stays independent of the degraded entry"
+        );
     }
 
     #[test]

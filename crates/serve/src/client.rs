@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mcds_core::McdsError;
 use mcds_workloads::mix::RequestMix;
@@ -41,6 +41,22 @@ pub struct LoadConfig {
     pub scheduler: Option<String>,
     /// Per-request deadline in milliseconds (`None` → no deadline).
     pub deadline_ms: Option<u64>,
+    /// Retry attempts per request after the first try (`0` disables
+    /// retrying). Retries fire on transport failures (disconnects,
+    /// truncated or unparseable frames) and on responses the server
+    /// marks `retryable` (overload rejections, abandoned or faulted
+    /// runs).
+    pub retries: u32,
+    /// First backoff delay in milliseconds; attempt `n` waits up to
+    /// `min(backoff_cap_ms, backoff_base_ms << n)` with deterministic
+    /// jitter in the upper half of that window.
+    pub backoff_base_ms: u64,
+    /// Upper bound on a single backoff delay, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Total retry budget per request, in milliseconds: a retry whose
+    /// backoff would overrun the budget is skipped and the last
+    /// observed failure stands.
+    pub retry_budget_ms: u64,
 }
 
 impl Default for LoadConfig {
@@ -54,6 +70,10 @@ impl Default for LoadConfig {
             fb_kw: 8,
             scheduler: None,
             deadline_ms: None,
+            retries: 3,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 80,
+            retry_budget_ms: 2_000,
         }
     }
 }
@@ -93,6 +113,16 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Worst-case latency (µs).
     pub max_us: u64,
+    /// Retry attempts performed (beyond each request's first try).
+    #[serde(default)]
+    pub retried: u64,
+    /// Transport-level failures observed (disconnects, truncated or
+    /// unparseable frames) — each one forces a reconnect.
+    #[serde(default)]
+    pub transport_errors: u64,
+    /// `ok` responses served by the degraded fallback scheduler.
+    #[serde(default)]
+    pub degraded: u64,
 }
 
 /// One response as observed by a connection.
@@ -102,6 +132,11 @@ struct Sample {
     cache: Option<String>,
     key: Option<String>,
     outcome_json: Option<String>,
+    degraded: bool,
+    /// Retry attempts this request consumed.
+    retried: u64,
+    /// Transport failures this request weathered.
+    transport_errors: u64,
 }
 
 /// Runs the load: `connections` threads, each sending `requests`
@@ -142,15 +177,23 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, McdsError> {
         p95_us: 0,
         p99_us: 0,
         max_us: 0,
+        retried: 0,
+        transport_errors: 0,
+        degraded: 0,
     };
     let mut latencies: Vec<u64> = Vec::new();
     let mut by_key: HashMap<String, String> = HashMap::new();
     for sample in samples.into_iter().flatten() {
         report.requests += 1;
         latencies.push(sample.latency_us);
+        report.retried += sample.retried;
+        report.transport_errors += sample.transport_errors;
         match sample.status.as_str() {
             "ok" => {
                 report.ok += 1;
+                if sample.degraded {
+                    report.degraded += 1;
+                }
                 match sample.cache.as_deref() {
                     Some("hit") => report.cache_hits += 1,
                     _ => report.cache_misses += 1,
@@ -193,15 +236,82 @@ fn percentile(sorted: &[u64], q: usize) -> u64 {
     sorted[rank]
 }
 
+/// One live protocol connection; dropped and re-opened after any
+/// transport failure so a poisoned stream never leaks a stale frame
+/// into the next exchange.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, std::io::Error> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response exchange. Any `Err` means the transport is
+    /// suspect (disconnect, truncated frame, garbage) — the caller must
+    /// reconnect before retrying.
+    fn exchange(&mut self, payload: &[u8]) -> Result<ScheduleResponse, std::io::Error> {
+        self.writer.write_all(payload)?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        if !line.ends_with('\n') {
+            // A frame without its terminator: the server died (or an
+            // injected fault truncated the write) mid-frame.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated response frame",
+            ));
+        }
+        serde_json::from_str(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// The backoff before retry `attempt` (0-based): capped exponential
+/// with deterministic jitter in the upper half of the window, derived
+/// from `(seed, connection, request, attempt)` so two runs with the
+/// same seed sleep identically.
+fn backoff(config: &LoadConfig, conn: u64, request: u64, attempt: u32) -> Duration {
+    let ceiling = config
+        .backoff_cap_ms
+        .min(config.backoff_base_ms.saturating_shl(attempt))
+        .max(1);
+    let h = mcds_core::splitmix64(
+        mcds_core::splitmix64(config.seed ^ (conn << 48) ^ (request << 16)) ^ u64::from(attempt),
+    );
+    let floor = ceiling / 2;
+    Duration::from_millis(floor + h % (ceiling - floor + 1))
+}
+
+/// Helper: `u64` shift that saturates instead of overflowing.
+trait SaturatingShl {
+    fn saturating_shl(self, by: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, by: u32) -> u64 {
+        self.checked_shl(by).unwrap_or(u64::MAX)
+    }
+}
+
 fn drive_connection(config: &LoadConfig, index: u64) -> Result<Vec<Sample>, std::io::Error> {
-    let stream = TcpStream::connect(&config.addr)?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let mut conn = Some(Conn::open(&config.addr)?);
     let mut mix = RequestMix::standard(config.seed.wrapping_add(index));
     let mut samples = Vec::with_capacity(config.requests);
-    let mut line = String::new();
-    for _ in 0..config.requests {
+    let budget = Duration::from_millis(config.retry_budget_ms);
+    for r in 0..config.requests {
         let name = mix.next_name().expect("standard mix is non-empty");
         let mut request = ScheduleRequest::schedule(name);
         request.iterations = Some(config.iterations);
@@ -211,29 +321,78 @@ fn drive_connection(config: &LoadConfig, index: u64) -> Result<Vec<Sample>, std:
         let mut payload = serde_json::to_string(&request)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         payload.push('\n');
-        let sent = Instant::now();
-        writer.write_all(payload.as_bytes())?;
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-run",
-            ));
-        }
-        let latency_us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let response: ScheduleResponse = serde_json::from_str(line.trim())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let outcome_json = match &response.outcome {
-            Some(outcome) => serde_json::to_string(outcome).ok(),
-            None => None,
+
+        let started = Instant::now();
+        let mut retried = 0u64;
+        let mut transport_errors = 0u64;
+        let mut attempt = 0u32;
+        let sample = loop {
+            let sent = Instant::now();
+            let outcome = match conn.as_mut() {
+                Some(c) => c.exchange(payload.as_bytes()),
+                // The previous attempt poisoned the stream: reconnect,
+                // then exchange on the fresh connection.
+                None => Conn::open(&config.addr).and_then(|mut c| {
+                    let response = c.exchange(payload.as_bytes());
+                    conn = Some(c);
+                    response
+                }),
+            };
+            let latency_us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let (retryable, sample) = match outcome {
+                Ok(response) => {
+                    let retryable = response.status == "rejected"
+                        || (response.status != "ok" && response.retryable == Some(true));
+                    let outcome_json = response
+                        .outcome
+                        .as_ref()
+                        .and_then(|o| serde_json::to_string(o).ok());
+                    let degraded = response.outcome.as_ref().is_some_and(|o| o.degraded);
+                    (
+                        retryable,
+                        Sample {
+                            latency_us,
+                            status: response.status,
+                            cache: response.cache,
+                            key: response.key,
+                            outcome_json,
+                            degraded,
+                            retried,
+                            transport_errors,
+                        },
+                    )
+                }
+                Err(e) => {
+                    conn = None;
+                    transport_errors += 1;
+                    (
+                        true,
+                        Sample {
+                            latency_us,
+                            status: format!("transport: {}", e.kind()),
+                            cache: None,
+                            key: None,
+                            outcome_json: None,
+                            degraded: false,
+                            retried,
+                            transport_errors,
+                        },
+                    )
+                }
+            };
+            if !retryable || attempt >= config.retries {
+                break sample;
+            }
+            let delay = backoff(config, index, r as u64, attempt);
+            if started.elapsed() + delay > budget {
+                // Out of budget: the last observed failure stands.
+                break sample;
+            }
+            std::thread::sleep(delay);
+            attempt += 1;
+            retried += 1;
         };
-        samples.push(Sample {
-            latency_us,
-            status: response.status,
-            cache: response.cache,
-            key: response.key,
-            outcome_json,
-        });
+        samples.push(sample);
     }
     Ok(samples)
 }

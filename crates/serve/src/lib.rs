@@ -42,7 +42,9 @@ mod client;
 mod protocol;
 mod server;
 
-pub use cache::{Begin, CachedResult, FlightGuard, OutcomeCache};
+pub use cache::{degraded_key, Begin, CachedResult, FlightGuard, OutcomeCache};
 pub use client::{run_load, LoadConfig, LoadReport};
-pub use protocol::{format_key, Outcome, ScheduleRequest, ScheduleResponse, StatEntry};
+pub use protocol::{
+    format_key, FrameBuffer, FrameError, Outcome, ScheduleRequest, ScheduleResponse, StatEntry,
+};
 pub use server::{ServeConfig, ServeSummary, Server};

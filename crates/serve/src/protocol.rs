@@ -18,9 +18,121 @@
 //! [`Application`](mcds_model::Application)); the architecture is M1
 //! with an optional `fb_kw` kiloword override or a full inline `arch`.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use mcds_model::{Application, ArchParams};
+
+/// Why a received frame was rejected before parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// More bytes buffered without a newline than the configured
+    /// maximum — the connection must be closed, since the frame
+    /// boundary is lost.
+    Oversized {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// The frame is not valid UTF-8. The frame is consumed; the
+    /// connection may continue at the next newline.
+    InvalidUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit without a newline")
+            }
+            FrameError::InvalidUtf8 => write!(f, "frame is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A bounded accumulator for newline-delimited frames.
+///
+/// Fixes the OOM-by-long-line hazard of naive line reading: a peer
+/// that streams bytes without ever sending `\n` is cut off with a
+/// typed [`FrameError::Oversized`] once `max_bytes` is buffered,
+/// instead of growing the buffer without bound. Frames that are not
+/// valid UTF-8 are rejected (typed, recoverable) rather than lossily
+/// transcoded.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    max_bytes: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer that holds at most `max_bytes` of an unfinished
+    /// frame (clamped to at least 1).
+    #[must_use]
+    pub fn new(max_bytes: usize) -> FrameBuffer {
+        FrameBuffer {
+            buf: Vec::new(),
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// Appends received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (for tests/diagnostics).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pops the next complete frame (one line, newline stripped).
+    ///
+    /// Returns `Ok(None)` when no complete frame is buffered yet.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] when the unfinished frame already
+    /// exceeds the limit (the caller must drop the connection);
+    /// [`FrameError::InvalidUtf8`] when the completed frame is not
+    /// UTF-8 (the frame is consumed — the caller may answer with a
+    /// typed error and keep reading).
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        match self.buf.iter().position(|&b| b == b'\n') {
+            // The limit applies to the *line*, not the delivery: a
+            // too-long line whose newline arrived in the same read is
+            // just as oversized as one still waiting for its newline,
+            // so the decision cannot depend on TCP segmentation.
+            Some(pos) if pos > self.max_bytes => Err(FrameError::Oversized {
+                limit: self.max_bytes,
+            }),
+            Some(pos) => {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                match String::from_utf8(line) {
+                    Ok(text) => Ok(Some(text)),
+                    Err(_) => Err(FrameError::InvalidUtf8),
+                }
+            }
+            None if self.buf.len() > self.max_bytes => Err(FrameError::Oversized {
+                limit: self.max_bytes,
+            }),
+            None => Ok(None),
+        }
+    }
+}
 
 /// One request line. Unknown fields are ignored; a missing optional
 /// field takes its documented default.
@@ -93,6 +205,11 @@ pub struct Outcome {
     pub context_words: u64,
     /// Simulated execution time in cycles.
     pub total_cycles: u64,
+    /// `true` when this outcome came from the degraded fallback path
+    /// (within-cluster-only scheduler instead of the full CDS). Cached
+    /// under a separate key so it never masks the full-quality result.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// One `stats` counter.
@@ -123,6 +240,12 @@ pub struct ScheduleResponse {
     pub error: Option<String>,
     /// Metrics snapshot (`stats` only).
     pub stats: Option<Vec<StatEntry>>,
+    /// On `error`/`rejected`: whether retrying the same request may
+    /// succeed. `Some(true)` for transient failures (overload, injected
+    /// faults, deadline cancellations, worker crashes); `Some(false)`
+    /// for deterministic failures (malformed or infeasible requests).
+    #[serde(default)]
+    pub retryable: Option<bool>,
     /// Server-side latency of this request in microseconds.
     pub latency_us: u64,
 }
@@ -137,6 +260,7 @@ impl ScheduleResponse {
             outcome: None,
             error: None,
             stats: None,
+            retryable: None,
             latency_us: 0,
         }
     }
@@ -157,11 +281,21 @@ impl ScheduleResponse {
         r
     }
 
-    /// An `error` response.
+    /// An `error` response for a deterministic failure.
     #[must_use]
     pub fn error(verb: &str, message: impl Into<String>) -> Self {
         let mut r = ScheduleResponse::bare("error", verb);
         r.error = Some(message.into());
+        r.retryable = Some(false);
+        r
+    }
+
+    /// An `error` response for a transient failure (retrying the same
+    /// request may succeed).
+    #[must_use]
+    pub fn transient_error(verb: &str, message: impl Into<String>) -> Self {
+        let mut r = ScheduleResponse::error(verb, message);
+        r.retryable = Some(true);
         r
     }
 
@@ -171,6 +305,7 @@ impl ScheduleResponse {
         let mut r = ScheduleResponse::bare("rejected", "schedule");
         r.key = Some(format_key(key));
         r.error = Some("overloaded: admission queue full".to_owned());
+        r.retryable = Some(true);
         r
     }
 
@@ -211,6 +346,40 @@ mod tests {
     }
 
     #[test]
+    fn frame_buffer_splits_and_bounds() {
+        let mut fb = FrameBuffer::new(16);
+        fb.extend(b"hello");
+        assert_eq!(fb.next_frame(), Ok(None), "incomplete frame waits");
+        fb.extend(b" world\nsecond\r\n");
+        assert_eq!(fb.next_frame(), Ok(Some("hello world".to_owned())));
+        assert_eq!(fb.next_frame(), Ok(Some("second".to_owned())));
+        assert_eq!(fb.next_frame(), Ok(None));
+        assert!(fb.is_empty());
+
+        // A newline-free flood trips the bound instead of buffering.
+        fb.extend(&[b'x'; 17]);
+        assert_eq!(fb.next_frame(), Err(FrameError::Oversized { limit: 16 }));
+    }
+
+    #[test]
+    fn frame_buffer_rejects_invalid_utf8_but_recovers() {
+        let mut fb = FrameBuffer::new(64);
+        fb.extend(&[0xff, 0xfe, b'\n']);
+        fb.extend(b"after\n");
+        assert_eq!(fb.next_frame(), Err(FrameError::InvalidUtf8));
+        // The bad frame was consumed; the next one parses.
+        assert_eq!(fb.next_frame(), Ok(Some("after".to_owned())));
+    }
+
+    #[test]
+    fn outcome_degraded_defaults_to_false_on_old_wire_format() {
+        let legacy = r#"{"app":"e1","scheduler":"cds","clusters":1,"rf":1,
+            "dt_avoided_words":0,"data_words":0,"context_words":0,"total_cycles":9}"#;
+        let out: Outcome = serde_json::from_str(legacy).expect("parses without the field");
+        assert!(!out.degraded);
+    }
+
+    #[test]
     fn responses_roundtrip() {
         let out = Outcome {
             app: "e1".to_owned(),
@@ -221,6 +390,7 @@ mod tests {
             data_words: 4096,
             context_words: 512,
             total_cycles: 123_456,
+            degraded: false,
         };
         let resp = ScheduleResponse::outcome(0xdead_beef, false, out.clone());
         let line = serde_json::to_string(&resp).expect("serializes");
@@ -233,5 +403,14 @@ mod tests {
         let rej = ScheduleResponse::rejected(1);
         assert_eq!(rej.status, "rejected");
         assert!(rej.error.as_deref().expect("reason").contains("overloaded"));
+        assert_eq!(rej.retryable, Some(true), "overload is retryable");
+        assert_eq!(
+            ScheduleResponse::error("schedule", "bad").retryable,
+            Some(false)
+        );
+        assert_eq!(
+            ScheduleResponse::transient_error("schedule", "fault").retryable,
+            Some(true)
+        );
     }
 }

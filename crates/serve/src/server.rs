@@ -21,13 +21,16 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mcds_core::{
-    request_key, CancelToken, McdsError, MetricsRegistry, Pipeline, SchedulerConfig, SchedulerKind,
+    request_key, CancelToken, Fault, FaultPlan, McdsError, MetricsRegistry, Pipeline, PipelineRun,
+    SchedulerConfig, SchedulerKind, Seam,
 };
 use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{Begin, CachedResult, FlightGuard, OutcomeCache};
-use crate::protocol::{format_key, Outcome, ScheduleRequest, ScheduleResponse, StatEntry};
+use crate::cache::{degraded_key, Begin, CachedResult, FlightGuard, OutcomeCache};
+use crate::protocol::{
+    format_key, FrameBuffer, FrameError, Outcome, ScheduleRequest, ScheduleResponse, StatEntry,
+};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -44,6 +47,22 @@ pub struct ServeConfig {
     /// Poll interval for accept/read loops while idle, in
     /// milliseconds.
     pub poll_ms: u64,
+    /// Largest accepted request frame in bytes; a connection that
+    /// buffers more without a newline gets a typed error and is
+    /// dropped instead of growing memory without bound.
+    pub max_frame_bytes: usize,
+    /// Deterministic fault-injection plan for robustness testing
+    /// (`None` in production: zero injected faults).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Enables the degraded fallback path: a full-CDS request whose
+    /// run is cancelled (deadline, injected stage fault) is re-run
+    /// through the cheaper within-cluster-only scheduler and served
+    /// with `degraded: true` instead of failing.
+    pub degrade: bool,
+    /// Requests with a deadline below this many milliseconds skip the
+    /// full CDS entirely and go straight to the degraded scheduler
+    /// (`0` disables the upfront check).
+    pub degrade_below_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +75,10 @@ impl Default for ServeConfig {
                 .clamp(1, 8),
             queue_depth: 64,
             poll_ms: 25,
+            max_frame_bytes: 256 * 1024,
+            faults: None,
+            degrade: true,
+            degrade_below_ms: 0,
         }
     }
 }
@@ -75,16 +98,33 @@ pub struct ServeSummary {
     pub deadline_misses: u64,
     /// Malformed or failed requests.
     pub errors: u64,
+    /// Worker threads recycled after a panic (supervised recovery).
+    #[serde(default)]
+    pub worker_restarts: u64,
+    /// Requests served by the degraded fallback scheduler.
+    #[serde(default)]
+    pub degraded: u64,
+    /// Faults the attached [`FaultPlan`] injected (all seams).
+    #[serde(default)]
+    pub faults_injected: u64,
 }
 
-/// One admitted computation. The request key travels inside the
-/// [`FlightGuard`].
+/// One admitted computation.
 struct Job {
     app: Application,
     sched: Option<ClusterSchedule>,
     arch: ArchParams,
     kind: SchedulerKind,
-    cancel: CancelToken,
+    /// `None` for degraded jobs: they run to completion unconditionally
+    /// — the degraded path exists to return *something* before giving
+    /// up, so it must not itself be cancellable.
+    cancel: Option<CancelToken>,
+    /// The *primary* request key (the guard may be for the degraded
+    /// key; this one derives the degraded key for fallback publishes).
+    key: u64,
+    /// `true` when the request was routed to the degraded scheduler
+    /// upfront (tight deadline).
+    degraded: bool,
     guard: FlightGuard,
     tx: Sender<CachedResult>,
 }
@@ -153,6 +193,21 @@ struct Ctx {
     queue: JobQueue,
     shutdown: AtomicBool,
     poll: Duration,
+    max_frame_bytes: usize,
+    faults: Option<Arc<FaultPlan>>,
+    fault_delay: Duration,
+    degrade: bool,
+    degrade_below_ms: u64,
+}
+
+impl Ctx {
+    /// One fault decision at a serve-side seam; firing bumps the
+    /// seam's `fault.*` counter.
+    fn fault(&self, seam: Seam) -> Option<Fault> {
+        let fault = self.faults.as_ref()?.decide(seam)?;
+        self.metrics.incr(seam.metric());
+        Some(fault)
+    }
 }
 
 /// A bound, not-yet-running scheduling daemon.
@@ -209,6 +264,16 @@ impl Server {
             queue: JobQueue::new(self.config.queue_depth),
             shutdown: AtomicBool::new(false),
             poll: Duration::from_millis(self.config.poll_ms.max(1)),
+            max_frame_bytes: self.config.max_frame_bytes,
+            fault_delay: Duration::from_micros(
+                self.config
+                    .faults
+                    .as_ref()
+                    .map_or(0, |f| f.config().delay_us),
+            ),
+            faults: self.config.faults.clone(),
+            degrade: self.config.degrade,
+            degrade_below_ms: self.config.degrade_below_ms,
         };
         std::thread::scope(|s| -> Result<(), McdsError> {
             for _ in 0..self.config.workers.max(1) {
@@ -247,98 +312,216 @@ impl Server {
             rejected: count("serve.rejected"),
             deadline_misses: count("serve.deadline_misses"),
             errors: count("serve.errors"),
+            worker_restarts: count("serve.worker_restarts"),
+            degraded: count("serve.degraded"),
+            faults_injected: self
+                .config
+                .faults
+                .as_ref()
+                .map_or(0, |f| f.snapshot().total_fired()),
         })
     }
 }
 
-/// One worker: pops admitted jobs and computes them through the
-/// pipeline. Deterministic results (success or scheduling error) are
-/// published to the cache; abandoned runs are not.
-fn worker_loop(ctx: &Ctx) {
-    while let Some(job) = ctx.queue.pop() {
-        let app_name = job.app.name().to_owned();
-        let mut pipeline = Pipeline::new(job.app)
-            .arch(job.arch)
-            .scheduler(job.kind)
-            .metrics(Arc::clone(&ctx.metrics))
-            .cancellation(job.cancel);
-        if let Some(sched) = job.sched {
+/// Condenses a pipeline run into the wire outcome.
+fn outcome_of(run: &PipelineRun, app: &str, kind: SchedulerKind, degraded: bool) -> Outcome {
+    let plan = run.plan();
+    Outcome {
+        app: app.to_owned(),
+        scheduler: kind.name().to_owned(),
+        clusters: run.schedule().len() as u64,
+        rf: plan.rf(),
+        dt_avoided_words: plan.dt_avoided_per_iter().get(),
+        data_words: plan.total_data_words().get(),
+        context_words: plan.total_context_words(),
+        total_cycles: run.report().total().get(),
+        degraded,
+    }
+}
+
+/// Runs one pipeline under the supervisor's `catch_unwind`. `faulted`
+/// attaches the server's fault plan (the degraded fallback runs clean
+/// so it is guaranteed to complete whenever scheduling is feasible).
+fn supervised_run(
+    ctx: &Ctx,
+    app: Application,
+    sched: Option<ClusterSchedule>,
+    arch: ArchParams,
+    kind: SchedulerKind,
+    cancel: Option<CancelToken>,
+    faulted: bool,
+) -> Result<Result<PipelineRun, McdsError>, ()> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if faulted && matches!(ctx.fault(Seam::WorkerRun), Some(Fault::WorkerPanic)) {
+            panic!("injected worker panic");
+        }
+        let mut pipeline = Pipeline::new(app)
+            .arch(arch)
+            .scheduler(kind)
+            .metrics(Arc::clone(&ctx.metrics));
+        if let Some(token) = cancel {
+            pipeline = pipeline.cancellation(token);
+        }
+        if faulted {
+            if let Some(plan) = &ctx.faults {
+                pipeline = pipeline.faults(Arc::clone(plan));
+            }
+        }
+        if let Some(sched) = sched {
             pipeline = pipeline.schedule(sched);
         }
-        let result = match pipeline.run() {
-            Ok(run) => {
-                let plan = run.plan();
-                Ok(Outcome {
-                    app: app_name,
-                    scheduler: job.kind.name().to_owned(),
-                    clusters: run.schedule().len() as u64,
-                    rf: plan.rf(),
-                    dt_avoided_words: plan.dt_avoided_per_iter().get(),
-                    data_words: plan.total_data_words().get(),
-                    context_words: plan.total_context_words(),
-                    total_cycles: run.report().total().get(),
-                })
+        pipeline.run()
+    }))
+    .map_err(|_| ())
+}
+
+/// One worker under its supervisor: pops admitted jobs and computes
+/// them through the pipeline. Deterministic results (success or
+/// scheduling error) are published to the cache; abandoned and faulted
+/// runs are not. A panicking run (injected or real) is contained by
+/// `catch_unwind`: the worker recycles itself for the next job,
+/// `serve.worker_restarts` counts the recycle, and the requester gets
+/// a typed retryable error instead of a hung channel.
+fn worker_loop(ctx: &Ctx) {
+    while let Some(job) = ctx.queue.pop() {
+        let Job {
+            app,
+            sched,
+            arch,
+            kind,
+            cancel,
+            key,
+            degraded,
+            guard,
+            tx,
+        } = *job;
+        let app_name = app.name().to_owned();
+        // Kept aside for the degraded fallback re-run.
+        let fallback_inputs = (app.clone(), sched.clone());
+
+        let caught = supervised_run(ctx, app, sched, arch, kind, cancel, !degraded);
+        let result = match caught {
+            Err(()) => {
+                // Poisoned worker: recycle in place, never cache.
+                ctx.metrics.incr("serve.worker_restarts");
+                guard.abandon();
+                let _ = tx.send(Arc::new(Err(
+                    "worker panicked; the request is retryable".to_owned()
+                )));
+                continue;
             }
-            Err(e) => Err(e),
+            Ok(result) => result,
         };
         match result {
+            Ok(run) => {
+                if degraded {
+                    ctx.metrics.incr("serve.degraded");
+                }
+                let shared = guard.fulfill(Ok(outcome_of(&run, &app_name, kind, degraded)));
+                let _ = tx.send(shared);
+            }
             Err(McdsError::Cancelled(reason)) => {
                 // Not a pure function of the request — never cached.
                 ctx.metrics.incr("serve.deadline_misses");
-                job.guard.abandon();
-                let _ = job
-                    .tx
-                    .send(Arc::new(Err(format!("run abandoned: {reason}"))));
+                if ctx.degrade && kind == SchedulerKind::Cds {
+                    let (app, sched) = fallback_inputs;
+                    // Fall back to the cheaper within-cluster-only
+                    // scheduler, clean (no faults, no deadline), and
+                    // serve + cache it under the *degraded* key. The
+                    // primary key stays uncomputed so a later request
+                    // with a generous deadline gets the full CDS.
+                    // If the fallback fails too (infeasible, or it
+                    // panicked), fall through to the plain abandon.
+                    if let Ok(Ok(run)) =
+                        supervised_run(ctx, app, sched, arch, SchedulerKind::Ds, None, false)
+                    {
+                        ctx.metrics.incr("serve.degraded");
+                        let outcome = outcome_of(&run, &app_name, SchedulerKind::Ds, true);
+                        let shared = ctx.cache.publish(degraded_key(key), Ok(outcome));
+                        guard.abandon();
+                        let _ = tx.send(shared);
+                        continue;
+                    }
+                }
+                guard.abandon();
+                let _ = tx.send(Arc::new(Err(format!("run abandoned: {reason}"))));
             }
-            Ok(outcome) => {
-                let shared = job.guard.fulfill(Ok(outcome));
-                let _ = job.tx.send(shared);
+            Err(e @ McdsError::Faulted(_)) => {
+                // Injected fault: transient — never cached, retryable.
+                guard.abandon();
+                let _ = tx.send(Arc::new(Err(e.to_string())));
             }
             Err(e) => {
                 // Scheduling errors are deterministic → cacheable.
-                let shared = job.guard.fulfill(Err(e.to_string()));
-                let _ = job.tx.send(shared);
+                let shared = guard.fulfill(Err(e.to_string()));
+                let _ = tx.send(shared);
             }
         }
     }
 }
 
-/// One connection: reads request lines, answers each with one response
-/// line. Any per-request failure produces an `error` response on this
-/// connection only — the server and its other connections are
-/// unaffected.
+/// One connection: reads bounded request frames, answers each with one
+/// response line. Any per-request failure produces a typed `error`
+/// response on this connection only — the server and its other
+/// connections are unaffected. With a fault plan attached, the
+/// connection also injects the serve-side I/O faults (pre-processing
+/// disconnects, mid-frame write truncation, slow-loris writes). Read
+/// faults are decided once per complete frame, not per `read` call, so
+/// the fault sequence does not depend on TCP segmentation.
 fn handle_conn(stream: TcpStream, ctx: &Ctx) {
     let _ = stream.set_read_timeout(Some(ctx.poll));
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
-    let mut buf: Vec<u8> = Vec::new();
+    let mut frames = FrameBuffer::new(ctx.max_frame_bytes);
     let mut chunk = [0u8; 4096];
     loop {
-        // Answer every complete line already buffered.
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let text = String::from_utf8_lossy(&line);
-            let text = text.trim();
-            if text.is_empty() {
-                continue;
-            }
-            let response = handle_line(text, ctx);
-            let Ok(mut out) = serde_json::to_string(&response) else {
-                continue;
-            };
-            out.push('\n');
-            if stream.write_all(out.as_bytes()).is_err() {
-                return;
+        // Answer every complete frame already buffered.
+        loop {
+            match frames.next_frame() {
+                Ok(Some(line)) => {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if matches!(ctx.fault(Seam::ServeRead), Some(Fault::Disconnect)) {
+                        // Injected disconnect: the request is dropped
+                        // before processing; the client must retry.
+                        return;
+                    }
+                    let response = handle_line(line, ctx);
+                    if write_response(&mut stream, &response, ctx).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(FrameError::InvalidUtf8) => {
+                    // The bad frame was consumed — answer typed and
+                    // keep serving this connection.
+                    ctx.metrics.incr("serve.errors");
+                    let response =
+                        ScheduleResponse::error("frame", FrameError::InvalidUtf8.to_string());
+                    if write_response(&mut stream, &response, ctx).is_err() {
+                        return;
+                    }
+                }
+                Err(err @ FrameError::Oversized { .. }) => {
+                    // The frame boundary is lost: answer typed, then
+                    // drop the connection instead of buffering forever.
+                    ctx.metrics.incr("serve.errors");
+                    let response = ScheduleResponse::error("frame", err.to_string());
+                    let _ = write_response(&mut stream, &response, ctx);
+                    return;
+                }
             }
         }
-        // Between lines: honor a drain request, then wait for more
+        // Between frames: honor a drain request, then wait for more
         // bytes.
         if ctx.shutdown.load(Ordering::Acquire) {
             return;
         }
         match stream.read(&mut chunk) {
             Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => frames.extend(&chunk[..n]),
             Err(e)
                 if matches!(
                     e.kind(),
@@ -346,6 +529,45 @@ fn handle_conn(stream: TcpStream, ctx: &Ctx) {
                 ) => {}
             Err(_) => return,
         }
+    }
+}
+
+/// Serializes and writes one response frame, applying any fired
+/// write-side fault.
+fn write_response(
+    stream: &mut TcpStream,
+    response: &ScheduleResponse,
+    ctx: &Ctx,
+) -> std::io::Result<()> {
+    let Ok(mut out) = serde_json::to_string(response) else {
+        return Ok(());
+    };
+    out.push('\n');
+    let bytes = out.as_bytes();
+    match ctx.fault(Seam::ServeWrite) {
+        Some(Fault::TruncateWrite) => {
+            // Mid-frame disconnect: the client sees a short read with
+            // no terminating newline and must treat it as transport
+            // failure.
+            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+            let _ = stream.flush();
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected mid-frame disconnect",
+            ))
+        }
+        Some(Fault::SlowWrite) => {
+            // Slow-loris writer: dribble the frame out in eight delayed
+            // chunks. The frame still completes, so a patient client
+            // succeeds without a retry.
+            for piece in bytes.chunks(bytes.len().div_ceil(8).max(1)) {
+                stream.write_all(piece)?;
+                stream.flush()?;
+                std::thread::sleep(ctx.fault_delay);
+            }
+            Ok(())
+        }
+        Some(_) | None => stream.write_all(bytes),
     }
 }
 
@@ -432,9 +654,8 @@ fn resolve(
 }
 
 fn schedule(request: ScheduleRequest, ctx: &Ctx) -> ScheduleResponse {
-    let deadline = request
-        .deadline_ms
-        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let deadline_ms = request.deadline_ms;
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let (app, sched, arch, kind) = match resolve(request) {
         Ok(inputs) => inputs,
         Err(message) => {
@@ -449,49 +670,89 @@ fn schedule(request: ScheduleRequest, ctx: &Ctx) -> ScheduleResponse {
         kind,
         &SchedulerConfig::default(),
     );
-    match ctx.cache.begin(key, deadline) {
+    // Upfront degrade: when the deadline is too tight for the full CDS
+    // to be worth attempting, route the request straight to the
+    // cheaper within-cluster-only scheduler (its own cache key, no
+    // cancellation — it exists to succeed).
+    let degraded_upfront = ctx.degrade
+        && ctx.degrade_below_ms > 0
+        && kind == SchedulerKind::Cds
+        && deadline_ms.is_some_and(|ms| ms < ctx.degrade_below_ms);
+    let entry_key = if degraded_upfront {
+        degraded_key(key)
+    } else {
+        key
+    };
+    match ctx.cache.begin(entry_key, deadline) {
         Begin::Hit(result) => {
             ctx.metrics.incr("serve.cache.hits");
-            cached_response(key, true, &result, ctx)
+            cached_response(entry_key, true, &result, ctx)
         }
         Begin::TimedOut => {
             ctx.metrics.incr("serve.deadline_misses");
-            let mut r = ScheduleResponse::error("schedule", "run abandoned: deadline exceeded");
-            r.key = Some(format_key(key));
+            let mut r =
+                ScheduleResponse::transient_error("schedule", "run abandoned: deadline exceeded");
+            r.key = Some(format_key(entry_key));
             r
         }
         Begin::Lead(guard) => {
-            let cancel = deadline.map_or_else(CancelToken::new, CancelToken::at);
+            let cancel = if degraded_upfront {
+                None
+            } else {
+                Some(deadline.map_or_else(CancelToken::new, CancelToken::at))
+            };
             let (tx, rx) = std::sync::mpsc::channel();
             let job = Box::new(Job {
                 app,
                 sched,
                 arch,
-                kind,
+                kind: if degraded_upfront {
+                    SchedulerKind::Ds
+                } else {
+                    kind
+                },
                 cancel,
+                key,
+                degraded: degraded_upfront,
                 guard,
                 tx,
             });
             if let Err(job) = ctx.queue.try_push(job) {
                 ctx.metrics.incr("serve.rejected");
                 job.guard.abandon();
-                return ScheduleResponse::rejected(key);
+                return ScheduleResponse::rejected(entry_key);
             }
             match rx.recv() {
                 Ok(result) => {
                     ctx.metrics.incr("serve.cache.misses");
-                    cached_response(key, false, &result, ctx)
+                    // A fallback-degraded outcome lives under the
+                    // degraded key, not the one we began with.
+                    let served_key = match result.as_ref() {
+                        Ok(outcome) if outcome.degraded => degraded_key(key),
+                        _ => entry_key,
+                    };
+                    cached_response(served_key, false, &result, ctx)
                 }
                 Err(_) => {
                     ctx.metrics.incr("serve.errors");
-                    let mut r =
-                        ScheduleResponse::error("schedule", "internal: worker dropped the request");
-                    r.key = Some(format_key(key));
+                    let mut r = ScheduleResponse::transient_error(
+                        "schedule",
+                        "internal: worker dropped the request",
+                    );
+                    r.key = Some(format_key(entry_key));
                     r
                 }
             }
         }
     }
+}
+
+/// `true` for worker-reported failure messages that are not a pure
+/// function of the request (never cached; the client may retry them).
+fn transient_message(message: &str) -> bool {
+    message.starts_with("run abandoned:")
+        || message.starts_with("injected fault:")
+        || message.starts_with("worker panicked")
 }
 
 fn cached_response(key: u64, hit: bool, result: &CachedResult, ctx: &Ctx) -> ScheduleResponse {
@@ -500,7 +761,11 @@ fn cached_response(key: u64, hit: bool, result: &CachedResult, ctx: &Ctx) -> Sch
         Ok(outcome) => ScheduleResponse::outcome(key, hit, outcome.clone()),
         Err(message) => {
             ctx.metrics.incr("serve.errors");
-            let mut r = ScheduleResponse::error("schedule", message.clone());
+            let mut r = if transient_message(message) {
+                ScheduleResponse::transient_error("schedule", message.clone())
+            } else {
+                ScheduleResponse::error("schedule", message.clone())
+            };
             r.key = Some(format_key(key));
             r.cache = Some(cache.to_owned());
             r

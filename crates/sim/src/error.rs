@@ -32,6 +32,10 @@ pub enum SimError {
         /// The set capacity.
         capacity: Words,
     },
+    /// The schedule holds more ops than the `u32` id space can name —
+    /// a degenerate input (e.g. a runaway generator), rejected with a
+    /// typed error instead of a panic.
+    TooManyOps,
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +53,9 @@ impl fmt::Display for SimError {
                 f,
                 "op {op} raises frame buffer residency to {resident}, above the {capacity} set"
             ),
+            SimError::TooManyOps => {
+                write!(f, "op schedule exceeds the u32 op-id space")
+            }
         }
     }
 }

@@ -215,6 +215,10 @@ impl OpSchedule {
 #[derive(Debug, Clone, Default)]
 pub struct OpScheduleBuilder {
     ops: Vec<Op>,
+    /// Set once an append would overflow the `u32` id space; the
+    /// builder stops accepting ops and [`build`](Self::build) reports
+    /// [`SimError::TooManyOps`] instead of panicking mid-append.
+    overflowed: bool,
 }
 
 impl OpScheduleBuilder {
@@ -225,7 +229,11 @@ impl OpScheduleBuilder {
     }
 
     fn push(&mut self, label: String, kind: OpKind, deps: &[OpId]) -> OpId {
-        let id = OpId::new(u32::try_from(self.ops.len()).expect("too many ops"));
+        let Ok(index) = u32::try_from(self.ops.len()) else {
+            self.overflowed = true;
+            return OpId::new(u32::MAX);
+        };
+        let id = OpId::new(index);
         self.ops.push(Op {
             label,
             kind,
@@ -304,10 +312,17 @@ impl OpScheduleBuilder {
     ///
     /// [`SimError::ForwardDependency`] if a dependency does not point
     /// strictly backwards; [`SimError::ZeroLengthOp`] for empty
-    /// transfers or zero-cycle computations.
+    /// transfers or zero-cycle computations; [`SimError::TooManyOps`]
+    /// when more ops were appended than `u32` ids can name.
     pub fn build(self) -> Result<OpSchedule, SimError> {
+        if self.overflowed {
+            return Err(SimError::TooManyOps);
+        }
         for (i, op) in self.ops.iter().enumerate() {
-            let id = OpId::new(u32::try_from(i).expect("index fits"));
+            let Ok(index) = u32::try_from(i) else {
+                return Err(SimError::TooManyOps);
+            };
+            let id = OpId::new(index);
             for &d in op.deps() {
                 if d.index() >= i {
                     return Err(SimError::ForwardDependency { op: id, dep: d });
