@@ -10,8 +10,9 @@
 //! mcds run      <app.json> [options]       # plan + simulate with tracing
 //! mcds explore  <app.json> [options]       # kernel-scheduler partition search
 //! mcds sweep    [app.json …] [options]     # parallel design-space sweep
-//! mcds serve    [options]                  # scheduling service (newline-delimited JSON over TCP)
-//! mcds client   [options]                  # load-test client; prints a JSON report
+//! mcds serve    [options]                  # scheduling service (versioned newline-delimited JSON over TCP)
+//! mcds client   [options]                  # single-process load client; prints a JSON report
+//! mcds load     [options]                  # scaled multi-process load harness; prints a merged JSON report
 //! mcds chaos    [options]                  # deterministic fault-injection soak; prints JSON per seed
 //!
 //! options:
@@ -37,6 +38,7 @@
 //!   --workers N            scheduling worker threads (default: cores, capped at 8)
 //!   --queue-depth N        admission queue capacity; full queue rejects (default: 64)
 //!   --max-frame-kb N       largest accepted request frame in KiB (default: 256)
+//!   --shards N             outcome-cache shards, rounded up to a power of two (default: 16)
 //!   --fault-seed S         attach a deterministic chaos-preset fault plan seeded S
 //!   --degrade-below-ms D   deadlines under D ms skip straight to the degraded scheduler
 //!   --no-degrade           disable the degraded (within-cluster-only) fallback
@@ -44,14 +46,19 @@
 //! client options:
 //!   --addr A:P             server address (default: 127.0.0.1:7171)
 //!   --connections N        concurrent connections (default: 4)
-//!   --requests M           requests per connection (default: 50)
-//!   --seed S               workload-mix seed; connection i uses S+i (default: 1)
-//!   --iterations N         streaming iterations per request (default: 16)
-//!   --fb-kw N              FB set size in kilowords per request (default: 8)
+//!   --requests M           total requests across both phases (default: 200)
+//!   --distinct-keys K      distinct request keys; cold phase touches each once (default: 24)
+//!   --pipeline W           in-flight requests per connection (default: 32; 1 = lockstep)
+//!   --seed S               warm-phase sampling seed (default: 1)
 //!   --scheduler basic|ds|cds               (default: server default)
 //!   --deadline-ms D        per-request deadline (default: none)
-//!   --retries N            retry attempts per request (default: 3)
-//!   --retry-budget-ms B    total retry budget per request (default: 2000)
+//!   --retries N            re-queues per failed request (default: 3)
+//!   --legacy               send deprecated un-versioned frames (compat-shim exercise)
+//!
+//! load options (all client options, plus):
+//!   --procs P              driver processes (default: 2); reports are merged
+//!                          exactly — percentiles over the combined latency
+//!                          histogram, outcome digests cross-checked per key
 //!
 //! chaos options:
 //!   --seed S               first fault seed (default: 7)
@@ -74,7 +81,9 @@ use mcds_ksched::{KernelScheduler, SearchStrategy};
 use mcds_model::{
     Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId, Words,
 };
-use mcds_serve::{run_load, LoadConfig, ServeConfig, Server};
+use mcds_serve::{
+    run_load, ClientConfig, LoadConfig, LoadReport, ScheduleSpec, Scheduled, ServeConfig, Server,
+};
 use mcds_sim::{bottleneck, render_gantt, Simulator};
 use mcds_sweep::{SweepReport, SweepSpec, SweepWorkload};
 
@@ -92,7 +101,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
         return Err(McdsError::spec(
-            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|chaos> …",
+            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|load|chaos> …",
         ));
     };
     match cmd.as_str() {
@@ -107,6 +116,7 @@ fn run(args: &[String]) -> Result<(), McdsError> {
         "sweep" => sweep(&args[1..]),
         "serve" => serve(&args[1..]),
         "client" => client(&args[1..]),
+        "load" => load(&args[1..]),
         "chaos" => chaos(&args[1..]),
         other => Err(McdsError::spec(format!("unknown command `{other}`"))),
     }
@@ -467,6 +477,9 @@ fn serve(args: &[String]) -> Result<(), McdsError> {
     if flag(args, "--no-degrade") {
         config.degrade = false;
     }
+    if let Some(shards) = parsed_opt(args, "--shards")? {
+        config.shards = shards;
+    }
     let server = Server::bind(config)?;
     println!("mcds-serve listening on {}", server.local_addr());
     let summary = server.run()?;
@@ -477,11 +490,12 @@ fn serve(args: &[String]) -> Result<(), McdsError> {
     Ok(())
 }
 
-fn client(args: &[String]) -> Result<(), McdsError> {
+fn load_config_from(args: &[String]) -> Result<LoadConfig, McdsError> {
     let mut config = LoadConfig {
         addr: opt(args, "--addr").unwrap_or("127.0.0.1:7171").to_owned(),
         scheduler: opt(args, "--scheduler").map(str::to_owned),
         deadline_ms: parsed_opt(args, "--deadline-ms")?,
+        legacy: flag(args, "--legacy"),
         ..LoadConfig::default()
     };
     if let Some(connections) = parsed_opt(args, "--connections")? {
@@ -490,25 +504,98 @@ fn client(args: &[String]) -> Result<(), McdsError> {
     if let Some(requests) = parsed_opt(args, "--requests")? {
         config.requests = requests;
     }
+    if let Some(distinct) = parsed_opt(args, "--distinct-keys")? {
+        config.distinct_keys = distinct;
+    }
+    if let Some(pipeline) = parsed_opt(args, "--pipeline")? {
+        config.pipeline = pipeline;
+    }
     if let Some(seed) = parsed_opt(args, "--seed")? {
         config.seed = seed;
-    }
-    if let Some(iterations) = parsed_opt(args, "--iterations")? {
-        config.iterations = iterations;
-    }
-    if let Some(fb_kw) = parsed_opt(args, "--fb-kw")? {
-        config.fb_kw = fb_kw;
     }
     if let Some(retries) = parsed_opt(args, "--retries")? {
         config.retries = retries;
     }
-    if let Some(budget) = parsed_opt(args, "--retry-budget-ms")? {
-        config.retry_budget_ms = budget;
-    }
-    let report = run_load(&config)?;
+    Ok(config)
+}
+
+fn client(args: &[String]) -> Result<(), McdsError> {
+    let mut report = run_load(&load_config_from(args)?)?;
+    report.strip_raw();
     println!(
         "{}",
         serde_json::to_string_pretty(&report).map_err(|e| McdsError::spec(e.to_string()))?
+    );
+    Ok(())
+}
+
+/// The scaled load harness. With `--procs P > 1` the parent re-executes
+/// itself `P` times with `--child` (each child drives its own
+/// connections and prints a raw per-process report, histograms and
+/// per-key outcome digests included) and merges the reports exactly:
+/// counters add, percentiles are recomputed over the combined latency
+/// histogram, and any key served two different outcomes — even across
+/// processes — flips `consistent_outcomes`.
+fn load(args: &[String]) -> Result<(), McdsError> {
+    let config = load_config_from(args)?;
+    let procs: usize = parsed_opt(args, "--procs")?.unwrap_or(2).max(1);
+    if flag(args, "--child") {
+        // Raw single-process report on one line for the parent to merge.
+        let report = run_load(&config)?;
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| McdsError::spec(e.to_string()))?
+        );
+        return Ok(());
+    }
+    let mut merged = if procs == 1 {
+        run_load(&config)?
+    } else {
+        let exe = std::env::current_exe()?;
+        let mut children = Vec::new();
+        for p in 0..procs {
+            let requests = config.requests / procs + usize::from(p < config.requests % procs);
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(["load", "--child"])
+                .args(["--addr", &config.addr])
+                .args(["--connections", &config.connections.to_string()])
+                .args(["--requests", &requests.max(1).to_string()])
+                .args(["--distinct-keys", &config.distinct_keys.to_string()])
+                .args(["--pipeline", &config.pipeline.to_string()])
+                .args(["--seed", &(config.seed + p as u64 * 10_007).to_string()])
+                .args(["--retries", &config.retries.to_string()])
+                .stdout(std::process::Stdio::piped());
+            if let Some(s) = &config.scheduler {
+                cmd.args(["--scheduler", s]);
+            }
+            if let Some(d) = config.deadline_ms {
+                cmd.args(["--deadline-ms", &d.to_string()]);
+            }
+            if config.legacy {
+                cmd.arg("--legacy");
+            }
+            children.push(cmd.spawn()?);
+        }
+        let mut merged: Option<LoadReport> = None;
+        for child in children {
+            let out = child.wait_with_output()?;
+            if !out.status.success() {
+                return Err(McdsError::spec("load driver process failed"));
+            }
+            let text = String::from_utf8_lossy(&out.stdout);
+            let report: LoadReport = serde_json::from_str(text.trim())
+                .map_err(|e| McdsError::spec(format!("parsing driver report: {e}")))?;
+            match &mut merged {
+                None => merged = Some(report),
+                Some(m) => m.merge(&report),
+            }
+        }
+        merged.ok_or_else(|| McdsError::spec("no driver processes ran"))?
+    };
+    merged.strip_raw();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&merged).map_err(|e| McdsError::spec(e.to_string()))?
     );
     Ok(())
 }
@@ -534,38 +621,37 @@ struct ChaosSeedSummary {
     faults: mcds_core::FaultSnapshot,
 }
 
-/// One raw request with transport-level retries, for the audit and
-/// shutdown phases of a chaos run. Opens a fresh connection per
-/// attempt so an injected disconnect cannot poison the next try.
-fn chaos_request(addr: &str, line: &str, attempts: u32) -> Option<mcds_serve::ScheduleResponse> {
-    use std::io::{BufRead, BufReader, Write};
+/// One audited `schedule` request through the typed client, for the
+/// audit phase of a chaos run. Opens a fresh connection per attempt so
+/// an injected disconnect cannot poison the next try; returns `None`
+/// once the listener is gone or the attempts are exhausted.
+fn chaos_request(addr: &str, spec: &ScheduleSpec, attempts: u32) -> Option<Scheduled> {
     for _ in 0..attempts {
-        let Ok(stream) = std::net::TcpStream::connect(addr) else {
+        let Ok(mut client) = ClientConfig::new(addr).with_reconnect(false).connect() else {
             return None; // Listener gone (post-shutdown) — no retry.
         };
-        let _ = stream.set_nodelay(true);
-        let mut writer = match stream.try_clone() {
-            Ok(w) => w,
+        match client.schedule(spec) {
+            Ok(scheduled) => return Some(scheduled),
+            // Typed failure or injected transport drop — fresh attempt
+            // on a fresh connection.
             Err(_) => continue,
-        };
-        let mut reader = BufReader::new(stream);
-        if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
-            continue;
-        }
-        let mut response = String::new();
-        match reader.read_line(&mut response) {
-            Ok(n) if n > 0 && response.ends_with('\n') => {
-                match serde_json::from_str::<mcds_serve::ScheduleResponse>(response.trim()) {
-                    Ok(parsed) if parsed.status == "ok" => return Some(parsed),
-                    // Retryable failure or garbage: fall through.
-                    Ok(_) | Err(_) => continue,
-                }
-            }
-            // Disconnect / truncated frame: injected fault — retry.
-            _ => continue,
         }
     }
     None
+}
+
+/// One shutdown handshake attempt per fresh connection; `true` once
+/// the server acknowledged the drain.
+fn chaos_shutdown(addr: &str, attempts: u32) -> bool {
+    for _ in 0..attempts {
+        let Ok(mut client) = ClientConfig::new(addr).with_reconnect(false).connect() else {
+            return false;
+        };
+        if client.shutdown().is_ok() {
+            return true;
+        }
+    }
+    false
 }
 
 /// The outcome the (unfaulted) pipeline computes for a catalog
@@ -627,16 +713,17 @@ fn chaos(args: &[String]) -> Result<(), McdsError> {
         let addr = server.local_addr().to_string();
         let handle = std::thread::spawn(move || server.run());
 
-        // Soak phase: one connection (keeps the fault sequence
-        // independent of thread interleaving), no deadlines (keeps it
-        // independent of wall-clock), generous retry budget.
+        // Soak phase: one connection in strict lockstep (pipeline 1
+        // keeps the fault sequence independent of interleaving), no
+        // deadlines (keeps it independent of wall-clock), generous
+        // retries.
         let report = run_load(&LoadConfig {
             addr: addr.clone(),
             connections: 1,
+            pipeline: 1,
             requests,
             seed,
             retries: 8,
-            retry_budget_ms: 30_000,
             ..LoadConfig::default()
         })?;
 
@@ -647,16 +734,17 @@ fn chaos(args: &[String]) -> Result<(), McdsError> {
         let mut audited = 0u64;
         let mut poisoned = false;
         for name in mcds_workloads::mix::CATALOG {
-            let line =
-                format!(r#"{{"verb":"schedule","workload":"{name}","iterations":16,"fb_kw":8}}"#);
-            let Some(response) = chaos_request(&addr, &line, 20) else {
+            let spec = ScheduleSpec {
+                iterations: Some(16),
+                fb_kw: Some(8),
+                ..ScheduleSpec::workload(name)
+            };
+            let Some(scheduled) = chaos_request(&addr, &spec, 20) else {
                 eprintln!("chaos seed {seed}: audit of `{name}` got no ok response");
                 poisoned = true;
                 continue;
             };
-            let Some(served) = response.outcome else {
-                continue;
-            };
+            let served = scheduled.outcome;
             let kind = if served.degraded {
                 SchedulerKind::Ds
             } else {
@@ -690,7 +778,7 @@ fn chaos(args: &[String]) -> Result<(), McdsError> {
                     "chaos seed {seed}: server did not drain within 60s (hang)"
                 )));
             }
-            let _ = chaos_request(&addr, r#"{"verb":"shutdown"}"#, 5);
+            let _ = chaos_shutdown(&addr, 5);
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
         let summary = handle

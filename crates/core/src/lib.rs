@@ -107,5 +107,6 @@ pub use scheduler::{
 };
 pub use sharing::{find_candidates, find_candidates_with, Candidate, RetainedKind};
 pub use trace::{
-    render_explain, Event, JsonLinesSink, MetricsRegistry, NullSink, Observer, TraceSink, VecSink,
+    render_explain, Counter, Event, Histogram, JsonLinesSink, MetricsRegistry, NullSink, Observer,
+    TraceSink, VecSink,
 };

@@ -522,11 +522,11 @@ impl MetricsRegistry {
         }
     }
 
-    fn slot(&self, name: &str) -> &AtomicU64 {
+    fn slot_index(&self, name: &str) -> usize {
         let len = self.len.load(Ordering::Acquire).min(self.slots.len());
-        for s in &self.slots[..len] {
+        for (i, s) in self.slots[..len].iter().enumerate() {
             if s.name.get().is_some_and(|n| n == name) {
-                return &s.value;
+                return i;
             }
         }
         let idx = self.len.fetch_add(1, Ordering::AcqRel);
@@ -535,7 +535,38 @@ impl MetricsRegistry {
             .name
             .set(name.to_owned())
             .expect("freshly reserved slot");
-        &self.slots[idx].value
+        idx
+    }
+
+    fn slot(&self, name: &str) -> &AtomicU64 {
+        &self.slots[self.slot_index(name)].value
+    }
+
+    /// Pre-resolves counter `name` into a [`Counter`] handle: the name
+    /// lookup happens once, here; every subsequent
+    /// [`add`](Counter::add) is a single relaxed atomic on the slot.
+    /// Hot paths (the serve reactor) use handles instead of
+    /// [`add`](Self::add)/[`incr`](Self::incr), which linear-scan the
+    /// name table on every call.
+    #[must_use]
+    pub fn counter(self: &Arc<Self>, name: &str) -> Counter {
+        Counter {
+            registry: Arc::clone(self),
+            idx: self.slot_index(name),
+        }
+    }
+
+    /// Pre-resolves histogram `name` into a [`Histogram`] handle —
+    /// the three backing counters (`.count`/`.sum`/`.max`) are located
+    /// once, and [`observe`](Histogram::observe) never allocates.
+    #[must_use]
+    pub fn histogram(self: &Arc<Self>, name: &str) -> Histogram {
+        Histogram {
+            count: self.slot_index(&format!("{name}.count")),
+            sum: self.slot_index(&format!("{name}.sum")),
+            max: self.slot_index(&format!("{name}.max")),
+            registry: Arc::clone(self),
+        }
     }
 
     /// Adds `v` to counter `name`, creating it at zero on first touch.
@@ -592,6 +623,79 @@ impl MetricsRegistry {
         }
         merged.sort_by(|a, b| a.0.cmp(&b.0));
         merged
+    }
+}
+
+/// A pre-resolved handle to one [`MetricsRegistry`] counter.
+///
+/// Obtained from [`MetricsRegistry::counter`]; owns an `Arc` to the
+/// registry, so handles can be moved into worker threads and outlive
+/// the scope that resolved them. All updates are relaxed atomics on
+/// the already-located slot — no name scan, no allocation.
+#[derive(Clone)]
+pub struct Counter {
+    registry: Arc<MetricsRegistry>,
+    idx: usize,
+}
+
+impl Counter {
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.registry.slots[self.idx]
+            .value
+            .fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value of this slot (for tests; racy duplicates from
+    /// other threads' first-touch are *not* merged here — use
+    /// [`MetricsRegistry::get`] for exact totals).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.registry.slots[self.idx].value.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Counter").field("idx", &self.idx).finish()
+    }
+}
+
+/// A pre-resolved handle to one [`MetricsRegistry`] histogram
+/// (`.count`/`.sum`/`.max` triple). Unlike
+/// [`MetricsRegistry::observe`], [`observe`](Self::observe) performs no
+/// name formatting or scanning — three relaxed atomics, nothing else.
+#[derive(Clone)]
+pub struct Histogram {
+    registry: Arc<MetricsRegistry>,
+    count: usize,
+    sum: usize,
+    max: usize,
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let slots = &self.registry.slots;
+        slots[self.count].value.fetch_add(1, Ordering::Relaxed);
+        slots[self.sum].value.fetch_add(v, Ordering::Relaxed);
+        slots[self.max].value.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .finish()
     }
 }
 

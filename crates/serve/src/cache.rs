@@ -1,27 +1,93 @@
-//! Content-addressed outcome cache with single-flight deduplication.
+//! Sharded, content-addressed outcome cache with non-blocking
+//! single-flight deduplication.
 //!
 //! The cache maps a canonical request key
-//! ([`mcds_core::request_key`]) to the serialized scheduling outcome.
-//! The first requester of a key becomes the *leader* and computes;
-//! concurrent requesters of the same key block until the leader
-//! publishes, so one popular request costs one pipeline run no matter
-//! how many connections ask for it.
+//! ([`mcds_core::request_key`]) to the published scheduling outcome.
+//! Keys are routed to one of N power-of-two **shards** by their
+//! high-order prefix bits, each shard behind its own lock — warm hits
+//! from many connections never contend on a single mutex.
+//!
+//! Single-flight is *ticket-based*, designed for the reactor: a
+//! [`lookup`](OutcomeCache::lookup) never blocks. The first requester
+//! of a key becomes the leader ([`Lookup::Lead`]) and computes; a
+//! concurrent requester registers an opaque waiter token and returns
+//! immediately ([`Lookup::Wait`]). When the leader
+//! [`fulfill`](FlightGuard::fulfill)s, every registered token is handed
+//! back so the caller (the reactor) can answer those requests as cache
+//! hits; when the leader [`abandon`](FlightGuard::abandon)s, the tokens
+//! come back so the waiters can be failed with a typed, retryable
+//! error instead of hanging.
 //!
 //! Both successes and deterministic scheduling errors (e.g. "infeasible
 //! at this memory size") are cached — they are pure functions of the
-//! request. Abandoned runs (deadline exceeded, shutdown) are *never*
-//! cached: the leader's [`FlightGuard`] removes the in-flight entry so
-//! a later request with a longer deadline recomputes instead of
-//! inheriting the short deadline's failure.
+//! request. Abandoned runs (deadline exceeded, injected faults, worker
+//! panics) are *never* cached: the leader's guard removes the in-flight
+//! entry so a later request with a longer deadline recomputes instead
+//! of inheriting the short deadline's failure.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
-use crate::protocol::Outcome;
+use crate::protocol::{ErrorCode, Outcome};
 
-/// A published result: the outcome, or a deterministic error message.
-pub type CachedResult = Arc<Result<Outcome, String>>;
+/// Opaque waiter identity, packed by the caller (the reactor packs
+/// connection slot coordinates into it). The cache only stores and
+/// returns tokens; it never interprets them.
+pub type Token = u64;
+
+/// A cached failure: the typed code plus the human diagnostic. Only
+/// deterministic failures ([`ErrorCode::BadRequest`]) are ever stored;
+/// transient ones bypass the cache entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedError {
+    /// Machine-readable classification.
+    pub code: ErrorCode,
+    /// Human-oriented diagnostic.
+    pub message: String,
+}
+
+/// One published cache entry: the result plus — for successes — the
+/// outcome pre-serialized once at publish time, so the reactor's hit
+/// path splices bytes instead of re-serializing per response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedEntry {
+    /// The published result.
+    pub result: Result<Outcome, CachedError>,
+    outcome_json: Option<String>,
+}
+
+impl CachedEntry {
+    /// A successful entry; serializes the outcome once, here.
+    #[must_use]
+    pub fn ok(outcome: Outcome) -> CachedEntry {
+        let json = serde_json::to_string(&outcome).expect("outcomes serialize");
+        CachedEntry {
+            result: Ok(outcome),
+            outcome_json: Some(json),
+        }
+    }
+
+    /// A deterministic-failure entry.
+    #[must_use]
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> CachedEntry {
+        CachedEntry {
+            result: Err(CachedError {
+                code,
+                message: message.into(),
+            }),
+            outcome_json: None,
+        }
+    }
+
+    /// The pre-serialized outcome JSON (`None` for failure entries).
+    #[must_use]
+    pub fn outcome_json(&self) -> Option<&str> {
+        self.outcome_json.as_deref()
+    }
+}
+
+/// A published result, shared across every requester of its key.
+pub type CachedResult = Arc<CachedEntry>;
 
 /// The cache key a request's *degraded* outcome lives under: a salted
 /// permutation of its canonical key. Degraded results (within-cluster
@@ -34,27 +100,32 @@ pub fn degraded_key(key: u64) -> u64 {
 }
 
 enum Entry {
-    InFlight,
+    /// A leader is computing; the tokens are the registered waiters.
+    InFlight(Vec<Token>),
     Ready(CachedResult),
 }
 
-/// What [`OutcomeCache::begin`] resolved the key to.
-pub enum Begin {
-    /// A published result was available (or a leader published while we
-    /// waited) — a cache hit.
+/// What [`OutcomeCache::lookup`] resolved the key to. Never blocks.
+pub enum Lookup {
+    /// A published result was available — a cache hit.
     Hit(CachedResult),
     /// This caller is the leader: compute, then
     /// [`fulfill`](FlightGuard::fulfill) or
     /// [`abandon`](FlightGuard::abandon) the guard.
     Lead(FlightGuard),
-    /// The caller's deadline expired while waiting for a leader.
-    TimedOut,
+    /// Another requester is already computing this key; the caller's
+    /// token was registered and will be returned by the leader's
+    /// fulfill/abandon (or by [`OutcomeCache::take_orphans`] if the
+    /// leader died).
+    Wait,
 }
 
 /// The leader's obligation: exactly one of
-/// [`fulfill`](Self::fulfill) / [`abandon`](Self::abandon). Dropping
-/// the guard without either (e.g. on panic) abandons, so waiters never
-/// hang on a dead leader.
+/// [`fulfill`](Self::fulfill) / [`abandon`](Self::abandon), both of
+/// which hand back the waiter tokens that accumulated during the
+/// computation. Dropping the guard without either (worker panic that
+/// escaped `catch_unwind`) clears the flight and parks the waiters on
+/// the orphan list, so they can still be failed instead of hanging.
 pub struct FlightGuard {
     cache: Arc<OutcomeCache>,
     key: u64,
@@ -62,102 +133,196 @@ pub struct FlightGuard {
 }
 
 impl FlightGuard {
+    /// The key this flight computes.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
     /// Publishes the result for every current and future requester.
-    pub fn fulfill(mut self, result: Result<Outcome, String>) -> CachedResult {
+    /// Returns the shared entry and the tokens of every waiter that
+    /// registered while the computation ran — answer each as a hit.
+    pub fn fulfill(mut self, entry: CachedEntry) -> (CachedResult, Vec<Token>) {
         self.done = true;
-        let shared = Arc::new(result);
-        let mut map = self.cache.map.lock().expect("cache lock");
-        map.insert(self.key, Entry::Ready(Arc::clone(&shared)));
+        let shared = Arc::new(entry);
+        let mut map = self.cache.shard(self.key).lock().expect("cache shard lock");
+        let waiters = match map.insert(self.key, Entry::Ready(Arc::clone(&shared))) {
+            Some(Entry::InFlight(waiters)) => waiters,
+            _ => Vec::new(),
+        };
         drop(map);
-        self.cache.ready.notify_all();
-        shared
+        (shared, waiters)
     }
 
     /// Removes the in-flight entry without publishing — the run was
-    /// abandoned and must not poison the cache. A waiting requester
-    /// becomes the next leader.
-    pub fn abandon(mut self) {
+    /// abandoned and must not poison the cache. Returns the registered
+    /// waiter tokens; the caller must fail each with a typed,
+    /// retryable error (a fresh request for the key leads a new
+    /// flight).
+    #[must_use]
+    pub fn abandon(mut self) -> Vec<Token> {
         self.done = true;
-        self.cache.remove_in_flight(self.key);
+        self.cache.remove_in_flight(self.key)
     }
 }
 
 impl Drop for FlightGuard {
     fn drop(&mut self) {
         if !self.done {
-            self.cache.remove_in_flight(self.key);
+            let waiters = self.cache.remove_in_flight(self.key);
+            self.cache
+                .orphans
+                .lock()
+                .expect("orphan lock")
+                .push((self.key, waiters));
         }
     }
 }
 
-/// The cache. Shared across connection and worker threads via `Arc`.
-#[derive(Default)]
+/// Default shard count — plenty for the worker/connection counts this
+/// daemon runs with, small enough that an empty cache stays cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// The sharded cache. Shared across the reactor and worker threads via
+/// `Arc`.
 pub struct OutcomeCache {
-    map: Mutex<HashMap<u64, Entry>>,
-    ready: Condvar,
+    shards: Box<[Mutex<HashMap<u64, Entry>>]>,
+    /// `log2(shards.len())` — the key's top `bits` bits select the
+    /// shard.
+    bits: u32,
+    orphans: Mutex<Vec<(u64, Vec<Token>)>>,
 }
 
 impl OutcomeCache {
-    /// An empty cache.
+    /// An empty cache with [`DEFAULT_SHARDS`] shards.
     #[must_use]
     pub fn new() -> Arc<Self> {
-        Arc::new(OutcomeCache::default())
+        OutcomeCache::with_shards(DEFAULT_SHARDS)
     }
 
-    /// Resolves `key`: an immediate hit, leadership of the first
-    /// computation, or a timeout while waiting for another leader
-    /// (`deadline` bounds the wait; `None` waits indefinitely).
+    /// An empty cache with `n` shards, rounded up to the next power of
+    /// two and clamped to `[1, 1024]`.
     #[must_use]
-    pub fn begin(self: &Arc<Self>, key: u64, deadline: Option<Instant>) -> Begin {
-        let mut map = self.map.lock().expect("cache lock");
-        loop {
-            match map.get(&key) {
-                Some(Entry::Ready(r)) => return Begin::Hit(Arc::clone(r)),
-                None => {
-                    map.insert(key, Entry::InFlight);
-                    return Begin::Lead(FlightGuard {
-                        cache: Arc::clone(self),
-                        key,
-                        done: false,
-                    });
-                }
-                Some(Entry::InFlight) => match deadline {
-                    None => map = self.ready.wait(map).expect("cache lock"),
-                    Some(d) => {
-                        let now = Instant::now();
-                        if now >= d {
-                            return Begin::TimedOut;
-                        }
-                        map = self.ready.wait_timeout(map, d - now).expect("cache lock").0;
-                    }
-                },
+    pub fn with_shards(n: usize) -> Arc<Self> {
+        let n = n.clamp(1, 1024).next_power_of_two();
+        Arc::new(OutcomeCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            bits: n.trailing_zeros(),
+            orphans: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The shard count (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` routes to: the key's high-order prefix bits.
+    /// Stable for a given key and shard count — the routing contract
+    /// the shard tests pin.
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.bits == 0 {
+            0
+        } else {
+            (key >> (64 - self.bits)) as usize
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Resolves `key` without blocking: an immediate hit, leadership of
+    /// the first computation, or registration of `token` as a waiter on
+    /// the in-flight computation.
+    #[must_use]
+    pub fn lookup(self: &Arc<Self>, key: u64, token: Token) -> Lookup {
+        let mut map = self.shard(key).lock().expect("cache shard lock");
+        match map.get_mut(&key) {
+            Some(Entry::Ready(r)) => Lookup::Hit(Arc::clone(r)),
+            Some(Entry::InFlight(waiters)) => {
+                waiters.push(token);
+                Lookup::Wait
+            }
+            None => {
+                map.insert(key, Entry::InFlight(Vec::new()));
+                Lookup::Lead(FlightGuard {
+                    cache: Arc::clone(self),
+                    key,
+                    done: false,
+                })
             }
         }
+    }
+
+    /// A read-only peek: the published entry, if any. Never leads and
+    /// never registers — the warm fast path when the caller cannot
+    /// take on a leader's obligations.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<CachedResult> {
+        match self.shard(key).lock().expect("cache shard lock").get(&key) {
+            Some(Entry::Ready(r)) => Some(Arc::clone(r)),
+            _ => None,
+        }
+    }
+
+    /// Deregisters `token` from `key`'s in-flight waiter list — the
+    /// waiter's own deadline expired. `true` when the token was still
+    /// registered (the caller should fail the request);
+    /// `false` when the flight already resolved (the token was, or is
+    /// about to be, answered by the leader's completion).
+    pub fn cancel_wait(&self, key: u64, token: Token) -> bool {
+        let mut map = self.shard(key).lock().expect("cache shard lock");
+        if let Some(Entry::InFlight(waiters)) = map.get_mut(&key) {
+            if let Some(pos) = waiters.iter().position(|&t| t == token) {
+                waiters.swap_remove(pos);
+                return true;
+            }
+        }
+        false
     }
 
     /// Publishes a result directly, without leading a flight — used by
     /// the degraded fallback path, which computes under the *degraded*
     /// key while the primary key's flight is abandoned. Overwrites any
     /// existing entry (results are deterministic, so a racing leader
-    /// publishes the identical value) and wakes every waiter.
-    pub fn publish(&self, key: u64, result: Result<Outcome, String>) -> CachedResult {
-        let shared = Arc::new(result);
-        let mut map = self.map.lock().expect("cache lock");
-        map.insert(key, Entry::Ready(Arc::clone(&shared)));
+    /// publishes the identical value) and returns any waiters that had
+    /// registered on an in-flight entry for this key.
+    pub fn publish(&self, key: u64, entry: CachedEntry) -> (CachedResult, Vec<Token>) {
+        let shared = Arc::new(entry);
+        let mut map = self.shard(key).lock().expect("cache shard lock");
+        let waiters = match map.insert(key, Entry::Ready(Arc::clone(&shared))) {
+            Some(Entry::InFlight(waiters)) => waiters,
+            _ => Vec::new(),
+        };
         drop(map);
-        self.ready.notify_all();
-        shared
+        (shared, waiters)
     }
 
-    /// Published entry count (in-flight entries excluded).
+    /// Drains flights whose guard was dropped without fulfill/abandon
+    /// (a worker died ungracefully). The caller fails each returned
+    /// waiter with a typed, retryable error.
+    #[must_use]
+    pub fn take_orphans(&self) -> Vec<(u64, Vec<Token>)> {
+        std::mem::take(&mut *self.orphans.lock().expect("orphan lock"))
+    }
+
+    /// Published entry count across all shards (in-flight entries
+    /// excluded).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map
-            .lock()
-            .expect("cache lock")
-            .values()
-            .filter(|e| matches!(e, Entry::Ready(_)))
-            .count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// `true` when nothing has been published yet.
@@ -166,22 +331,22 @@ impl OutcomeCache {
         self.len() == 0
     }
 
-    fn remove_in_flight(&self, key: u64) {
-        let mut map = self.map.lock().expect("cache lock");
+    fn remove_in_flight(&self, key: u64) -> Vec<Token> {
+        let mut map = self.shard(key).lock().expect("cache shard lock");
         // Only clear our own in-flight marker: a racing re-publish
         // (cannot normally happen, but cheap to guard) stays.
-        if matches!(map.get(&key), Some(Entry::InFlight)) {
-            map.remove(&key);
+        if matches!(map.get(&key), Some(Entry::InFlight(_))) {
+            if let Some(Entry::InFlight(waiters)) = map.remove(&key) {
+                return waiters;
+            }
         }
-        drop(map);
-        self.ready.notify_all();
+        Vec::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     fn outcome(cycles: u64) -> Outcome {
         Outcome {
@@ -200,101 +365,175 @@ mod tests {
     #[test]
     fn first_leads_then_hits() {
         let cache = OutcomeCache::new();
-        let Begin::Lead(guard) = cache.begin(7, None) else {
+        let Lookup::Lead(guard) = cache.lookup(7, 0) else {
             panic!("empty cache: first requester leads");
         };
-        guard.fulfill(Ok(outcome(10)));
-        let Begin::Hit(r) = cache.begin(7, None) else {
+        let (_, waiters) = guard.fulfill(CachedEntry::ok(outcome(10)));
+        assert!(waiters.is_empty(), "nobody waited");
+        let Lookup::Hit(r) = cache.lookup(7, 1) else {
             panic!("published entry: second requester hits");
         };
-        assert_eq!(r.as_ref().as_ref().expect("ok").total_cycles, 10);
+        assert_eq!(r.result.as_ref().expect("ok").total_cycles, 10);
+        assert!(r
+            .outcome_json()
+            .expect("pre-serialized")
+            .contains("\"total_cycles\":10"));
         assert_eq!(cache.len(), 1);
+        assert!(cache.get(7).is_some(), "peek sees the entry");
+        assert!(cache.get(8).is_none(), "peek never leads");
+        assert!(matches!(cache.lookup(8, 2), Lookup::Lead(_)));
     }
 
     #[test]
     fn deterministic_errors_are_cached_too() {
         let cache = OutcomeCache::new();
-        let Begin::Lead(guard) = cache.begin(1, None) else {
+        let Lookup::Lead(guard) = cache.lookup(1, 0) else {
             panic!("leads");
         };
-        guard.fulfill(Err("infeasible".to_owned()));
-        let Begin::Hit(r) = cache.begin(1, None) else {
+        guard.fulfill(CachedEntry::err(ErrorCode::BadRequest, "infeasible"));
+        let Lookup::Hit(r) = cache.lookup(1, 1) else {
             panic!("hits");
         };
-        assert_eq!(r.as_ref().as_ref().unwrap_err(), "infeasible");
+        let err = r.result.as_ref().expect_err("cached failure");
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert_eq!(err.message, "infeasible");
+        assert!(r.outcome_json().is_none());
     }
 
     #[test]
-    fn abandon_and_drop_clear_the_flight() {
+    fn waiters_are_returned_on_fulfill() {
         let cache = OutcomeCache::new();
-        let Begin::Lead(guard) = cache.begin(2, None) else {
+        let Lookup::Lead(guard) = cache.lookup(3, 100) else {
             panic!("leads");
         };
-        guard.abandon();
+        for token in [101, 102, 103] {
+            assert!(matches!(cache.lookup(3, token), Lookup::Wait));
+        }
+        let (shared, mut waiters) = guard.fulfill(CachedEntry::ok(outcome(42)));
+        waiters.sort_unstable();
+        assert_eq!(waiters, vec![101, 102, 103]);
+        assert_eq!(shared.result.as_ref().expect("ok").total_cycles, 42);
+    }
+
+    #[test]
+    fn abandon_returns_waiters_and_clears_the_flight() {
+        let cache = OutcomeCache::new();
+        let Lookup::Lead(guard) = cache.lookup(2, 7) else {
+            panic!("leads");
+        };
+        assert!(matches!(cache.lookup(2, 8), Lookup::Wait));
+        let waiters = guard.abandon();
+        assert_eq!(waiters, vec![8]);
         // The next requester leads again instead of hanging or seeing a
         // poisoned entry.
-        let Begin::Lead(guard) = cache.begin(2, None) else {
-            panic!("abandoned key has no entry");
-        };
-        drop(guard); // panic-safety path: plain drop also clears
-        assert!(matches!(cache.begin(2, None), Begin::Lead(_)));
+        assert!(matches!(cache.lookup(2, 9), Lookup::Lead(_)));
         assert!(cache.is_empty());
     }
 
     #[test]
-    fn waiters_receive_the_leaders_result() {
+    fn dropped_guards_orphan_their_waiters() {
         let cache = OutcomeCache::new();
-        let Begin::Lead(guard) = cache.begin(3, None) else {
+        let Lookup::Lead(guard) = cache.lookup(4, 0) else {
             panic!("leads");
         };
-        let waiters: Vec<_> = (0..4)
-            .map(|_| {
-                let cache = Arc::clone(&cache);
-                std::thread::spawn(move || match cache.begin(3, None) {
-                    Begin::Hit(r) => r.as_ref().as_ref().expect("ok").total_cycles,
-                    _ => panic!("waiter must resolve to the published result"),
-                })
-            })
-            .collect();
-        // Give the waiters time to block on the in-flight entry.
-        std::thread::sleep(Duration::from_millis(20));
-        guard.fulfill(Ok(outcome(42)));
-        for w in waiters {
-            assert_eq!(w.join().expect("no panic"), 42);
-        }
+        assert!(matches!(cache.lookup(4, 41), Lookup::Wait));
+        drop(guard); // panic-safety path: no fulfill, no abandon
+        let orphans = cache.take_orphans();
+        assert_eq!(orphans, vec![(4, vec![41])]);
+        assert!(cache.take_orphans().is_empty(), "drained once");
+        assert!(matches!(cache.lookup(4, 42), Lookup::Lead(_)));
     }
 
     #[test]
-    fn publish_overrides_and_wakes() {
+    fn cancel_wait_deregisters_exactly_once() {
         let cache = OutcomeCache::new();
-        // Publish under a degraded key while the primary flight is
-        // still open: the primary key is untouched.
-        let Begin::Lead(guard) = cache.begin(8, None) else {
+        let Lookup::Lead(guard) = cache.lookup(5, 0) else {
             panic!("leads");
         };
-        let dkey = degraded_key(8);
-        assert_ne!(dkey, 8);
-        cache.publish(dkey, Ok(outcome(5)));
-        let Begin::Hit(r) = cache.begin(dkey, None) else {
-            panic!("published degraded entry hits");
-        };
-        assert_eq!(r.as_ref().as_ref().expect("ok").total_cycles, 5);
-        guard.abandon();
+        assert!(matches!(cache.lookup(5, 51), Lookup::Wait));
+        assert!(matches!(cache.lookup(5, 52), Lookup::Wait));
+        assert!(cache.cancel_wait(5, 51), "registered token cancels");
+        assert!(!cache.cancel_wait(5, 51), "second cancel is a no-op");
+        let (_, waiters) = guard.fulfill(CachedEntry::ok(outcome(1)));
+        assert_eq!(waiters, vec![52], "cancelled token is not returned");
         assert!(
-            matches!(cache.begin(8, None), Begin::Lead(_)),
-            "primary key stays independent of the degraded entry"
+            !cache.cancel_wait(5, 52),
+            "cancel after resolution reports the race"
         );
     }
 
     #[test]
-    fn waiting_respects_the_deadline() {
+    fn publish_overrides_and_returns_pending_waiters() {
         let cache = OutcomeCache::new();
-        let Begin::Lead(_guard) = cache.begin(4, None) else {
+        // Publish under a degraded key while the primary flight is
+        // still open: the primary key is untouched.
+        let Lookup::Lead(guard) = cache.lookup(8, 0) else {
             panic!("leads");
         };
-        let deadline = Instant::now() + Duration::from_millis(30);
-        let started = Instant::now();
-        assert!(matches!(cache.begin(4, Some(deadline)), Begin::TimedOut));
-        assert!(started.elapsed() < Duration::from_secs(5), "bounded wait");
+        let dkey = degraded_key(8);
+        assert_ne!(dkey, 8);
+        let (_, waiters) = cache.publish(dkey, CachedEntry::ok(outcome(5)));
+        assert!(waiters.is_empty());
+        let Lookup::Hit(r) = cache.lookup(dkey, 1) else {
+            panic!("published degraded entry hits");
+        };
+        assert_eq!(r.result.as_ref().expect("ok").total_cycles, 5);
+        let abandoned = guard.abandon();
+        assert!(abandoned.is_empty());
+        assert!(
+            matches!(cache.lookup(8, 2), Lookup::Lead(_)),
+            "primary key stays independent of the degraded entry"
+        );
+        // Publishing over an in-flight entry hands back its waiters.
+        let Lookup::Lead(_guard) = cache.lookup(9, 0) else {
+            panic!("leads");
+        };
+        assert!(matches!(cache.lookup(9, 91), Lookup::Wait));
+        let (_, waiters) = cache.publish(9, CachedEntry::ok(outcome(6)));
+        assert_eq!(waiters, vec![91]);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_prefix_based() {
+        let cache = OutcomeCache::with_shards(16);
+        assert_eq!(cache.shard_count(), 16);
+        for key in [0u64, 1, 0xdead_beef, u64::MAX, 42 << 60] {
+            assert_eq!(cache.shard_of(key), cache.shard_of(key), "stable");
+            assert_eq!(cache.shard_of(key), (key >> 60) as usize, "top bits");
+        }
+        // Rounding and clamping.
+        assert_eq!(OutcomeCache::with_shards(0).shard_count(), 1);
+        assert_eq!(OutcomeCache::with_shards(3).shard_count(), 4);
+        assert_eq!(OutcomeCache::with_shards(9000).shard_count(), 1024);
+        // A single shard routes everything to 0 without shifting by 64.
+        let one = OutcomeCache::with_shards(1);
+        assert_eq!(one.shard_of(u64::MAX), 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_elect_exactly_one_leader() {
+        let cache = OutcomeCache::new();
+        let leads: Vec<bool> = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || match cache.lookup(77, i) {
+                        Lookup::Lead(guard) => {
+                            guard.fulfill(CachedEntry::ok(outcome(1)));
+                            true
+                        }
+                        _ => false,
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        assert_eq!(
+            leads.iter().filter(|&&l| l).count(),
+            1,
+            "single-flight: one leader among concurrent requesters"
+        );
     }
 }

@@ -1,251 +1,202 @@
-//! Load-test client: N connections × M requests over a workload mix.
+//! The typed client: a builder-configured connection that speaks the
+//! v1 protocol and classifies every failure by [`ErrorCode`] — no
+//! string matching on error messages, ever.
 //!
-//! Each connection samples workload names from its own deterministic
-//! [`RequestMix`](mcds_workloads::mix::RequestMix) (seeded `seed +
-//! connection index`, so runs are reproducible yet connections
-//! diverge), measures the client-observed round-trip latency of every
-//! request, and checks that responses for the same request key carry
-//! **byte-identical** outcomes — the end-to-end determinism claim of
-//! the serving layer.
+//! ```no_run
+//! use mcds_serve::{ClientConfig, ScheduleSpec};
+//!
+//! let mut client = ClientConfig::new("127.0.0.1:7171")
+//!     .with_retry(3)
+//!     .with_deadline(500)
+//!     .with_reconnect(true)
+//!     .connect()?;
+//! let scheduled = client.schedule(&ScheduleSpec::workload("e1"))?;
+//! println!("{} cycles", scheduled.outcome.total_cycles);
+//! # Ok::<(), mcds_serve::ClientError>(())
+//! ```
 
-use std::collections::HashMap;
+use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use mcds_core::McdsError;
-use mcds_workloads::mix::RequestMix;
-use serde::{Deserialize, Serialize};
+use crate::protocol::{
+    ErrorCode, ScheduleSpec, Scheduled, ServeError, ServeRequest, ServeResponse, StatsReply,
+};
 
-use crate::protocol::{ScheduleRequest, ScheduleResponse};
-
-/// Load-generator tunables.
+/// Builder-style client configuration. Every `with_*` method consumes
+/// and returns the config, so a client is assembled in one expression
+/// and finished with [`connect`](Self::connect).
 #[derive(Debug, Clone)]
-pub struct LoadConfig {
-    /// Server address, e.g. `127.0.0.1:7171`.
-    pub addr: String,
-    /// Concurrent connections.
-    pub connections: usize,
-    /// Requests per connection.
-    pub requests: usize,
-    /// Base RNG seed; connection `i` samples with `seed + i`.
-    pub seed: u64,
-    /// Streaming iterations passed with every request.
-    pub iterations: u64,
-    /// Frame Buffer set size in kilowords sent with every request.
-    /// The default (8) fits every catalog workload; shrink it to
-    /// exercise deterministic infeasibility errors.
-    pub fb_kw: u64,
-    /// Scheduler name sent with every request (`None` → server
-    /// default).
-    pub scheduler: Option<String>,
-    /// Per-request deadline in milliseconds (`None` → no deadline).
-    pub deadline_ms: Option<u64>,
-    /// Retry attempts per request after the first try (`0` disables
-    /// retrying). Retries fire on transport failures (disconnects,
-    /// truncated or unparseable frames) and on responses the server
-    /// marks `retryable` (overload rejections, abandoned or faulted
-    /// runs).
-    pub retries: u32,
-    /// First backoff delay in milliseconds; attempt `n` waits up to
-    /// `min(backoff_cap_ms, backoff_base_ms << n)` with deterministic
-    /// jitter in the upper half of that window.
-    pub backoff_base_ms: u64,
-    /// Upper bound on a single backoff delay, in milliseconds.
-    pub backoff_cap_ms: u64,
-    /// Total retry budget per request, in milliseconds: a retry whose
-    /// backoff would overrun the budget is skipped and the last
-    /// observed failure stands.
-    pub retry_budget_ms: u64,
+pub struct ClientConfig {
+    addr: String,
+    retries: u32,
+    backoff_base_ms: u64,
+    backoff_cap_ms: u64,
+    retry_budget_ms: u64,
+    deadline_ms: Option<u64>,
+    reconnect: bool,
+    seed: u64,
 }
 
-impl Default for LoadConfig {
-    fn default() -> Self {
-        LoadConfig {
-            addr: "127.0.0.1:7171".to_owned(),
-            connections: 4,
-            requests: 50,
-            seed: 1,
-            iterations: 16,
-            fb_kw: 8,
-            scheduler: None,
-            deadline_ms: None,
-            retries: 3,
+impl ClientConfig {
+    /// A config for the server at `addr` with retries disabled, no
+    /// default deadline, and reconnect-on-transport-failure enabled.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            addr: addr.into(),
+            retries: 0,
             backoff_base_ms: 5,
             backoff_cap_ms: 80,
             retry_budget_ms: 2_000,
+            deadline_ms: None,
+            reconnect: true,
+            seed: 1,
+        }
+    }
+
+    /// Retry attempts per request after the first try. Retries fire on
+    /// transport failures (disconnects, truncated or unparseable
+    /// frames) and on typed responses whose [`ErrorCode::retryable`]
+    /// is `true` (overload rejections, abandoned or faulted runs).
+    #[must_use]
+    pub fn with_retry(mut self, retries: u32) -> ClientConfig {
+        self.retries = retries;
+        self
+    }
+
+    /// Backoff schedule: attempt `n` waits up to
+    /// `min(cap_ms, base_ms << n)` milliseconds with deterministic
+    /// jitter in the upper half of that window; a retry whose backoff
+    /// would overrun `budget_ms` (counted per request) is skipped and
+    /// the last observed failure stands.
+    #[must_use]
+    pub fn with_backoff(mut self, base_ms: u64, cap_ms: u64, budget_ms: u64) -> ClientConfig {
+        self.backoff_base_ms = base_ms.max(1);
+        self.backoff_cap_ms = cap_ms.max(1);
+        self.retry_budget_ms = budget_ms;
+        self
+    }
+
+    /// Default per-request deadline in milliseconds, attached to every
+    /// `schedule` whose spec does not carry its own.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_ms: u64) -> ClientConfig {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Whether a transport failure re-opens the connection before the
+    /// next attempt (`true` by default). With reconnect disabled, the
+    /// first transport failure is terminal.
+    #[must_use]
+    pub fn with_reconnect(mut self, reconnect: bool) -> ClientConfig {
+        self.reconnect = reconnect;
+        self
+    }
+
+    /// Seed for the deterministic backoff jitter.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> ClientConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured server address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Opens the connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] when the server cannot be reached.
+    pub fn connect(self) -> Result<Client, ClientError> {
+        let conn = Conn::open(&self.addr).map_err(ClientError::transport)?;
+        Ok(Client {
+            config: self,
+            conn: Some(conn),
+            exchanges: 0,
+            retried: 0,
+            transport_errors: 0,
+        })
+    }
+}
+
+/// Why a client call failed, typed end to end.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The transport failed (connect, disconnect, truncated or
+    /// unparseable frame) and retries — if any — were exhausted.
+    Transport {
+        /// The I/O failure class.
+        kind: std::io::ErrorKind,
+        /// Human-oriented diagnostic.
+        message: String,
+    },
+    /// The server answered with a typed failure; branch on
+    /// [`ServeError::code`].
+    Server(ServeError),
+    /// The server answered something structurally valid but impossible
+    /// for the request (e.g. a `stats` payload for a `ping`).
+    Protocol(String),
+}
+
+impl ClientError {
+    fn transport(e: std::io::Error) -> ClientError {
+        ClientError::Transport {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+
+    /// `true` when retrying the call may succeed.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        match self {
+            ClientError::Transport { .. } => true,
+            ClientError::Server(e) => e.retryable(),
+            ClientError::Protocol(_) => false,
+        }
+    }
+
+    /// The server's [`ErrorCode`], when this is a typed server
+    /// failure.
+    #[must_use]
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server(e) => Some(e.code),
+            _ => None,
         }
     }
 }
 
-/// Aggregated results of one load run. Serializes to the
-/// `BENCH_serve.json` evidence format.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LoadReport {
-    /// Connections opened.
-    pub connections: u64,
-    /// Requests sent (across all connections).
-    pub requests: u64,
-    /// `ok` responses.
-    pub ok: u64,
-    /// `error` responses.
-    pub errors: u64,
-    /// `rejected` responses (admission queue full).
-    pub rejected: u64,
-    /// `ok` responses served from the cache.
-    pub cache_hits: u64,
-    /// `ok` responses that were computed.
-    pub cache_misses: u64,
-    /// Distinct request keys observed.
-    pub distinct_keys: u64,
-    /// `true` iff every response for the same key carried a
-    /// byte-identical outcome.
-    pub consistent_outcomes: bool,
-    /// Wall-clock duration of the run in milliseconds.
-    pub elapsed_ms: u64,
-    /// Completed requests per second.
-    pub throughput_rps: f64,
-    /// Median client-observed round-trip latency (µs).
-    pub p50_us: u64,
-    /// 95th-percentile latency (µs).
-    pub p95_us: u64,
-    /// 99th-percentile latency (µs).
-    pub p99_us: u64,
-    /// Worst-case latency (µs).
-    pub max_us: u64,
-    /// Retry attempts performed (beyond each request's first try).
-    #[serde(default)]
-    pub retried: u64,
-    /// Transport-level failures observed (disconnects, truncated or
-    /// unparseable frames) — each one forces a reconnect.
-    #[serde(default)]
-    pub transport_errors: u64,
-    /// `ok` responses served by the degraded fallback scheduler.
-    #[serde(default)]
-    pub degraded: u64,
-}
-
-/// One response as observed by a connection.
-struct Sample {
-    latency_us: u64,
-    status: String,
-    cache: Option<String>,
-    key: Option<String>,
-    outcome_json: Option<String>,
-    degraded: bool,
-    /// Retry attempts this request consumed.
-    retried: u64,
-    /// Transport failures this request weathered.
-    transport_errors: u64,
-}
-
-/// Runs the load: `connections` threads, each sending `requests`
-/// schedule requests sampled from the standard workload mix, then
-/// aggregates latency percentiles and the byte-identity check.
-///
-/// # Errors
-///
-/// [`McdsError::Io`] when a connection cannot be established or dies
-/// mid-run. Protocol-level failures (`error`/`rejected` responses) are
-/// *counted*, not returned as errors.
-pub fn run_load(config: &LoadConfig) -> Result<LoadReport, McdsError> {
-    let started = Instant::now();
-    let samples: Vec<Vec<Sample>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..config.connections.max(1))
-            .map(|i| s.spawn(move || drive_connection(config, i as u64)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("connection thread must not panic"))
-            .collect::<Result<Vec<_>, std::io::Error>>()
-    })?;
-    let elapsed = started.elapsed();
-
-    let mut report = LoadReport {
-        connections: config.connections.max(1) as u64,
-        requests: 0,
-        ok: 0,
-        errors: 0,
-        rejected: 0,
-        cache_hits: 0,
-        cache_misses: 0,
-        distinct_keys: 0,
-        consistent_outcomes: true,
-        elapsed_ms: u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
-        throughput_rps: 0.0,
-        p50_us: 0,
-        p95_us: 0,
-        p99_us: 0,
-        max_us: 0,
-        retried: 0,
-        transport_errors: 0,
-        degraded: 0,
-    };
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut by_key: HashMap<String, String> = HashMap::new();
-    for sample in samples.into_iter().flatten() {
-        report.requests += 1;
-        latencies.push(sample.latency_us);
-        report.retried += sample.retried;
-        report.transport_errors += sample.transport_errors;
-        match sample.status.as_str() {
-            "ok" => {
-                report.ok += 1;
-                if sample.degraded {
-                    report.degraded += 1;
-                }
-                match sample.cache.as_deref() {
-                    Some("hit") => report.cache_hits += 1,
-                    _ => report.cache_misses += 1,
-                }
-            }
-            "rejected" => report.rejected += 1,
-            _ => report.errors += 1,
-        }
-        if let (Some(key), Some(json)) = (sample.key, sample.outcome_json) {
-            match by_key.entry(key) {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(json);
-                }
-                std::collections::hash_map::Entry::Occupied(o) => {
-                    if o.get() != &json {
-                        report.consistent_outcomes = false;
-                    }
-                }
-            }
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport { kind, message } => write!(f, "transport ({kind}): {message}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Protocol(message) => write!(f, "protocol: {message}"),
         }
     }
-    report.distinct_keys = by_key.len() as u64;
-    if elapsed.as_secs_f64() > 0.0 {
-        report.throughput_rps = report.requests as f64 / elapsed.as_secs_f64();
-    }
-    latencies.sort_unstable();
-    report.p50_us = percentile(&latencies, 50);
-    report.p95_us = percentile(&latencies, 95);
-    report.p99_us = percentile(&latencies, 99);
-    report.max_us = latencies.last().copied().unwrap_or(0);
-    Ok(report)
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[u64], q: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (sorted.len() - 1) * q / 100;
-    sorted[rank]
-}
+impl std::error::Error for ClientError {}
 
 /// One live protocol connection; dropped and re-opened after any
 /// transport failure so a poisoned stream never leaks a stale frame
 /// into the next exchange.
-struct Conn {
+pub(crate) struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
 impl Conn {
-    fn open(addr: &str) -> Result<Conn, std::io::Error> {
+    pub(crate) fn open(addr: &str) -> Result<Conn, std::io::Error> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Conn {
@@ -254,11 +205,14 @@ impl Conn {
         })
     }
 
-    /// One request/response exchange. Any `Err` means the transport is
-    /// suspect (disconnect, truncated frame, garbage) — the caller must
-    /// reconnect before retrying.
-    fn exchange(&mut self, payload: &[u8]) -> Result<ScheduleResponse, std::io::Error> {
-        self.writer.write_all(payload)?;
+    pub(crate) fn send(&mut self, payload: &[u8]) -> Result<(), std::io::Error> {
+        self.writer.write_all(payload)
+    }
+
+    /// Reads one response frame. Any `Err` means the transport is
+    /// suspect (disconnect, truncated frame, garbage) — the caller
+    /// must reconnect before retrying.
+    pub(crate) fn receive(&mut self) -> Result<ServeResponse, std::io::Error> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(std::io::Error::new(
@@ -274,125 +228,214 @@ impl Conn {
                 "truncated response frame",
             ));
         }
-        serde_json::from_str(line.trim())
+        ServeResponse::decode(line.trim())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn exchange(&mut self, payload: &[u8]) -> Result<ServeResponse, std::io::Error> {
+        self.send(payload)?;
+        self.receive()
     }
 }
 
 /// The backoff before retry `attempt` (0-based): capped exponential
 /// with deterministic jitter in the upper half of the window, derived
-/// from `(seed, connection, request, attempt)` so two runs with the
-/// same seed sleep identically.
-fn backoff(config: &LoadConfig, conn: u64, request: u64, attempt: u32) -> Duration {
-    let ceiling = config
-        .backoff_cap_ms
-        .min(config.backoff_base_ms.saturating_shl(attempt))
+/// from `(seed, call, attempt)` so two runs with the same seed sleep
+/// identically.
+pub(crate) fn backoff(seed: u64, base_ms: u64, cap_ms: u64, call: u64, attempt: u32) -> Duration {
+    let ceiling = cap_ms
+        .min(base_ms.checked_shl(attempt).unwrap_or(u64::MAX))
         .max(1);
-    let h = mcds_core::splitmix64(
-        mcds_core::splitmix64(config.seed ^ (conn << 48) ^ (request << 16)) ^ u64::from(attempt),
-    );
+    let h = mcds_core::splitmix64(mcds_core::splitmix64(seed ^ (call << 16)) ^ u64::from(attempt));
     let floor = ceiling / 2;
     Duration::from_millis(floor + h % (ceiling - floor + 1))
 }
 
-/// Helper: `u64` shift that saturates instead of overflowing.
-trait SaturatingShl {
-    fn saturating_shl(self, by: u32) -> u64;
+/// A connected v1 client. All calls are synchronous; retries and
+/// reconnects happen inside [`request`](Self::request) according to
+/// the [`ClientConfig`].
+pub struct Client {
+    config: ClientConfig,
+    conn: Option<Conn>,
+    exchanges: u64,
+    retried: u64,
+    transport_errors: u64,
 }
 
-impl SaturatingShl for u64 {
-    fn saturating_shl(self, by: u32) -> u64 {
-        self.checked_shl(by).unwrap_or(u64::MAX)
+impl Client {
+    /// Computes (or fetches from cache) a scheduling outcome. The
+    /// config's default deadline applies when the spec carries none.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for typed failures,
+    /// [`ClientError::Transport`] when the connection died and retries
+    /// were exhausted.
+    pub fn schedule(&mut self, spec: &ScheduleSpec) -> Result<Scheduled, ClientError> {
+        let mut spec = spec.clone();
+        if spec.deadline_ms.is_none() {
+            spec.deadline_ms = self.config.deadline_ms;
+        }
+        match self.request(&ServeRequest::Schedule(spec))? {
+            ServeResponse::Scheduled(s) => Ok(s),
+            ServeResponse::Failed(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("schedule", &other)),
+        }
     }
-}
 
-fn drive_connection(config: &LoadConfig, index: u64) -> Result<Vec<Sample>, std::io::Error> {
-    let mut conn = Some(Conn::open(&config.addr)?);
-    let mut mix = RequestMix::standard(config.seed.wrapping_add(index));
-    let mut samples = Vec::with_capacity(config.requests);
-    let budget = Duration::from_millis(config.retry_budget_ms);
-    for r in 0..config.requests {
-        let name = mix.next_name().expect("standard mix is non-empty");
-        let mut request = ScheduleRequest::schedule(name);
-        request.iterations = Some(config.iterations);
-        request.fb_kw = Some(config.fb_kw);
-        request.scheduler = config.scheduler.clone();
-        request.deadline_ms = config.deadline_ms;
-        let mut payload = serde_json::to_string(&request)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    /// Liveness probe; returns the server-side latency in µs.
+    ///
+    /// # Errors
+    ///
+    /// As [`schedule`](Self::schedule).
+    pub fn ping(&mut self) -> Result<u64, ClientError> {
+        match self.request(&ServeRequest::Ping)? {
+            ServeResponse::Pong { latency_us } => Ok(latency_us),
+            ServeResponse::Failed(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("ping", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`schedule`](Self::schedule).
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.request(&ServeRequest::Stats)? {
+            ServeResponse::Stats(s) => Ok(s),
+            ServeResponse::Failed(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// As [`schedule`](Self::schedule).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&ServeRequest::Shutdown)? {
+            ServeResponse::ShuttingDown { .. } => Ok(()),
+            ServeResponse::Failed(e) => Err(ClientError::Server(e)),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Sends one typed request and returns the typed response,
+    /// retrying transport failures and retryable typed failures per
+    /// the config. A non-retryable [`ServeResponse::Failed`] is
+    /// returned as `Ok` — callers branch on the typed surface.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] when the transport died and retries
+    /// were exhausted (or reconnect is disabled).
+    pub fn request(&mut self, request: &ServeRequest) -> Result<ServeResponse, ClientError> {
+        let mut payload = request.encode();
         payload.push('\n');
-
+        let call = self.exchanges;
+        self.exchanges += 1;
         let started = Instant::now();
-        let mut retried = 0u64;
-        let mut transport_errors = 0u64;
+        let budget = Duration::from_millis(self.config.retry_budget_ms);
         let mut attempt = 0u32;
-        let sample = loop {
-            let sent = Instant::now();
-            let outcome = match conn.as_mut() {
+        loop {
+            let outcome = match self.conn.as_mut() {
                 Some(c) => c.exchange(payload.as_bytes()),
-                // The previous attempt poisoned the stream: reconnect,
-                // then exchange on the fresh connection.
-                None => Conn::open(&config.addr).and_then(|mut c| {
+                None => Conn::open(&self.config.addr).and_then(|mut c| {
                     let response = c.exchange(payload.as_bytes());
-                    conn = Some(c);
+                    self.conn = Some(c);
                     response
                 }),
             };
-            let latency_us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
-            let (retryable, sample) = match outcome {
-                Ok(response) => {
-                    let retryable = response.status == "rejected"
-                        || (response.status != "ok" && response.retryable == Some(true));
-                    let outcome_json = response
-                        .outcome
-                        .as_ref()
-                        .and_then(|o| serde_json::to_string(o).ok());
-                    let degraded = response.outcome.as_ref().is_some_and(|o| o.degraded);
-                    (
-                        retryable,
-                        Sample {
-                            latency_us,
-                            status: response.status,
-                            cache: response.cache,
-                            key: response.key,
-                            outcome_json,
-                            degraded,
-                            retried,
-                            transport_errors,
-                        },
-                    )
+            let (retryable, result) = match outcome {
+                Ok(ServeResponse::Failed(e)) if e.retryable() => {
+                    (true, Ok(ServeResponse::Failed(e)))
                 }
+                Ok(response) => (false, Ok(response)),
                 Err(e) => {
-                    conn = None;
-                    transport_errors += 1;
-                    (
-                        true,
-                        Sample {
-                            latency_us,
-                            status: format!("transport: {}", e.kind()),
-                            cache: None,
-                            key: None,
-                            outcome_json: None,
-                            degraded: false,
-                            retried,
-                            transport_errors,
-                        },
-                    )
+                    self.conn = None;
+                    self.transport_errors += 1;
+                    (self.config.reconnect, Err(ClientError::transport(e)))
                 }
             };
-            if !retryable || attempt >= config.retries {
-                break sample;
+            if !retryable || attempt >= self.config.retries {
+                return result;
             }
-            let delay = backoff(config, index, r as u64, attempt);
+            let delay = backoff(
+                self.config.seed,
+                self.config.backoff_base_ms,
+                self.config.backoff_cap_ms,
+                call,
+                attempt,
+            );
             if started.elapsed() + delay > budget {
                 // Out of budget: the last observed failure stands.
-                break sample;
+                return result;
             }
             std::thread::sleep(delay);
             attempt += 1;
-            retried += 1;
-        };
-        samples.push(sample);
+            self.retried += 1;
+        }
     }
-    Ok(samples)
+
+    /// Sends one hand-written wire line (no retries, no rewriting) and
+    /// decodes the typed response — the escape hatch for exercising
+    /// frames the typed surface cannot produce: legacy envelopes,
+    /// malformed JSON, unknown verbs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] when the connection dies mid-exchange.
+    pub fn raw_roundtrip(&mut self, line: &str) -> Result<ServeResponse, ClientError> {
+        Ok(self.pipeline_raw(&[line])?.remove(0))
+    }
+
+    /// Writes every line before reading any response, then decodes
+    /// exactly one typed response per line, in order — the server's
+    /// per-connection FIFO guarantee makes the pairing positional.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] when the connection dies mid-exchange.
+    pub fn pipeline_raw(&mut self, lines: &[&str]) -> Result<Vec<ServeResponse>, ClientError> {
+        self.exchanges += lines.len() as u64;
+        let conn = match self.conn.as_mut() {
+            Some(c) => c,
+            None => {
+                let c = Conn::open(&self.config.addr).map_err(ClientError::transport)?;
+                self.conn.insert(c)
+            }
+        };
+        let run = |conn: &mut Conn| -> Result<Vec<ServeResponse>, std::io::Error> {
+            let mut payload = String::new();
+            for line in lines {
+                payload.push_str(line);
+                payload.push('\n');
+            }
+            conn.send(payload.as_bytes())?;
+            lines.iter().map(|_| conn.receive()).collect()
+        };
+        run(conn).map_err(|e| {
+            self.conn = None;
+            self.transport_errors += 1;
+            ClientError::transport(e)
+        })
+    }
+
+    /// Retry attempts performed across the client's lifetime.
+    #[must_use]
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Transport failures weathered across the client's lifetime.
+    #[must_use]
+    pub fn transport_errors(&self) -> u64 {
+        self.transport_errors
+    }
+}
+
+fn unexpected(verb: &str, response: &ServeResponse) -> ClientError {
+    ClientError::Protocol(format!("unexpected response to `{verb}`: {response:?}"))
 }

@@ -1,36 +1,54 @@
-//! The scheduling daemon.
+//! The scheduling daemon — a readiness-driven reactor.
 //!
-//! One listener thread accepts connections; each connection gets a
-//! scoped handler thread that parses newline-delimited requests and
-//! answers them. `schedule` requests resolve to a canonical
-//! [`request_key`] and go through the [`OutcomeCache`]: hits answer
-//! immediately, the single leader per key is pushed onto a **bounded
-//! admission queue** (full queue → explicit `rejected` response, not
-//! unbounded memory) and computed by a fixed worker pool through
-//! [`Pipeline`] with a [`CancelToken`] deadline. The `shutdown` verb
-//! drains gracefully: the listener stops accepting, every connection
-//! finishes its buffered requests, the workers finish the queue, then
+//! One thread owns every socket: the listener and all connections are
+//! nonblocking and multiplexed through `poll(2)` (see [`crate::sys`]).
+//! Received bytes accumulate in per-connection [`FrameBuffer`]s and are
+//! scanned zero-copy; decoded `schedule` requests resolve to a
+//! canonical [`request_key`] and go through the sharded
+//! [`OutcomeCache`]: hits are answered inline by splicing the
+//! pre-serialized outcome into the connection's write buffer
+//! ([`render_scheduled`]), the single leader per key is pushed onto a
+//! **bounded admission queue** (full queue → typed `overloaded`
+//! rejection, not unbounded memory) and computed by a fixed worker
+//! pool, and concurrent requesters of an in-flight key park as
+//! *waiters* — no thread blocks — until the leader's completion fans
+//! the shared result out to all of them through the completion queue
+//! and the reactor's [`Waker`].
+//!
+//! Responses on a connection are delivered in request order (a
+//! per-connection FIFO of pending slots), so pipelined clients can keep
+//! many requests in flight and still match responses positionally. The
+//! `shutdown` verb drains gracefully: the listener stops accepting,
+//! buffered frames are answered, in-flight computations finish, then
 //! [`Server::run`] returns.
+//!
+//! Identical request lines are memoized (bytes → resolved pipeline
+//! inputs), so a hot key's steady state costs a hash lookup and a
+//! buffer splice instead of a JSON parse and an application rebuild.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mcds_core::{
-    request_key, CancelToken, Fault, FaultPlan, McdsError, MetricsRegistry, Pipeline, PipelineRun,
-    SchedulerConfig, SchedulerKind, Seam,
+    request_key, CancelToken, Counter, Fault, FaultPlan, Histogram, McdsError, MetricsRegistry,
+    Pipeline, PipelineRun, SchedulerConfig, SchedulerKind, Seam,
 };
 use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{degraded_key, Begin, CachedResult, FlightGuard, OutcomeCache};
-use crate::protocol::{
-    format_key, FrameBuffer, FrameError, Outcome, ScheduleRequest, ScheduleResponse, StatEntry,
+use crate::cache::{
+    degraded_key, CachedEntry, CachedResult, FlightGuard, Lookup, OutcomeCache, Token,
+    DEFAULT_SHARDS,
 };
+use crate::protocol::{
+    decode_request, render_scheduled, ErrorCode, FrameBuffer, FrameError, Outcome, ScheduleSpec,
+    Scheduled, ServeError, ServeRequest, ServeResponse, StatEntry, StatsReply, WireVersion,
+};
+use crate::sys::{PollSet, Waker};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -44,13 +62,15 @@ pub struct ServeConfig {
     /// buffering. `0` rejects every compute (useful for overload
     /// tests).
     pub queue_depth: usize,
-    /// Poll interval for accept/read loops while idle, in
-    /// milliseconds.
+    /// Upper bound on one reactor tick's `poll` timeout in
+    /// milliseconds (completions and I/O wake it earlier).
     pub poll_ms: u64,
     /// Largest accepted request frame in bytes; a connection that
     /// buffers more without a newline gets a typed error and is
     /// dropped instead of growing memory without bound.
     pub max_frame_bytes: usize,
+    /// Outcome-cache shard count (rounded up to a power of two).
+    pub shards: usize,
     /// Deterministic fault-injection plan for robustness testing
     /// (`None` in production: zero injected faults).
     pub faults: Option<Arc<FaultPlan>>,
@@ -76,6 +96,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             poll_ms: 25,
             max_frame_bytes: 256 * 1024,
+            shards: DEFAULT_SHARDS,
             faults: None,
             degrade: true,
             degrade_below_ms: 0,
@@ -107,26 +128,55 @@ pub struct ServeSummary {
     /// Faults the attached [`FaultPlan`] injected (all seams).
     #[serde(default)]
     pub faults_injected: u64,
+    /// Un-versioned frames accepted through the legacy compat shim
+    /// (deprecated — the shim lasts one release).
+    #[serde(default)]
+    pub legacy_frames: u64,
 }
 
-/// One admitted computation.
-struct Job {
+/// A `schedule` line resolved into pipeline inputs, shared between the
+/// reactor's memo table and the worker that computes it.
+struct Resolved {
     app: Application,
     sched: Option<ClusterSchedule>,
     arch: ArchParams,
     kind: SchedulerKind,
-    /// `None` for degraded jobs: they run to completion unconditionally
-    /// — the degraded path exists to return *something* before giving
-    /// up, so it must not itself be cancellable.
-    cancel: Option<CancelToken>,
-    /// The *primary* request key (the guard may be for the degraded
-    /// key; this one derives the degraded key for fallback publishes).
+    /// Canonical content key of the *full-quality* request.
     key: u64,
+    deadline_ms: Option<u64>,
+}
+
+/// Memoized fate of an exact request line (bytes → outcome of the
+/// parse/resolve stage, which is a pure function of the line).
+#[derive(Clone)]
+enum Memo {
+    Good {
+        resolved: Arc<Resolved>,
+        legacy: bool,
+    },
+    Bad {
+        code: ErrorCode,
+        message: Arc<str>,
+        legacy: bool,
+    },
+}
+
+/// Parse-memo capacity; lines beyond this are simply not memoized.
+const MEMO_CAP: usize = 16 * 1024;
+
+/// One admitted computation.
+struct Job {
+    resolved: Arc<Resolved>,
+    /// Scheduler actually run (`Ds` when routed degraded upfront).
+    kind: SchedulerKind,
     /// `true` when the request was routed to the degraded scheduler
-    /// upfront (tight deadline).
+    /// upfront (tight deadline). Degraded jobs run clean and
+    /// uncancellable — they exist to return *something*.
     degraded: bool,
+    cancel: Option<CancelToken>,
     guard: FlightGuard,
-    tx: Sender<CachedResult>,
+    /// The leader's reply token (waiter tokens live in the cache).
+    leader: Token,
 }
 
 struct QueueState {
@@ -153,12 +203,16 @@ impl JobQueue {
         }
     }
 
-    /// Admits the job, or hands it back when the queue is full or
-    /// closed — the caller turns that into an explicit rejection.
-    fn try_push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
+    /// Admits the job, or hands it back (with whether the queue was
+    /// closed rather than full) — the caller turns that into a typed
+    /// rejection.
+    fn try_push(&self, job: Box<Job>) -> Result<(), (Box<Job>, bool)> {
         let mut state = self.state.lock().expect("queue lock");
-        if state.closed || state.jobs.len() >= self.depth {
-            return Err(job);
+        if state.closed {
+            return Err((job, true));
+        }
+        if state.jobs.len() >= self.depth {
+            return Err((job, false));
         }
         state.jobs.push_back(job);
         drop(state);
@@ -186,18 +240,81 @@ impl JobQueue {
     }
 }
 
-/// Shared state of one server lifetime.
+/// How a worker's completion answers one parked request.
+enum ReplyPayload {
+    /// A published cache entry: render as hit/miss (successes splice
+    /// the pre-serialized outcome; cached deterministic failures render
+    /// as typed errors).
+    Entry {
+        key: u64,
+        hit: bool,
+        entry: CachedResult,
+    },
+    /// A transient, uncached failure.
+    Error {
+        code: ErrorCode,
+        message: Arc<str>,
+        key: u64,
+        /// `true` for the leader of an abandoned run (it *was* the
+        /// cache miss); waiters count neither hit nor miss.
+        count_miss: bool,
+        /// `true` when the failure counts under `serve.errors`
+        /// (waiter-deadline expiries count only `deadline_misses`,
+        /// matching the pre-reactor server).
+        count_error: bool,
+    },
+}
+
+struct Reply {
+    token: Token,
+    payload: ReplyPayload,
+}
+
+/// Pre-resolved metric handles — the hot path never re-hashes a
+/// counter name.
+struct Counters {
+    requests: Counter,
+    hits: Counter,
+    misses: Counter,
+    rejected: Counter,
+    deadline_misses: Counter,
+    errors: Counter,
+    worker_restarts: Counter,
+    degraded: Counter,
+    legacy: Counter,
+    latency: Histogram,
+}
+
+impl Counters {
+    fn new(metrics: &Arc<MetricsRegistry>) -> Counters {
+        Counters {
+            requests: metrics.counter("serve.requests"),
+            hits: metrics.counter("serve.cache.hits"),
+            misses: metrics.counter("serve.cache.misses"),
+            rejected: metrics.counter("serve.rejected"),
+            deadline_misses: metrics.counter("serve.deadline_misses"),
+            errors: metrics.counter("serve.errors"),
+            worker_restarts: metrics.counter("serve.worker_restarts"),
+            degraded: metrics.counter("serve.degraded"),
+            legacy: metrics.counter("serve.legacy_frames"),
+            latency: metrics.histogram("serve.latency_us"),
+        }
+    }
+}
+
+/// Shared state of one server lifetime (reactor + workers).
 struct Ctx {
     cache: Arc<OutcomeCache>,
     metrics: Arc<MetricsRegistry>,
     queue: JobQueue,
-    shutdown: AtomicBool,
-    poll: Duration,
-    max_frame_bytes: usize,
+    /// Worker → reactor completion queue; pushing wakes the reactor.
+    completions: Mutex<Vec<Reply>>,
+    waker: Waker,
     faults: Option<Arc<FaultPlan>>,
     fault_delay: Duration,
     degrade: bool,
     degrade_below_ms: u64,
+    counters: Counters,
 }
 
 impl Ctx {
@@ -207,6 +324,18 @@ impl Ctx {
         let fault = self.faults.as_ref()?.decide(seam)?;
         self.metrics.incr(seam.metric());
         Some(fault)
+    }
+
+    /// Hands completed replies to the reactor and wakes it.
+    fn complete(&self, replies: Vec<Reply>) {
+        if replies.is_empty() {
+            return;
+        }
+        self.completions
+            .lock()
+            .expect("completion lock")
+            .extend(replies);
+        self.waker.wake();
     }
 }
 
@@ -254,17 +383,16 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`McdsError::Io`] on listener failures. Per-connection and
+    /// [`McdsError::Io`] on listener/poll failures. Per-connection and
     /// per-request errors never abort the server.
     pub fn run(self) -> Result<ServeSummary, McdsError> {
         self.listener.set_nonblocking(true)?;
         let ctx = Ctx {
-            cache: OutcomeCache::new(),
+            cache: OutcomeCache::with_shards(self.config.shards),
             metrics: Arc::clone(&self.metrics),
             queue: JobQueue::new(self.config.queue_depth),
-            shutdown: AtomicBool::new(false),
-            poll: Duration::from_millis(self.config.poll_ms.max(1)),
-            max_frame_bytes: self.config.max_frame_bytes,
+            completions: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
             fault_delay: Duration::from_micros(
                 self.config
                     .faults
@@ -274,35 +402,16 @@ impl Server {
             faults: self.config.faults.clone(),
             degrade: self.config.degrade,
             degrade_below_ms: self.config.degrade_below_ms,
+            counters: Counters::new(&self.metrics),
         };
         std::thread::scope(|s| -> Result<(), McdsError> {
             for _ in 0..self.config.workers.max(1) {
                 s.spawn(|| worker_loop(&ctx));
             }
-            let mut conns = Vec::new();
-            while !ctx.shutdown.load(Ordering::Acquire) {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        let ctx = &ctx;
-                        conns.push(s.spawn(move || handle_conn(stream, ctx)));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ctx.poll);
-                    }
-                    Err(e) => {
-                        ctx.shutdown.store(true, Ordering::Release);
-                        ctx.queue.close();
-                        return Err(e.into());
-                    }
-                }
-            }
-            // Drain: connections first (they may still enqueue), then
-            // the queue; the workers exit once it is closed and empty.
-            for c in conns {
-                let _ = c.join();
-            }
+            let mut reactor = Reactor::new(&ctx, &self.listener, &self.config);
+            let result = reactor.run();
             ctx.queue.close();
-            Ok(())
+            result
         })?;
         let count = |name: &str| self.metrics.get(name).unwrap_or(0);
         Ok(ServeSummary {
@@ -319,8 +428,940 @@ impl Server {
                 .faults
                 .as_ref()
                 .map_or(0, |f| f.snapshot().total_fired()),
+            legacy_frames: count("serve.legacy_frames"),
         })
     }
+}
+
+/// Packs a reply token from a connection generation and request slot.
+fn pack_token(gen: u32, slot: u32) -> Token {
+    (u64::from(gen) << 32) | u64::from(slot)
+}
+
+fn token_gen(token: Token) -> u32 {
+    (token >> 32) as u32
+}
+
+fn token_slot(token: Token) -> u32 {
+    token as u32
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::fd::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> i32 {
+    0
+}
+
+/// One parked response position in a connection's FIFO. Responses are
+/// written strictly in request order, so a pipelined client can match
+/// them positionally.
+struct PendingSlot {
+    slot: u32,
+    started: Instant,
+    state: SlotState,
+}
+
+enum SlotState {
+    /// The request is computing (leader) or parked on another flight
+    /// (waiter).
+    Waiting,
+    /// The rendered response, ready to pump once it reaches the front.
+    Done(Vec<u8>),
+}
+
+/// One nonblocking connection owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    frames: FrameBuffer,
+    /// Rendered-but-unwritten response bytes.
+    out: Vec<u8>,
+    out_pos: usize,
+    pending: VecDeque<PendingSlot>,
+    next_slot: u32,
+    /// Remaining chunks of an injected slow-loris write, dribbled out
+    /// by timer.
+    dribble: VecDeque<Vec<u8>>,
+    /// No more bytes will be read (EOF, drain, or a fatal frame
+    /// error).
+    read_done: bool,
+    /// Close once `out` and `dribble` are fully written.
+    close_after_flush: bool,
+    /// Close immediately; discard anything unwritten.
+    broken: bool,
+}
+
+enum TimerEvent {
+    /// A parked waiter's own deadline: deregister it from the flight
+    /// and answer a typed retryable `deadline` error.
+    WaiterDeadline { token: Token, key: u64 },
+    /// Next chunk of an injected slow-loris write.
+    Dribble { gen: u32 },
+}
+
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    event: TimerEvent,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The single-threaded reactor: owns every socket, the timer heap, and
+/// the parse memo; workers only ever touch the cache, the queue, and
+/// the completion queue.
+struct Reactor<'a> {
+    ctx: &'a Ctx,
+    listener: &'a TcpListener,
+    poll_ms: u64,
+    max_frame_bytes: usize,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    by_gen: HashMap<u32, usize>,
+    next_gen: u32,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    draining: bool,
+    drained_buffered: bool,
+    memo: HashMap<Box<[u8]>, Memo>,
+    poll: PollSet,
+    chunk: Vec<u8>,
+}
+
+impl<'a> Reactor<'a> {
+    fn new(ctx: &'a Ctx, listener: &'a TcpListener, config: &ServeConfig) -> Reactor<'a> {
+        Reactor {
+            ctx,
+            listener,
+            poll_ms: config.poll_ms.max(1),
+            max_frame_bytes: config.max_frame_bytes,
+            conns: Vec::new(),
+            free: Vec::new(),
+            by_gen: HashMap::new(),
+            next_gen: 1,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            draining: false,
+            drained_buffered: false,
+            memo: HashMap::new(),
+            poll: PollSet::new(),
+            chunk: vec![0u8; 64 * 1024],
+        }
+    }
+
+    fn run(&mut self) -> Result<(), McdsError> {
+        loop {
+            let replies =
+                std::mem::take(&mut *self.ctx.completions.lock().expect("completion lock"));
+            for reply in replies {
+                self.deliver(reply);
+            }
+            for (key, waiters) in self.ctx.cache.take_orphans() {
+                for token in waiters {
+                    self.deliver(Reply {
+                        token,
+                        payload: ReplyPayload::Error {
+                            code: ErrorCode::Faulted,
+                            message: Arc::from("worker died; the request is retryable"),
+                            key,
+                            count_miss: false,
+                            count_error: true,
+                        },
+                    });
+                }
+            }
+            self.fire_due_timers();
+            if self.draining && !self.drained_buffered {
+                self.drained_buffered = true;
+                for idx in 0..self.conns.len() {
+                    if let Some(mut conn) = self.conns[idx].take() {
+                        self.drain_frames(&mut conn);
+                        conn.read_done = true;
+                        self.finish(idx, conn);
+                    }
+                }
+            }
+            if self.draining && self.by_gen.is_empty() {
+                return Ok(());
+            }
+            let (listener_idx, waker_idx, conn_poll) = self.build_poll_set();
+            let timeout = self.poll_timeout();
+            self.poll.poll(timeout)?;
+            self.ctx.waker.drain();
+            let _ = waker_idx;
+            if listener_idx.is_some_and(|idx| self.poll.readable(idx)) {
+                self.accept_all()?;
+            }
+            for (idx, pidx) in conn_poll {
+                if self.poll.readable(pidx) {
+                    self.service_readable(idx);
+                } else if self.poll.writable(pidx) {
+                    if let Some(conn) = self.conns[idx].take() {
+                        self.finish(idx, conn);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registers every live descriptor for the next `poll`; returns the
+    /// poll indices of the listener, the waker, and each interested
+    /// connection.
+    #[allow(clippy::type_complexity)]
+    fn build_poll_set(&mut self) -> (Option<usize>, Option<usize>, Vec<(usize, usize)>) {
+        self.poll.clear();
+        let listener_idx = if self.draining {
+            None
+        } else {
+            Some(self.poll.push(fd_of(self.listener), true, false))
+        };
+        let waker_fd = self.ctx.waker.fd();
+        let waker_idx = if waker_fd >= 0 {
+            Some(self.poll.push(waker_fd, true, false))
+        } else {
+            None
+        };
+        let mut conn_poll = Vec::new();
+        for (i, slot) in self.conns.iter().enumerate() {
+            if let Some(conn) = slot {
+                let want_read = !conn.read_done;
+                let want_write = conn.out_pos < conn.out.len();
+                if want_read || want_write {
+                    conn_poll.push((
+                        i,
+                        self.poll.push(fd_of(&conn.stream), want_read, want_write),
+                    ));
+                }
+            }
+        }
+        (listener_idx, waker_idx, conn_poll)
+    }
+
+    /// Poll timeout in ms: the configured tick, shortened to the next
+    /// due timer.
+    fn poll_timeout(&self) -> i32 {
+        let mut timeout = i64::try_from(self.poll_ms).unwrap_or(i64::MAX);
+        if let Some(Reverse(next)) = self.timers.peek() {
+            let until = next
+                .at
+                .saturating_duration_since(Instant::now())
+                .as_millis();
+            timeout = timeout.min(i64::try_from(until).unwrap_or(i64::MAX));
+        }
+        i32::try_from(timeout.clamp(0, 60_000)).unwrap_or(25)
+    }
+
+    fn accept_all(&mut self) -> Result<(), McdsError> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    self.add_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream) {
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let conn = Conn {
+            stream,
+            gen,
+            frames: FrameBuffer::new(self.max_frame_bytes),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            next_slot: 0,
+            dribble: VecDeque::new(),
+            read_done: false,
+            close_after_flush: false,
+            broken: false,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.conns[idx] = Some(conn);
+                idx
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        };
+        self.by_gen.insert(gen, idx);
+    }
+
+    fn service_readable(&mut self, idx: usize) {
+        let Some(mut conn) = self.conns[idx].take() else {
+            return;
+        };
+        loop {
+            match conn.stream.read(&mut self.chunk) {
+                Ok(0) => {
+                    conn.read_done = true;
+                    break;
+                }
+                Ok(n) => conn.frames.extend(&self.chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.broken = true;
+                    break;
+                }
+            }
+        }
+        self.drain_frames(&mut conn);
+        self.finish(idx, conn);
+    }
+
+    /// Answers every complete frame buffered on `conn`.
+    fn drain_frames(&mut self, conn: &mut Conn) {
+        if conn.broken || conn.close_after_flush {
+            return;
+        }
+        let mut frames = std::mem::replace(&mut conn.frames, FrameBuffer::new(1));
+        loop {
+            match frames.next_frame() {
+                Ok(Some(line)) => {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    self.process_line(conn, line);
+                    if conn.broken || conn.close_after_flush {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(FrameError::InvalidUtf8) => {
+                    // The bad frame was consumed — answer typed and
+                    // keep serving this connection.
+                    self.ctx.counters.errors.incr();
+                    let failed = ServeResponse::Failed(ServeError {
+                        code: ErrorCode::BadRequest,
+                        message: FrameError::InvalidUtf8.to_string(),
+                        key: None,
+                        verb: "frame".to_owned(),
+                        latency_us: 0,
+                    });
+                    self.queue_response(conn, &failed);
+                }
+                Err(err @ FrameError::Oversized { .. }) => {
+                    // The frame boundary is lost: answer typed, then
+                    // close instead of buffering forever.
+                    self.ctx.counters.errors.incr();
+                    let failed = ServeResponse::Failed(ServeError {
+                        code: ErrorCode::Oversized,
+                        message: err.to_string(),
+                        key: None,
+                        verb: "frame".to_owned(),
+                        latency_us: 0,
+                    });
+                    self.queue_response(conn, &failed);
+                    conn.read_done = true;
+                    conn.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        conn.frames = frames;
+    }
+
+    fn memo_insert(&mut self, line: &str, memo: Memo) {
+        if self.memo.len() < MEMO_CAP {
+            self.memo.insert(line.as_bytes().into(), memo);
+        }
+    }
+
+    fn process_line(&mut self, conn: &mut Conn, line: &str) {
+        // An injected pre-processing disconnect drops the request (and
+        // the connection) before it is even counted — the client must
+        // retry on a fresh connection, as with a real peer reset.
+        if matches!(self.ctx.fault(Seam::ServeRead), Some(Fault::Disconnect)) {
+            conn.broken = true;
+            return;
+        }
+        let started = Instant::now();
+        self.ctx.counters.requests.incr();
+        if let Some(memo) = self.memo.get(line.as_bytes()).cloned() {
+            match memo {
+                Memo::Good { resolved, legacy } => {
+                    if legacy {
+                        self.ctx.counters.legacy.incr();
+                    }
+                    self.handle_schedule(conn, started, &resolved);
+                }
+                Memo::Bad {
+                    code,
+                    message,
+                    legacy,
+                } => {
+                    if legacy {
+                        self.ctx.counters.legacy.incr();
+                    }
+                    self.ctx.counters.errors.incr();
+                    self.respond_failed(conn, started, code, &message, "schedule", None);
+                }
+            }
+            return;
+        }
+        let (request, version) = match decode_request(line) {
+            Ok(decoded) => decoded,
+            Err(err) => {
+                self.ctx.counters.errors.incr();
+                let code = err.code();
+                let message = err.to_string();
+                self.memo_insert(
+                    line,
+                    Memo::Bad {
+                        code,
+                        message: Arc::from(message.as_str()),
+                        legacy: false,
+                    },
+                );
+                self.respond_failed(conn, started, code, &message, "unknown", None);
+                return;
+            }
+        };
+        let legacy = version == WireVersion::Legacy;
+        if legacy {
+            self.ctx.counters.legacy.incr();
+        }
+        match request {
+            ServeRequest::Ping => {
+                let latency_us = self.observed_latency(started);
+                self.queue_response(conn, &ServeResponse::Pong { latency_us });
+            }
+            ServeRequest::Stats => {
+                let entries = self
+                    .ctx
+                    .metrics
+                    .snapshot()
+                    .into_iter()
+                    .map(|(name, value)| StatEntry { name, value })
+                    .collect();
+                let latency_us = self.observed_latency(started);
+                self.queue_response(
+                    conn,
+                    &ServeResponse::Stats(StatsReply {
+                        entries,
+                        latency_us,
+                    }),
+                );
+            }
+            ServeRequest::Shutdown => {
+                self.draining = true;
+                let latency_us = self.observed_latency(started);
+                self.queue_response(conn, &ServeResponse::ShuttingDown { latency_us });
+            }
+            ServeRequest::Schedule(spec) => match resolve(spec) {
+                Ok(resolved) => {
+                    let resolved = Arc::new(resolved);
+                    self.memo_insert(
+                        line,
+                        Memo::Good {
+                            resolved: Arc::clone(&resolved),
+                            legacy,
+                        },
+                    );
+                    self.handle_schedule(conn, started, &resolved);
+                }
+                Err(message) => {
+                    self.ctx.counters.errors.incr();
+                    self.memo_insert(
+                        line,
+                        Memo::Bad {
+                            code: ErrorCode::BadRequest,
+                            message: Arc::from(message.as_str()),
+                            legacy,
+                        },
+                    );
+                    self.respond_failed(
+                        conn,
+                        started,
+                        ErrorCode::BadRequest,
+                        &message,
+                        "schedule",
+                        None,
+                    );
+                }
+            },
+        }
+    }
+
+    fn handle_schedule(&mut self, conn: &mut Conn, started: Instant, resolved: &Arc<Resolved>) {
+        let ctx = self.ctx;
+        let deadline = resolved
+            .deadline_ms
+            .map(|ms| started + Duration::from_millis(ms));
+        // Upfront degrade: when the deadline is too tight for the full
+        // CDS to be worth attempting, route the request straight to the
+        // cheaper within-cluster-only scheduler (its own cache key, no
+        // cancellation — it exists to succeed).
+        let degraded_upfront = ctx.degrade
+            && ctx.degrade_below_ms > 0
+            && resolved.kind == SchedulerKind::Cds
+            && resolved
+                .deadline_ms
+                .is_some_and(|ms| ms < ctx.degrade_below_ms);
+        let entry_key = if degraded_upfront {
+            degraded_key(resolved.key)
+        } else {
+            resolved.key
+        };
+        // Warm fast path: a published entry answers inline without
+        // touching single-flight bookkeeping.
+        if let Some(entry) = ctx.cache.get(entry_key) {
+            ctx.counters.hits.incr();
+            self.respond_entry(conn, started, entry_key, true, &entry);
+            return;
+        }
+        let token = pack_token(conn.gen, conn.next_slot);
+        match ctx.cache.lookup(entry_key, token) {
+            Lookup::Hit(entry) => {
+                ctx.counters.hits.incr();
+                self.respond_entry(conn, started, entry_key, true, &entry);
+            }
+            Lookup::Wait => {
+                push_waiting(conn, started);
+                if let Some(at) = deadline {
+                    self.schedule_timer(
+                        at,
+                        TimerEvent::WaiterDeadline {
+                            token,
+                            key: entry_key,
+                        },
+                    );
+                }
+            }
+            Lookup::Lead(guard) => {
+                let cancel = if degraded_upfront {
+                    None
+                } else {
+                    Some(deadline.map_or_else(CancelToken::new, CancelToken::at))
+                };
+                let job = Box::new(Job {
+                    resolved: Arc::clone(resolved),
+                    kind: if degraded_upfront {
+                        SchedulerKind::Ds
+                    } else {
+                        resolved.kind
+                    },
+                    degraded: degraded_upfront,
+                    cancel,
+                    guard,
+                    leader: token,
+                });
+                match ctx.queue.try_push(job) {
+                    Ok(()) => push_waiting(conn, started),
+                    Err((job, closed)) => {
+                        let Job { guard, .. } = *job;
+                        let _ = guard.abandon();
+                        if closed {
+                            ctx.counters.errors.incr();
+                            self.respond_failed(
+                                conn,
+                                started,
+                                ErrorCode::Shutdown,
+                                "server is draining; no new computations admitted",
+                                "schedule",
+                                Some(entry_key),
+                            );
+                        } else {
+                            ctx.counters.rejected.incr();
+                            self.respond_failed(
+                                conn,
+                                started,
+                                ErrorCode::Overloaded,
+                                "overloaded: admission queue full",
+                                "schedule",
+                                Some(entry_key),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Observes the latency histogram and returns the value.
+    fn observed_latency(&self, started: Instant) -> u64 {
+        let latency = elapsed_us(started);
+        self.ctx.counters.latency.observe(latency);
+        latency
+    }
+
+    fn respond_failed(
+        &mut self,
+        conn: &mut Conn,
+        started: Instant,
+        code: ErrorCode,
+        message: &str,
+        verb: &str,
+        key: Option<u64>,
+    ) {
+        let latency_us = self.observed_latency(started);
+        let failed = ServeResponse::Failed(ServeError {
+            code,
+            message: message.to_owned(),
+            key,
+            verb: verb.to_owned(),
+            latency_us,
+        });
+        self.queue_response(conn, &failed);
+    }
+
+    /// Renders a cache entry (hit or leader-completed miss) for `conn`.
+    fn respond_entry(
+        &mut self,
+        conn: &mut Conn,
+        started: Instant,
+        key: u64,
+        hit: bool,
+        entry: &CachedResult,
+    ) {
+        let latency_us = self.observed_latency(started);
+        self.render_entry(conn, key, hit, entry, latency_us);
+    }
+
+    fn render_entry(
+        &mut self,
+        conn: &mut Conn,
+        key: u64,
+        hit: bool,
+        entry: &CachedResult,
+        latency_us: u64,
+    ) {
+        match (&entry.result, entry.outcome_json()) {
+            (Ok(_), Some(json)) => {
+                if self.ctx.faults.is_none() && conn.pending.is_empty() && conn.dribble.is_empty() {
+                    // Hot path: splice straight into the write buffer —
+                    // no intermediate allocation, no slot bookkeeping.
+                    render_scheduled(&mut conn.out, key, hit, json.as_bytes(), latency_us);
+                } else {
+                    let mut bytes = Vec::with_capacity(json.len() + 160);
+                    render_scheduled(&mut bytes, key, hit, json.as_bytes(), latency_us);
+                    self.queue_bytes(conn, bytes);
+                }
+            }
+            (Ok(outcome), None) => {
+                // Unreachable in practice (successes pre-serialize),
+                // but render correctly if an entry lacks its JSON.
+                let response = ServeResponse::Scheduled(Scheduled {
+                    key,
+                    cache_hit: hit,
+                    outcome: outcome.clone(),
+                    latency_us,
+                });
+                self.queue_response(conn, &response);
+            }
+            (Err(err), _) => {
+                self.ctx.counters.errors.incr();
+                let failed = ServeResponse::Failed(ServeError {
+                    code: err.code,
+                    message: err.message.clone(),
+                    key: Some(key),
+                    verb: "schedule".to_owned(),
+                    latency_us,
+                });
+                self.queue_response(conn, &failed);
+            }
+        }
+    }
+
+    fn queue_response(&mut self, conn: &mut Conn, response: &ServeResponse) {
+        let mut bytes = response.encode().into_bytes();
+        bytes.push(b'\n');
+        self.queue_bytes(conn, bytes);
+    }
+
+    /// Appends a rendered response respecting the per-connection FIFO
+    /// (and write-fault machinery when a fault plan is attached).
+    fn queue_bytes(&mut self, conn: &mut Conn, bytes: Vec<u8>) {
+        if self.ctx.faults.is_none() && conn.pending.is_empty() && conn.dribble.is_empty() {
+            conn.out.extend_from_slice(&bytes);
+            return;
+        }
+        conn.pending.push_back(PendingSlot {
+            slot: conn.next_slot,
+            started: Instant::now(),
+            state: SlotState::Done(bytes),
+        });
+        conn.next_slot = conn.next_slot.wrapping_add(1);
+        self.pump(conn);
+    }
+
+    /// Moves consecutive completed responses from the FIFO into the
+    /// write buffer, applying per-response write faults in response
+    /// order.
+    fn pump(&mut self, conn: &mut Conn) {
+        if !conn.dribble.is_empty() || conn.close_after_flush {
+            return;
+        }
+        while matches!(
+            conn.pending.front(),
+            Some(PendingSlot {
+                state: SlotState::Done(_),
+                ..
+            })
+        ) {
+            let slot = conn.pending.pop_front().expect("checked front");
+            let SlotState::Done(bytes) = slot.state else {
+                unreachable!("matched Done above");
+            };
+            match self.ctx.fault(Seam::ServeWrite) {
+                Some(Fault::TruncateWrite) => {
+                    // Mid-frame disconnect: half the frame, then the
+                    // connection closes — the client sees a short read
+                    // with no terminating newline.
+                    conn.out.extend_from_slice(&bytes[..bytes.len() / 2]);
+                    conn.pending.clear();
+                    conn.dribble.clear();
+                    conn.read_done = true;
+                    conn.close_after_flush = true;
+                    return;
+                }
+                Some(Fault::SlowWrite) => {
+                    // Slow-loris writer: dribble the frame out in eight
+                    // timer-delayed chunks. The frame still completes,
+                    // so a patient client succeeds without a retry.
+                    let piece = bytes.len().div_ceil(8).max(1);
+                    for chunk in bytes.chunks(piece) {
+                        conn.dribble.push_back(chunk.to_vec());
+                    }
+                    let at = Instant::now() + self.ctx.fault_delay;
+                    self.schedule_timer(at, TimerEvent::Dribble { gen: conn.gen });
+                    return;
+                }
+                Some(_) | None => conn.out.extend_from_slice(&bytes),
+            }
+        }
+    }
+
+    fn schedule_timer(&mut self, at: Instant, event: TimerEvent) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(Reverse(TimerEntry { at, seq, event }));
+    }
+
+    fn fire_due_timers(&mut self) {
+        let now = Instant::now();
+        while self
+            .timers
+            .peek()
+            .is_some_and(|Reverse(next)| next.at <= now)
+        {
+            let Reverse(entry) = self.timers.pop().expect("peeked");
+            match entry.event {
+                TimerEvent::WaiterDeadline { token, key } => {
+                    if self.ctx.cache.cancel_wait(key, token) {
+                        self.ctx.counters.deadline_misses.incr();
+                        self.deliver(Reply {
+                            token,
+                            payload: ReplyPayload::Error {
+                                code: ErrorCode::Deadline,
+                                message: Arc::from("run abandoned: deadline exceeded"),
+                                key,
+                                count_miss: false,
+                                count_error: false,
+                            },
+                        });
+                    }
+                }
+                TimerEvent::Dribble { gen } => {
+                    let Some(&idx) = self.by_gen.get(&gen) else {
+                        continue;
+                    };
+                    let Some(mut conn) = self.conns[idx].take() else {
+                        continue;
+                    };
+                    if let Some(chunk) = conn.dribble.pop_front() {
+                        conn.out.extend_from_slice(&chunk);
+                    }
+                    if conn.dribble.is_empty() {
+                        self.pump(&mut conn);
+                    } else {
+                        let at = Instant::now() + self.ctx.fault_delay;
+                        self.schedule_timer(at, TimerEvent::Dribble { gen });
+                    }
+                    self.finish(idx, conn);
+                }
+            }
+        }
+    }
+
+    /// Routes one worker completion to its parked request slot.
+    fn deliver(&mut self, reply: Reply) {
+        let gen = token_gen(reply.token);
+        let Some(&idx) = self.by_gen.get(&gen) else {
+            return; // connection already closed — drop the reply
+        };
+        let Some(mut conn) = self.conns[idx].take() else {
+            return;
+        };
+        let slot_id = token_slot(reply.token);
+        let pos = conn
+            .pending
+            .iter()
+            .position(|s| s.slot == slot_id && matches!(s.state, SlotState::Waiting));
+        if let Some(pos) = pos {
+            let started = conn.pending[pos].started;
+            let latency_us = self.observed_latency(started);
+            let mut bytes = Vec::new();
+            match reply.payload {
+                ReplyPayload::Entry { key, hit, entry } => {
+                    if hit {
+                        self.ctx.counters.hits.incr();
+                    } else {
+                        self.ctx.counters.misses.incr();
+                    }
+                    self.render_slot(&mut bytes, key, hit, &entry, latency_us);
+                }
+                ReplyPayload::Error {
+                    code,
+                    message,
+                    key,
+                    count_miss,
+                    count_error,
+                } => {
+                    if count_miss {
+                        self.ctx.counters.misses.incr();
+                    }
+                    if count_error {
+                        self.ctx.counters.errors.incr();
+                    }
+                    let failed = ServeResponse::Failed(ServeError {
+                        code,
+                        message: message.as_ref().to_owned(),
+                        key: Some(key),
+                        verb: "schedule".to_owned(),
+                        latency_us,
+                    });
+                    bytes = failed.encode().into_bytes();
+                    bytes.push(b'\n');
+                }
+            }
+            conn.pending[pos].state = SlotState::Done(bytes);
+            self.pump(&mut conn);
+        }
+        self.finish(idx, conn);
+    }
+
+    /// Renders an entry into `bytes` for a parked slot (always the
+    /// slot-buffer path — ordering is enforced by the FIFO).
+    fn render_slot(
+        &mut self,
+        bytes: &mut Vec<u8>,
+        key: u64,
+        hit: bool,
+        entry: &CachedResult,
+        latency_us: u64,
+    ) {
+        match (&entry.result, entry.outcome_json()) {
+            (Ok(_), Some(json)) => render_scheduled(bytes, key, hit, json.as_bytes(), latency_us),
+            (Ok(outcome), None) => {
+                let response = ServeResponse::Scheduled(Scheduled {
+                    key,
+                    cache_hit: hit,
+                    outcome: outcome.clone(),
+                    latency_us,
+                });
+                *bytes = response.encode().into_bytes();
+                bytes.push(b'\n');
+            }
+            (Err(err), _) => {
+                self.ctx.counters.errors.incr();
+                let failed = ServeResponse::Failed(ServeError {
+                    code: err.code,
+                    message: err.message.clone(),
+                    key: Some(key),
+                    verb: "schedule".to_owned(),
+                    latency_us,
+                });
+                *bytes = failed.encode().into_bytes();
+                bytes.push(b'\n');
+            }
+        }
+    }
+
+    /// Flushes what the socket accepts, then either parks the
+    /// connection back in the slab or closes it.
+    fn finish(&mut self, idx: usize, mut conn: Conn) {
+        flush(&mut conn);
+        let flushed = conn.out_pos >= conn.out.len();
+        let done = conn.broken
+            || (flushed
+                && conn.dribble.is_empty()
+                && (conn.close_after_flush || (conn.read_done && conn.pending.is_empty())));
+        if done {
+            self.by_gen.remove(&conn.gen);
+            self.free.push(idx);
+            // Dropping `conn` closes the socket.
+        } else {
+            self.conns[idx] = Some(conn);
+        }
+    }
+}
+
+/// Parks the request's response position in the connection FIFO.
+fn push_waiting(conn: &mut Conn, started: Instant) {
+    conn.pending.push_back(PendingSlot {
+        slot: conn.next_slot,
+        started,
+        state: SlotState::Waiting,
+    });
+    conn.next_slot = conn.next_slot.wrapping_add(1);
+}
+
+/// Writes as much of the pending output as the socket accepts.
+fn flush(conn: &mut Conn) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.broken = true;
+                return;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.broken = true;
+                return;
+            }
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
 }
 
 /// Condenses a pipeline run into the wire outcome.
@@ -344,9 +1385,7 @@ fn outcome_of(run: &PipelineRun, app: &str, kind: SchedulerKind, degraded: bool)
 /// so it is guaranteed to complete whenever scheduling is feasible).
 fn supervised_run(
     ctx: &Ctx,
-    app: Application,
-    sched: Option<ClusterSchedule>,
-    arch: ArchParams,
+    resolved: &Resolved,
     kind: SchedulerKind,
     cancel: Option<CancelToken>,
     faulted: bool,
@@ -355,8 +1394,8 @@ fn supervised_run(
         if faulted && matches!(ctx.fault(Seam::WorkerRun), Some(Fault::WorkerPanic)) {
             panic!("injected worker panic");
         }
-        let mut pipeline = Pipeline::new(app)
-            .arch(arch)
+        let mut pipeline = Pipeline::new(resolved.app.clone())
+            .arch(resolved.arch)
             .scheduler(kind)
             .metrics(Arc::clone(&ctx.metrics));
         if let Some(token) = cancel {
@@ -367,12 +1406,72 @@ fn supervised_run(
                 pipeline = pipeline.faults(Arc::clone(plan));
             }
         }
-        if let Some(sched) = sched {
-            pipeline = pipeline.schedule(sched);
+        if let Some(sched) = &resolved.sched {
+            pipeline = pipeline.schedule(sched.clone());
         }
         pipeline.run()
     }))
     .map_err(|_| ())
+}
+
+/// Replies answering the leader (miss) and every waiter (hit) with one
+/// shared cache entry.
+fn entry_replies(key: u64, leader: Token, waiters: Vec<Token>, entry: &CachedResult) -> Vec<Reply> {
+    let mut replies = Vec::with_capacity(1 + waiters.len());
+    replies.push(Reply {
+        token: leader,
+        payload: ReplyPayload::Entry {
+            key,
+            hit: false,
+            entry: Arc::clone(entry),
+        },
+    });
+    for token in waiters {
+        replies.push(Reply {
+            token,
+            payload: ReplyPayload::Entry {
+                key,
+                hit: true,
+                entry: Arc::clone(entry),
+            },
+        });
+    }
+    replies
+}
+
+/// Replies failing the leader (counted as the miss) and every waiter
+/// with the same transient error.
+fn fail_replies(
+    key: u64,
+    leader: Token,
+    waiters: Vec<Token>,
+    code: ErrorCode,
+    message: &Arc<str>,
+) -> Vec<Reply> {
+    let mut replies = Vec::with_capacity(1 + waiters.len());
+    replies.push(Reply {
+        token: leader,
+        payload: ReplyPayload::Error {
+            code,
+            message: Arc::clone(message),
+            key,
+            count_miss: true,
+            count_error: true,
+        },
+    });
+    for token in waiters {
+        replies.push(Reply {
+            token,
+            payload: ReplyPayload::Error {
+                code,
+                message: Arc::clone(message),
+                key,
+                count_miss: false,
+                count_error: true,
+            },
+        });
+    }
+    replies
 }
 
 /// One worker under its supervisor: pops admitted jobs and computes
@@ -380,263 +1479,111 @@ fn supervised_run(
 /// scheduling error) are published to the cache; abandoned and faulted
 /// runs are not. A panicking run (injected or real) is contained by
 /// `catch_unwind`: the worker recycles itself for the next job,
-/// `serve.worker_restarts` counts the recycle, and the requester gets
-/// a typed retryable error instead of a hung channel.
+/// `serve.worker_restarts` counts the recycle, and the leader plus any
+/// parked waiters get a typed retryable error instead of hanging.
 fn worker_loop(ctx: &Ctx) {
     while let Some(job) = ctx.queue.pop() {
         let Job {
-            app,
-            sched,
-            arch,
+            resolved,
             kind,
-            cancel,
-            key,
             degraded,
+            cancel,
             guard,
-            tx,
+            leader,
         } = *job;
-        let app_name = app.name().to_owned();
-        // Kept aside for the degraded fallback re-run.
-        let fallback_inputs = (app.clone(), sched.clone());
-
-        let caught = supervised_run(ctx, app, sched, arch, kind, cancel, !degraded);
-        let result = match caught {
+        let flight_key = guard.key();
+        let caught = supervised_run(ctx, &resolved, kind, cancel, !degraded);
+        let replies = match caught {
             Err(()) => {
                 // Poisoned worker: recycle in place, never cache.
-                ctx.metrics.incr("serve.worker_restarts");
-                guard.abandon();
-                let _ = tx.send(Arc::new(Err(
-                    "worker panicked; the request is retryable".to_owned()
-                )));
-                continue;
+                ctx.counters.worker_restarts.incr();
+                let waiters = guard.abandon();
+                let message = Arc::from("worker panicked; the request is retryable");
+                fail_replies(flight_key, leader, waiters, ErrorCode::Faulted, &message)
             }
-            Ok(result) => result,
-        };
-        match result {
-            Ok(run) => {
+            Ok(Ok(run)) => {
                 if degraded {
-                    ctx.metrics.incr("serve.degraded");
+                    ctx.counters.degraded.incr();
                 }
-                let shared = guard.fulfill(Ok(outcome_of(&run, &app_name, kind, degraded)));
-                let _ = tx.send(shared);
+                let entry = CachedEntry::ok(outcome_of(&run, resolved.app.name(), kind, degraded));
+                let (shared, waiters) = guard.fulfill(entry);
+                entry_replies(flight_key, leader, waiters, &shared)
             }
-            Err(McdsError::Cancelled(reason)) => {
+            Ok(Err(McdsError::Cancelled(reason))) => {
                 // Not a pure function of the request — never cached.
-                ctx.metrics.incr("serve.deadline_misses");
-                if ctx.degrade && kind == SchedulerKind::Cds {
-                    let (app, sched) = fallback_inputs;
+                ctx.counters.deadline_misses.incr();
+                let message: Arc<str> = Arc::from(format!("run abandoned: {reason}").as_str());
+                let fallback = if ctx.degrade && kind == SchedulerKind::Cds {
                     // Fall back to the cheaper within-cluster-only
                     // scheduler, clean (no faults, no deadline), and
                     // serve + cache it under the *degraded* key. The
                     // primary key stays uncomputed so a later request
                     // with a generous deadline gets the full CDS.
-                    // If the fallback fails too (infeasible, or it
-                    // panicked), fall through to the plain abandon.
-                    if let Ok(Ok(run)) =
-                        supervised_run(ctx, app, sched, arch, SchedulerKind::Ds, None, false)
-                    {
-                        ctx.metrics.incr("serve.degraded");
-                        let outcome = outcome_of(&run, &app_name, SchedulerKind::Ds, true);
-                        let shared = ctx.cache.publish(degraded_key(key), Ok(outcome));
-                        guard.abandon();
-                        let _ = tx.send(shared);
-                        continue;
+                    supervised_run(ctx, &resolved, SchedulerKind::Ds, None, false).ok()
+                } else {
+                    None
+                };
+                if let Some(Ok(run)) = fallback {
+                    ctx.counters.degraded.incr();
+                    let dkey = degraded_key(resolved.key);
+                    let outcome = outcome_of(&run, resolved.app.name(), SchedulerKind::Ds, true);
+                    let (shared, dwaiters) = ctx.cache.publish(dkey, CachedEntry::ok(outcome));
+                    let pwaiters = guard.abandon();
+                    let mut replies = entry_replies(dkey, leader, dwaiters, &shared);
+                    for token in pwaiters {
+                        replies.push(Reply {
+                            token,
+                            payload: ReplyPayload::Error {
+                                code: ErrorCode::Deadline,
+                                message: Arc::clone(&message),
+                                key: flight_key,
+                                count_miss: false,
+                                count_error: true,
+                            },
+                        });
                     }
+                    replies
+                } else {
+                    // The fallback failed too (infeasible, disabled, or
+                    // it panicked): plain abandon.
+                    let waiters = guard.abandon();
+                    fail_replies(flight_key, leader, waiters, ErrorCode::Deadline, &message)
                 }
-                guard.abandon();
-                let _ = tx.send(Arc::new(Err(format!("run abandoned: {reason}"))));
             }
-            Err(e @ McdsError::Faulted(_)) => {
+            Ok(Err(e @ McdsError::Faulted(_))) => {
                 // Injected fault: transient — never cached, retryable.
-                guard.abandon();
-                let _ = tx.send(Arc::new(Err(e.to_string())));
+                let waiters = guard.abandon();
+                let message = Arc::from(e.to_string().as_str());
+                fail_replies(flight_key, leader, waiters, ErrorCode::Faulted, &message)
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 // Scheduling errors are deterministic → cacheable.
-                let shared = guard.fulfill(Err(e.to_string()));
-                let _ = tx.send(shared);
+                let entry = CachedEntry::err(ErrorCode::BadRequest, e.to_string());
+                let (shared, waiters) = guard.fulfill(entry);
+                entry_replies(flight_key, leader, waiters, &shared)
             }
-        }
+        };
+        ctx.complete(replies);
     }
 }
 
-/// One connection: reads bounded request frames, answers each with one
-/// response line. Any per-request failure produces a typed `error`
-/// response on this connection only — the server and its other
-/// connections are unaffected. With a fault plan attached, the
-/// connection also injects the serve-side I/O faults (pre-processing
-/// disconnects, mid-frame write truncation, slow-loris writes). Read
-/// faults are decided once per complete frame, not per `read` call, so
-/// the fault sequence does not depend on TCP segmentation.
-fn handle_conn(stream: TcpStream, ctx: &Ctx) {
-    let _ = stream.set_read_timeout(Some(ctx.poll));
-    let _ = stream.set_nodelay(true);
-    let mut stream = stream;
-    let mut frames = FrameBuffer::new(ctx.max_frame_bytes);
-    let mut chunk = [0u8; 4096];
-    loop {
-        // Answer every complete frame already buffered.
-        loop {
-            match frames.next_frame() {
-                Ok(Some(line)) => {
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    if matches!(ctx.fault(Seam::ServeRead), Some(Fault::Disconnect)) {
-                        // Injected disconnect: the request is dropped
-                        // before processing; the client must retry.
-                        return;
-                    }
-                    let response = handle_line(line, ctx);
-                    if write_response(&mut stream, &response, ctx).is_err() {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(FrameError::InvalidUtf8) => {
-                    // The bad frame was consumed — answer typed and
-                    // keep serving this connection.
-                    ctx.metrics.incr("serve.errors");
-                    let response =
-                        ScheduleResponse::error("frame", FrameError::InvalidUtf8.to_string());
-                    if write_response(&mut stream, &response, ctx).is_err() {
-                        return;
-                    }
-                }
-                Err(err @ FrameError::Oversized { .. }) => {
-                    // The frame boundary is lost: answer typed, then
-                    // drop the connection instead of buffering forever.
-                    ctx.metrics.incr("serve.errors");
-                    let response = ScheduleResponse::error("frame", err.to_string());
-                    let _ = write_response(&mut stream, &response, ctx);
-                    return;
-                }
-            }
-        }
-        // Between frames: honor a drain request, then wait for more
-        // bytes.
-        if ctx.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => frames.extend(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// Serializes and writes one response frame, applying any fired
-/// write-side fault.
-fn write_response(
-    stream: &mut TcpStream,
-    response: &ScheduleResponse,
-    ctx: &Ctx,
-) -> std::io::Result<()> {
-    let Ok(mut out) = serde_json::to_string(response) else {
-        return Ok(());
-    };
-    out.push('\n');
-    let bytes = out.as_bytes();
-    match ctx.fault(Seam::ServeWrite) {
-        Some(Fault::TruncateWrite) => {
-            // Mid-frame disconnect: the client sees a short read with
-            // no terminating newline and must treat it as transport
-            // failure.
-            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
-            let _ = stream.flush();
-            Err(std::io::Error::new(
-                std::io::ErrorKind::BrokenPipe,
-                "injected mid-frame disconnect",
-            ))
-        }
-        Some(Fault::SlowWrite) => {
-            // Slow-loris writer: dribble the frame out in eight delayed
-            // chunks. The frame still completes, so a patient client
-            // succeeds without a retry.
-            for piece in bytes.chunks(bytes.len().div_ceil(8).max(1)) {
-                stream.write_all(piece)?;
-                stream.flush()?;
-                std::thread::sleep(ctx.fault_delay);
-            }
-            Ok(())
-        }
-        Some(_) | None => stream.write_all(bytes),
-    }
-}
-
-fn handle_line(line: &str, ctx: &Ctx) -> ScheduleResponse {
-    let started = Instant::now();
-    ctx.metrics.incr("serve.requests");
-    let mut response = match serde_json::from_str::<ScheduleRequest>(line) {
-        Ok(request) => dispatch(request, ctx),
-        Err(e) => {
-            ctx.metrics.incr("serve.errors");
-            ScheduleResponse::error("unknown", format!("malformed request: {e}"))
-        }
-    };
-    response.latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    ctx.metrics.observe("serve.latency_us", response.latency_us);
-    response
-}
-
-fn dispatch(request: ScheduleRequest, ctx: &Ctx) -> ScheduleResponse {
-    match request.verb.as_str() {
-        "ping" => ScheduleResponse::ok("ping"),
-        "stats" => ScheduleResponse::stats(
-            ctx.metrics
-                .snapshot()
-                .into_iter()
-                .map(|(name, value)| StatEntry { name, value })
-                .collect(),
-        ),
-        "shutdown" => {
-            ctx.shutdown.store(true, Ordering::Release);
-            ScheduleResponse::ok("shutdown")
-        }
-        "schedule" => schedule(request, ctx),
-        other => {
-            ctx.metrics.incr("serve.errors");
-            ScheduleResponse::error(
-                other,
-                format!("unknown verb `{other}` (expected schedule, ping, stats, shutdown)"),
-            )
-        }
-    }
-}
-
-/// Resolves a `schedule` request into pipeline inputs.
-fn resolve(
-    request: ScheduleRequest,
-) -> Result<
-    (
-        Application,
-        Option<ClusterSchedule>,
-        ArchParams,
-        SchedulerKind,
-    ),
-    String,
-> {
-    let kind: SchedulerKind = request
+/// Resolves a `schedule` request into pipeline inputs plus its
+/// canonical key.
+fn resolve(spec: ScheduleSpec) -> Result<Resolved, String> {
+    let kind: SchedulerKind = spec
         .scheduler
         .as_deref()
         .unwrap_or("cds")
         .parse()
         .map_err(|e: McdsError| e.to_string())?;
-    let arch = match request.arch {
+    let arch = match spec.arch {
         Some(arch) => arch,
         None => ArchParams::m1()
             .to_builder()
-            .fb_set_words(Words::kilo(request.fb_kw.unwrap_or(1).max(1)))
+            .fb_set_words(Words::kilo(spec.fb_kw.unwrap_or(1).max(1)))
             .build(),
     };
-    let (app, sched) = match (request.app, request.workload.as_deref()) {
+    let (app, sched) = match (spec.app, spec.workload.as_deref()) {
         (Some(_), Some(_)) => return Err("`app` and `workload` are mutually exclusive".to_owned()),
         (None, None) => return Err("schedule needs `app` or `workload`".to_owned()),
         (Some(app), None) => {
@@ -644,23 +1591,10 @@ fn resolve(
             (app, None)
         }
         (None, Some(name)) => {
-            let iterations = request.iterations.unwrap_or(16);
+            let iterations = spec.iterations.unwrap_or(16);
             let (app, sched) = mcds_workloads::mix::by_name(name, iterations)
                 .ok_or_else(|| format!("unknown workload `{name}` (and iterations must be > 0)"))?;
             (app, Some(sched))
-        }
-    };
-    Ok((app, sched, arch, kind))
-}
-
-fn schedule(request: ScheduleRequest, ctx: &Ctx) -> ScheduleResponse {
-    let deadline_ms = request.deadline_ms;
-    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let (app, sched, arch, kind) = match resolve(request) {
-        Ok(inputs) => inputs,
-        Err(message) => {
-            ctx.metrics.incr("serve.errors");
-            return ScheduleResponse::error("schedule", message);
         }
     };
     let key = request_key(
@@ -670,105 +1604,12 @@ fn schedule(request: ScheduleRequest, ctx: &Ctx) -> ScheduleResponse {
         kind,
         &SchedulerConfig::default(),
     );
-    // Upfront degrade: when the deadline is too tight for the full CDS
-    // to be worth attempting, route the request straight to the
-    // cheaper within-cluster-only scheduler (its own cache key, no
-    // cancellation — it exists to succeed).
-    let degraded_upfront = ctx.degrade
-        && ctx.degrade_below_ms > 0
-        && kind == SchedulerKind::Cds
-        && deadline_ms.is_some_and(|ms| ms < ctx.degrade_below_ms);
-    let entry_key = if degraded_upfront {
-        degraded_key(key)
-    } else {
-        key
-    };
-    match ctx.cache.begin(entry_key, deadline) {
-        Begin::Hit(result) => {
-            ctx.metrics.incr("serve.cache.hits");
-            cached_response(entry_key, true, &result, ctx)
-        }
-        Begin::TimedOut => {
-            ctx.metrics.incr("serve.deadline_misses");
-            let mut r =
-                ScheduleResponse::transient_error("schedule", "run abandoned: deadline exceeded");
-            r.key = Some(format_key(entry_key));
-            r
-        }
-        Begin::Lead(guard) => {
-            let cancel = if degraded_upfront {
-                None
-            } else {
-                Some(deadline.map_or_else(CancelToken::new, CancelToken::at))
-            };
-            let (tx, rx) = std::sync::mpsc::channel();
-            let job = Box::new(Job {
-                app,
-                sched,
-                arch,
-                kind: if degraded_upfront {
-                    SchedulerKind::Ds
-                } else {
-                    kind
-                },
-                cancel,
-                key,
-                degraded: degraded_upfront,
-                guard,
-                tx,
-            });
-            if let Err(job) = ctx.queue.try_push(job) {
-                ctx.metrics.incr("serve.rejected");
-                job.guard.abandon();
-                return ScheduleResponse::rejected(entry_key);
-            }
-            match rx.recv() {
-                Ok(result) => {
-                    ctx.metrics.incr("serve.cache.misses");
-                    // A fallback-degraded outcome lives under the
-                    // degraded key, not the one we began with.
-                    let served_key = match result.as_ref() {
-                        Ok(outcome) if outcome.degraded => degraded_key(key),
-                        _ => entry_key,
-                    };
-                    cached_response(served_key, false, &result, ctx)
-                }
-                Err(_) => {
-                    ctx.metrics.incr("serve.errors");
-                    let mut r = ScheduleResponse::transient_error(
-                        "schedule",
-                        "internal: worker dropped the request",
-                    );
-                    r.key = Some(format_key(entry_key));
-                    r
-                }
-            }
-        }
-    }
-}
-
-/// `true` for worker-reported failure messages that are not a pure
-/// function of the request (never cached; the client may retry them).
-fn transient_message(message: &str) -> bool {
-    message.starts_with("run abandoned:")
-        || message.starts_with("injected fault:")
-        || message.starts_with("worker panicked")
-}
-
-fn cached_response(key: u64, hit: bool, result: &CachedResult, ctx: &Ctx) -> ScheduleResponse {
-    let cache = if hit { "hit" } else { "miss" };
-    match result.as_ref() {
-        Ok(outcome) => ScheduleResponse::outcome(key, hit, outcome.clone()),
-        Err(message) => {
-            ctx.metrics.incr("serve.errors");
-            let mut r = if transient_message(message) {
-                ScheduleResponse::transient_error("schedule", message.clone())
-            } else {
-                ScheduleResponse::error("schedule", message.clone())
-            };
-            r.key = Some(format_key(key));
-            r.cache = Some(cache.to_owned());
-            r
-        }
-    }
+    Ok(Resolved {
+        app,
+        sched,
+        arch,
+        kind,
+        key,
+        deadline_ms: spec.deadline_ms,
+    })
 }

@@ -1,0 +1,223 @@
+//! Readiness primitives for the reactor: a thin `poll(2)` shim and a
+//! cross-thread waker, with no external crates.
+//!
+//! On Unix the shim declares `poll` directly via `extern "C"` — std
+//! already links the platform libc, so no `libc` crate is needed —
+//! and the waker is one end of a nonblocking
+//! [`UnixStream`](std::os::unix::net::UnixStream) pair registered in
+//! the poll set. This is the only module in the crate allowed to use
+//! `unsafe` (the crate root carries `#![deny(unsafe_code)]`).
+//!
+//! On non-Unix targets a degenerate fallback compiles instead: "poll"
+//! sleeps for a short bounded interval and reports every registered
+//! descriptor as ready. Since all reactor sockets are nonblocking,
+//! spurious readiness only costs a `WouldBlock` per descriptor — the
+//! server stays correct, just busy-pollier.
+
+#[cfg(unix)]
+pub use unix::{PollSet, Waker};
+
+#[cfg(unix)]
+mod unix {
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::unix::net::UnixStream;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: RawFd,
+        events: i16,
+        revents: i16,
+    }
+
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            pub fn poll(
+                fds: *mut super::PollFd,
+                nfds: std::os::raw::c_ulong,
+                timeout: std::os::raw::c_int,
+            ) -> std::os::raw::c_int;
+        }
+    }
+
+    /// A reusable `poll(2)` descriptor set. Rebuilt each reactor tick
+    /// (`clear` + `push`), which keeps registration trivially in sync
+    /// with the live connection table.
+    #[derive(Default)]
+    pub struct PollSet {
+        fds: Vec<PollFd>,
+    }
+
+    impl PollSet {
+        pub fn new() -> PollSet {
+            PollSet::default()
+        }
+
+        pub fn clear(&mut self) {
+            self.fds.clear();
+        }
+
+        /// Registers `fd`; returns its index for the readiness checks
+        /// after `poll`.
+        pub fn push(&mut self, fd: RawFd, want_read: bool, want_write: bool) -> usize {
+            let mut events = 0;
+            if want_read {
+                events |= POLLIN;
+            }
+            if want_write {
+                events |= POLLOUT;
+            }
+            self.fds.push(PollFd {
+                fd,
+                events,
+                revents: 0,
+            });
+            self.fds.len() - 1
+        }
+
+        /// Blocks until at least one registered descriptor is ready or
+        /// `timeout_ms` elapses (negative waits indefinitely). Returns
+        /// the ready count; `EINTR` retries transparently.
+        #[allow(unsafe_code)]
+        pub fn poll(&mut self, timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                // SAFETY: `fds` is a live, exclusively-borrowed slice of
+                // `#[repr(C)]` pollfd-layout structs; the kernel writes
+                // only to `revents` within the passed length.
+                let rc = unsafe {
+                    ffi::poll(
+                        self.fds.as_mut_ptr(),
+                        self.fds.len() as std::os::raw::c_ulong,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+
+        /// `true` when the descriptor at `idx` has readable data — or
+        /// an error/hangup, which the caller discovers via `read`.
+        pub fn readable(&self, idx: usize) -> bool {
+            self.fds[idx].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+
+        /// `true` when the descriptor at `idx` accepts writes (or
+        /// errored — the write surfaces the failure).
+        pub fn writable(&self, idx: usize) -> bool {
+            self.fds[idx].revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+    }
+
+    /// Wakes the reactor out of `poll` from another thread (worker
+    /// completions) by writing one byte into a nonblocking socketpair.
+    /// A full pipe means a wake is already pending — dropped writes are
+    /// fine.
+    pub struct Waker {
+        rx: UnixStream,
+        tx: UnixStream,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            Ok(Waker { rx, tx })
+        }
+
+        /// The descriptor the reactor registers for reads.
+        pub fn fd(&self) -> RawFd {
+            use std::os::fd::AsRawFd;
+            self.rx.as_raw_fd()
+        }
+
+        /// Signals the reactor. Callable from any thread.
+        pub fn wake(&self) {
+            use std::io::Write;
+            let _ = (&self.tx).write(&[1]);
+        }
+
+        /// Drains pending wake bytes so the next `poll` blocks again.
+        pub fn drain(&self) {
+            use std::io::Read;
+            let mut buf = [0u8; 64];
+            while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub use fallback::{PollSet, Waker};
+
+#[cfg(not(unix))]
+mod fallback {
+    use std::io;
+
+    /// Degenerate readiness set: every registered descriptor reports
+    /// ready after a short bounded sleep. Correct (sockets are
+    /// nonblocking) but busy — Unix builds use the real `poll(2)`.
+    #[derive(Default)]
+    pub struct PollSet {
+        registered: usize,
+    }
+
+    impl PollSet {
+        pub fn new() -> PollSet {
+            PollSet::default()
+        }
+
+        pub fn clear(&mut self) {
+            self.registered = 0;
+        }
+
+        pub fn push(&mut self, _fd: i32, _want_read: bool, _want_write: bool) -> usize {
+            self.registered += 1;
+            self.registered - 1
+        }
+
+        pub fn poll(&mut self, timeout_ms: i32) -> io::Result<usize> {
+            let capped = timeout_ms.clamp(0, 5) as u64;
+            std::thread::sleep(std::time::Duration::from_millis(capped.max(1)));
+            Ok(self.registered)
+        }
+
+        pub fn readable(&self, _idx: usize) -> bool {
+            true
+        }
+
+        pub fn writable(&self, _idx: usize) -> bool {
+            true
+        }
+    }
+
+    /// No-op waker: the fallback poll always returns within a few
+    /// milliseconds, so completions are picked up on the next tick.
+    pub struct Waker;
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Ok(Waker)
+        }
+
+        pub fn fd(&self) -> i32 {
+            -1
+        }
+
+        pub fn wake(&self) {}
+
+        pub fn drain(&self) {}
+    }
+}

@@ -1,8 +1,8 @@
-//! End-to-end fault-injection tests: a live server with a seeded
-//! [`FaultPlan`] at every seam, driven over real TCP. Covers
-//! supervised worker recovery, the degraded Cds→Ds fallback (both
-//! reactive and upfront), typed frame errors, and a miniature chaos
-//! soak through the retrying load client.
+//! End-to-end fault-injection tests: a live reactor server with a
+//! seeded [`FaultPlan`] at every seam, driven over real TCP through the
+//! typed client. Covers supervised worker recovery, the degraded
+//! Cds→Ds fallback (both reactive and upfront), typed frame errors,
+//! and a miniature chaos soak through the retrying load harness.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -11,7 +11,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mcds_core::{Fault, FaultConfig, FaultPlan, McdsError, Seam};
-use mcds_serve::{run_load, LoadConfig, ScheduleResponse, ServeConfig, ServeSummary, Server};
+use mcds_serve::{
+    run_load, Client, ClientConfig, ClientError, ErrorCode, LoadConfig, ScheduleSpec, Scheduled,
+    ServeConfig, ServeError, ServeResponse, ServeSummary, Server,
+};
 
 fn start(config: ServeConfig) -> (SocketAddr, JoinHandle<Result<ServeSummary, McdsError>>) {
     let server = Server::bind(config).expect("bind loopback");
@@ -19,27 +22,16 @@ fn start(config: ServeConfig) -> (SocketAddr, JoinHandle<Result<ServeSummary, Mc
     (addr, std::thread::spawn(move || server.run()))
 }
 
-struct Conn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+fn connect(addr: SocketAddr) -> Client {
+    ClientConfig::new(addr.to_string())
+        .connect()
+        .expect("connect")
 }
 
-impl Conn {
-    fn open(addr: SocketAddr) -> Conn {
-        let stream = TcpStream::connect(addr).expect("connect");
-        Conn {
-            writer: stream.try_clone().expect("clone stream"),
-            reader: BufReader::new(stream),
-        }
-    }
-
-    fn request(&mut self, line: &str) -> ScheduleResponse {
-        self.writer
-            .write_all(format!("{line}\n").as_bytes())
-            .expect("send request");
-        let mut response = String::new();
-        self.reader.read_line(&mut response).expect("read response");
-        serde_json::from_str(response.trim()).expect("response parses")
+fn expect_server_error(result: Result<Scheduled, ClientError>) -> ServeError {
+    match result {
+        Err(ClientError::Server(e)) => e,
+        other => panic!("expected a typed server failure, got {other:?}"),
     }
 }
 
@@ -59,7 +51,7 @@ fn probe_seed(config: impl Fn(u64) -> FaultConfig, seam: Seam, wanted: &[Option<
 
 /// Drives the shutdown handshake on a possibly-faulted server until
 /// the thread exits (the shutdown frame itself can be hit by injected
-/// read/write faults).
+/// read/write faults, so each attempt uses a fresh connection).
 fn shutdown(addr: SocketAddr, handle: JoinHandle<Result<ServeSummary, McdsError>>) -> ServeSummary {
     let watchdog = Instant::now();
     while !handle.is_finished() {
@@ -67,11 +59,11 @@ fn shutdown(addr: SocketAddr, handle: JoinHandle<Result<ServeSummary, McdsError>
             watchdog.elapsed() < Duration::from_secs(30),
             "server failed to drain: hang"
         );
-        if let Ok(stream) = TcpStream::connect(addr) {
-            let mut writer = stream.try_clone().expect("clone stream");
-            let _ = writer.write_all(b"{\"verb\":\"shutdown\"}\n");
-            let mut response = String::new();
-            let _ = BufReader::new(stream).read_line(&mut response);
+        if let Ok(mut client) = ClientConfig::new(addr.to_string())
+            .with_reconnect(false)
+            .connect()
+        {
+            let _ = client.shutdown();
         }
         std::thread::sleep(Duration::from_millis(10));
     }
@@ -93,22 +85,19 @@ fn injected_worker_panic_is_supervised_and_the_retry_succeeds() {
         ))),
         ..ServeConfig::default()
     });
-    let mut conn = Conn::open(addr);
+    let mut client = connect(addr);
 
-    let crashed = conn.request(r#"{"verb":"schedule","workload":"e1"}"#);
-    assert_eq!(crashed.status, "error");
-    assert_eq!(crashed.retryable, Some(true), "a panic is transient");
-    assert!(crashed
-        .error
-        .expect("diagnostic")
-        .contains("worker panicked"));
+    let crashed = expect_server_error(client.schedule(&ScheduleSpec::workload("e1")));
+    assert_eq!(crashed.code, ErrorCode::Faulted);
+    assert!(crashed.retryable(), "a panic is transient");
 
     // The worker recycled: the identical request now computes — the
     // panic was not cached.
-    let retried = conn.request(r#"{"verb":"schedule","workload":"e1"}"#);
-    assert_eq!(retried.status, "ok");
-    assert_eq!(retried.cache.as_deref(), Some("miss"));
-    assert!(!retried.outcome.expect("outcome").degraded);
+    let retried = client
+        .schedule(&ScheduleSpec::workload("e1"))
+        .expect("retry succeeds on the recycled worker");
+    assert!(!retried.cache_hit, "the panic was never cached");
+    assert!(!retried.outcome.degraded);
 
     let summary = shutdown(addr, handle);
     assert_eq!(summary.worker_restarts, 1);
@@ -130,19 +119,23 @@ fn injected_stage_cancel_degrades_instead_of_failing() {
         faults: Some(Arc::new(FaultPlan::new(make(seed)))),
         ..ServeConfig::default()
     });
-    let mut conn = Conn::open(addr);
+    let mut client = connect(addr);
 
-    let first = conn.request(r#"{"verb":"schedule","workload":"e2"}"#);
-    assert_eq!(first.status, "ok");
-    let outcome = first.outcome.expect("degraded outcome");
-    assert!(outcome.degraded, "cancelled CDS run must fall back");
-    assert_eq!(outcome.scheduler, "ds", "fallback is within-cluster-only");
+    let first = client
+        .schedule(&ScheduleSpec::workload("e2"))
+        .expect("degraded fallback still answers");
+    assert!(first.outcome.degraded, "cancelled CDS run must fall back");
+    assert_eq!(
+        first.outcome.scheduler, "ds",
+        "fallback is within-cluster-only"
+    );
 
     // Deterministic across repeats: the fallback result is cached
     // under the degraded key and stays byte-identical.
-    let second = conn.request(r#"{"verb":"schedule","workload":"e2"}"#);
-    assert_eq!(second.status, "ok");
-    assert_eq!(second.outcome.expect("outcome"), outcome);
+    let second = client
+        .schedule(&ScheduleSpec::workload("e2"))
+        .expect("cached fallback");
+    assert_eq!(second.outcome, first.outcome);
     assert_eq!(first.key, second.key, "degraded key is stable");
 
     let summary = shutdown(addr, handle);
@@ -164,14 +157,10 @@ fn injected_stage_cancel_is_a_typed_retryable_error_without_degrade() {
         faults: Some(Arc::new(FaultPlan::new(make(seed)))),
         ..ServeConfig::default()
     });
-    let mut conn = Conn::open(addr);
-    let failed = conn.request(r#"{"verb":"schedule","workload":"e3"}"#);
-    assert_eq!(failed.status, "error");
-    assert_eq!(failed.retryable, Some(true));
-    assert!(failed
-        .error
-        .expect("diagnostic")
-        .contains("injected stage fault"));
+    let mut client = connect(addr);
+    let failed = expect_server_error(client.schedule(&ScheduleSpec::workload("e3")));
+    assert_eq!(failed.code, ErrorCode::Deadline, "a cancelled run expired");
+    assert!(failed.retryable());
     let summary = shutdown(addr, handle);
     assert_eq!(summary.degraded, 0);
 }
@@ -182,31 +171,35 @@ fn tight_deadlines_degrade_upfront_under_their_own_cache_key() {
         degrade_below_ms: 10_000,
         ..ServeConfig::default()
     });
-    let mut conn = Conn::open(addr);
+    let mut client = connect(addr);
 
-    let rushed = conn.request(r#"{"verb":"schedule","workload":"e1","deadline_ms":5000}"#);
-    assert_eq!(rushed.status, "ok");
-    let rushed_outcome = rushed.outcome.expect("outcome");
-    assert!(rushed_outcome.degraded, "tight deadline routes to degraded");
-    assert_eq!(rushed_outcome.scheduler, "ds");
+    let rushed_spec = ScheduleSpec {
+        deadline_ms: Some(5_000),
+        ..ScheduleSpec::workload("e1")
+    };
+    let rushed = client.schedule(&rushed_spec).expect("rushed request");
+    assert!(rushed.outcome.degraded, "tight deadline routes to degraded");
+    assert_eq!(rushed.outcome.scheduler, "ds");
 
-    let relaxed = conn.request(r#"{"verb":"schedule","workload":"e1"}"#);
-    assert_eq!(relaxed.status, "ok");
-    let relaxed_outcome = relaxed.outcome.expect("outcome");
-    assert!(!relaxed_outcome.degraded, "no deadline gets the full CDS");
-    assert_eq!(relaxed_outcome.scheduler, "cds");
+    let relaxed = client
+        .schedule(&ScheduleSpec::workload("e1"))
+        .expect("relaxed request");
+    assert!(!relaxed.outcome.degraded, "no deadline gets the full CDS");
+    assert_eq!(relaxed.outcome.scheduler, "cds");
     assert_ne!(
         rushed.key, relaxed.key,
         "degraded and full outcomes never share a cache entry"
     );
 
     // Both entries are cached independently.
-    let rushed_again = conn.request(r#"{"verb":"schedule","workload":"e1","deadline_ms":5000}"#);
-    assert_eq!(rushed_again.cache.as_deref(), Some("hit"));
-    assert_eq!(rushed_again.outcome.expect("outcome"), rushed_outcome);
-    let relaxed_again = conn.request(r#"{"verb":"schedule","workload":"e1"}"#);
-    assert_eq!(relaxed_again.cache.as_deref(), Some("hit"));
-    assert_eq!(relaxed_again.outcome.expect("outcome"), relaxed_outcome);
+    let rushed_again = client.schedule(&rushed_spec).expect("cached degraded");
+    assert!(rushed_again.cache_hit);
+    assert_eq!(rushed_again.outcome, rushed.outcome);
+    let relaxed_again = client
+        .schedule(&ScheduleSpec::workload("e1"))
+        .expect("cached full");
+    assert!(relaxed_again.cache_hit);
+    assert_eq!(relaxed_again.outcome, relaxed.outcome);
 
     let summary = shutdown(addr, handle);
     assert!(summary.degraded >= 1);
@@ -214,58 +207,79 @@ fn tight_deadlines_degrade_upfront_under_their_own_cache_key() {
 
 #[test]
 fn oversized_and_malformed_frames_get_typed_errors() {
+    // 256 bytes admits every control frame of the v1 envelope (~130
+    // bytes with all fields serialized) while still rejecting the
+    // flood below.
     let (addr, handle) = start(ServeConfig {
-        max_frame_bytes: 128,
+        max_frame_bytes: 256,
         ..ServeConfig::default()
     });
 
     // Oversized: typed error, then the connection is closed (the frame
-    // boundary is lost).
-    let mut flooder = Conn::open(addr);
-    let long_line = format!("{}\n", "x".repeat(4096));
-    flooder
-        .writer
-        .write_all(long_line.as_bytes())
+    // boundary is lost). Raw socket — the typed client cannot produce
+    // an oversized frame on purpose.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(format!("{}\n", "x".repeat(4096)).as_bytes())
         .expect("send flood");
     let mut response = String::new();
-    flooder
-        .reader
+    reader
         .read_line(&mut response)
         .expect("typed response before close");
-    let parsed: ScheduleResponse = serde_json::from_str(response.trim()).expect("parses");
-    assert_eq!(parsed.status, "error");
-    assert!(parsed.error.expect("reason").contains("128-byte limit"));
+    let parsed = ServeResponse::decode(response.trim()).expect("typed frame");
+    let ServeResponse::Failed(error) = parsed else {
+        panic!("oversized frame must fail: {parsed:?}");
+    };
+    assert_eq!(error.code, ErrorCode::Oversized);
+    assert!(!error.retryable(), "resending the same frame cannot help");
     let mut rest = Vec::new();
-    let closed = flooder.reader.read_to_end(&mut rest);
+    let closed = reader.read_to_end(&mut rest);
     assert!(
         matches!(closed, Ok(0)) || closed.is_err(),
         "oversized frame must close the connection"
     );
 
     // Invalid UTF-8: typed error, and the connection keeps working.
-    let mut garbler = Conn::open(addr);
-    garbler
-        .writer
-        .write_all(b"\xff\xfe{bad}\n")
-        .expect("send garbage");
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"\xff\xfe{bad}\n").expect("send garbage");
     let mut response = String::new();
-    garbler
-        .reader
-        .read_line(&mut response)
-        .expect("typed response");
-    let parsed: ScheduleResponse = serde_json::from_str(response.trim()).expect("parses");
-    assert_eq!(parsed.status, "error");
-    assert!(parsed.error.expect("reason").contains("UTF-8"));
-    let pong = garbler.request(r#"{"verb":"ping"}"#);
-    assert_eq!(pong.status, "ok", "connection survives a garbled frame");
+    reader.read_line(&mut response).expect("typed response");
+    let parsed = ServeResponse::decode(response.trim()).expect("typed frame");
+    let ServeResponse::Failed(error) = parsed else {
+        panic!("garbled frame must fail: {parsed:?}");
+    };
+    assert_eq!(error.code, ErrorCode::BadRequest);
 
-    // Truncated JSON and unknown verbs: typed per-request errors.
-    let truncated = garbler.request(r#"{"verb":"schedule","workloa"#);
-    assert_eq!(truncated.status, "error");
-    assert!(truncated.error.expect("reason").contains("malformed"));
-    let unknown = garbler.request(r#"{"verb":"explode"}"#);
-    assert_eq!(unknown.status, "error");
-    assert_eq!(unknown.retryable, Some(false), "a bad verb never retries");
+    // Truncated JSON, unknown verbs, unsupported versions: typed
+    // per-request errors through the same connection, which survives.
+    let mut client = connect(addr);
+    client.ping().expect("connection works");
+    let truncated = client
+        .raw_roundtrip(r#"{"v":1,"verb":"schedule","workloa"#)
+        .expect("typed reply");
+    assert!(
+        matches!(&truncated, ServeResponse::Failed(e) if e.code == ErrorCode::BadRequest),
+        "truncated JSON: {truncated:?}"
+    );
+    let unknown = client
+        .raw_roundtrip(r#"{"v":1,"verb":"explode"}"#)
+        .expect("typed reply");
+    let ServeResponse::Failed(unknown) = unknown else {
+        panic!("unknown verb must fail: {unknown:?}");
+    };
+    assert_eq!(unknown.code, ErrorCode::BadRequest);
+    assert!(!unknown.retryable(), "a bad verb never retries");
+    let future = client
+        .raw_roundtrip(r#"{"v":9,"verb":"ping"}"#)
+        .expect("typed reply");
+    assert!(
+        matches!(&future, ServeResponse::Failed(e) if e.code == ErrorCode::UnsupportedVersion),
+        "future version: {future:?}"
+    );
 
     let summary = shutdown(addr, handle);
     assert!(summary.errors >= 4);
@@ -282,10 +296,11 @@ fn chaos_preset_soak_stays_consistent_through_retries() {
     let report = run_load(&LoadConfig {
         addr: addr.to_string(),
         connections: 1,
+        pipeline: 1,
         requests: 60,
+        distinct_keys: 12,
         seed: chaos_seed,
         retries: 8,
-        retry_budget_ms: 30_000,
         ..LoadConfig::default()
     })
     .expect("load survives the faulted server");

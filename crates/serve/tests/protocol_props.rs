@@ -1,10 +1,15 @@
 //! Property tests for the wire protocol's failure surface: arbitrary
 //! and malformed bytes fed through the bounded [`FrameBuffer`] and the
-//! request parser must never panic, never emit a spurious `ok`, and
-//! must behave identically regardless of how the byte stream is
-//! chunked (TCP segmentation must not change protocol behavior).
+//! versioned request decoder must never panic, never emit a spurious
+//! request, and must behave identically regardless of how the byte
+//! stream is chunked (TCP segmentation must not change protocol
+//! behavior). The version field in particular is fuzzed: any `v` other
+//! than `1` or absent must produce a *typed* rejection, never a panic.
 
-use mcds_serve::{FrameBuffer, FrameError, ScheduleRequest, ScheduleResponse};
+use mcds_serve::{
+    decode_request, ErrorCode, FrameBuffer, FrameError, RequestError, ScheduleSpec, ServeRequest,
+    ServeResponse, WireVersion,
+};
 use proptest::prelude::*;
 
 /// Drains every frame decision (frames and typed errors) out of a
@@ -13,7 +18,7 @@ fn drain(frames: &mut FrameBuffer) -> Vec<Result<String, FrameError>> {
     let mut out = Vec::new();
     for _ in 0..10_000 {
         match frames.next_frame() {
-            Ok(Some(frame)) => out.push(Ok(frame)),
+            Ok(Some(frame)) => out.push(Ok(frame.to_owned())),
             Ok(None) => break,
             Err(e) => {
                 out.push(Err(e));
@@ -93,52 +98,103 @@ proptest! {
         prop_assert_eq!(got, expected);
     }
 
-    /// Parsing arbitrary frames as requests never panics and garbage
-    /// never yields a well-formed verb by accident; serializing any
-    /// response of ours and parsing it back is lossless.
+    /// Decoding arbitrary frames never panics, and garbage never yields
+    /// a well-formed request by accident: every failure is one of the
+    /// two typed [`RequestError`]s.
     #[test]
     fn malformed_frames_never_parse_to_spurious_requests(
         bytes in prop::collection::vec(any::<u8>(), 0..200),
     ) {
         let text = String::from_utf8_lossy(&bytes);
-        // Must not panic; and random bytes essentially never form valid
-        // JSON with a `verb` member — but if they do, the parse is
-        // honest, so only assert the non-JSON case.
-        let _ = serde_json::from_str::<ScheduleRequest>(&text);
-        if !text.trim_start().starts_with('{') {
-            prop_assert!(
-                serde_json::from_str::<ScheduleRequest>(&text).is_err(),
-                "non-object frames must be rejected"
-            );
+        match decode_request(&text) {
+            // Random bytes essentially never form valid JSON with a
+            // `verb` member — but if they do, the parse is honest, so
+            // only assert the non-JSON case.
+            Ok(_) => prop_assert!(text.trim_start().starts_with('{')),
+            Err(RequestError::Malformed(_)) | Err(RequestError::UnsupportedVersion { .. }) => {}
+            Err(other) => panic!("untyped failure: {other:?}"),
         }
     }
 
-    /// Truncating a *valid* request frame at any byte boundary must
-    /// never parse as a request (so a mid-frame disconnect can never be
-    /// mistaken for a shorter valid request), and truncated responses
-    /// never parse as `ok` (so a client never trusts a torn frame).
+    /// The version field never panics the decoder, whatever JSON value
+    /// it holds: `1` decodes as [`WireVersion::V1`], absence or `null`
+    /// as [`WireVersion::Legacy`] (the one-release compat window), any
+    /// other integer as a typed `unsupported_version`, and any
+    /// non-integer as a typed `bad_request` — all without reading the
+    /// rest of the frame.
+    #[test]
+    fn version_field_fuzzing_yields_typed_decisions(
+        version_json in prop_oneof![
+            Just("1".to_owned()),
+            Just("null".to_owned()),
+            any::<u64>().prop_map(|v| v.to_string()),
+            any::<i64>().prop_map(|v| v.to_string()),
+            any::<f64>().prop_map(|v| format!("{v:?}")),
+            any::<u32>().prop_map(|v| format!("\"s{v}\"")),
+            Just("[1]".to_owned()),
+            Just("{\"major\":1}".to_owned()),
+            Just("true".to_owned()),
+        ],
+    ) {
+        let line = format!(r#"{{"v":{version_json},"verb":"ping"}}"#);
+        match decode_request(&line) {
+            Ok((request, version)) => {
+                prop_assert_eq!(request, ServeRequest::Ping);
+                // Only `1` or `null` may decode; anything else must
+                // have been rejected.
+                prop_assert!(
+                    (version == WireVersion::V1 && version_json == "1")
+                        || (version == WireVersion::Legacy && version_json == "null")
+                );
+            }
+            Err(RequestError::UnsupportedVersion { got }) => {
+                prop_assert!(got != 1, "v1 must never be rejected");
+                prop_assert_eq!(got.to_string(), version_json);
+            }
+            Err(RequestError::Malformed(_)) => {
+                prop_assert!(version_json != "1" && version_json != "null");
+            }
+            Err(other) => panic!("untyped failure: {other:?}"),
+        }
+    }
+
+    /// The typed error code of a version rejection survives the full
+    /// wire round-trip: server-side encode → client-side decode keeps
+    /// the machine-readable code intact.
+    #[test]
+    fn unsupported_version_code_roundtrips(got in 2u64..1_000_000) {
+        let line = format!(r#"{{"v":{got},"verb":"stats"}}"#);
+        let result = decode_request(&line);
+        prop_assert!(result.is_err(), "future version must not decode");
+        prop_assert_eq!(result.unwrap_err().code(), ErrorCode::UnsupportedVersion);
+    }
+
+    /// Truncating a *valid* v1 request frame at any byte boundary must
+    /// never decode as a request (so a mid-frame disconnect can never
+    /// be mistaken for a shorter valid request), and truncated
+    /// responses never decode at all (so a client never trusts a torn
+    /// frame).
     #[test]
     fn truncated_valid_frames_never_parse(cut_seed in any::<u64>()) {
-        let mut request = ScheduleRequest::schedule("e1");
-        request.iterations = Some(16);
-        request.fb_kw = Some(8);
-        let request_json = serde_json::to_string(&request).expect("serializes");
+        let spec = ScheduleSpec {
+            iterations: Some(16),
+            fb_kw: Some(8),
+            ..ScheduleSpec::workload("e1")
+        };
+        let request_json = ServeRequest::Schedule(spec).encode();
         let cut = 1 + (cut_seed as usize) % (request_json.len() - 1);
         prop_assert!(
-            serde_json::from_str::<ScheduleRequest>(&request_json[..cut]).is_err(),
+            decode_request(&request_json[..cut]).is_err(),
             "truncated request parsed at cut {}",
             cut
         );
 
-        let response = ScheduleResponse::rejected(0xDEAD_BEEF);
-        let response_json = serde_json::to_string(&response).expect("serializes");
+        let response_json = ServeResponse::Pong { latency_us: 17 }.encode();
         let cut = 1 + (cut_seed as usize) % (response_json.len() - 1);
-        match serde_json::from_str::<ScheduleResponse>(&response_json[..cut]) {
-            Err(_) => {}
-            Ok(parsed) => prop_assert!(
-                parsed.status != "ok",
-                "torn response must never read as ok"
-            ),
-        }
+        prop_assert!(
+            ServeResponse::decode(&response_json[..cut]).is_err(),
+            "torn response frame decoded at cut {}",
+            cut
+        );
     }
 }

@@ -1,14 +1,16 @@
-//! End-to-end tests for the serving layer: a real server on a loopback
-//! port, real TCP clients, and the load generator, covering caching,
-//! overload rejection, per-connection error isolation, deadlines, and
-//! graceful drain.
+//! End-to-end tests for the serving layer: a real reactor server on a
+//! loopback port, the typed client, and the load harness, covering
+//! caching, overload rejection, per-connection error isolation,
+//! deadlines, pipelining, protocol versioning, and graceful drain.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
 use mcds_core::McdsError;
-use mcds_serve::{run_load, LoadConfig, ScheduleResponse, ServeConfig, ServeSummary, Server};
+use mcds_serve::{
+    run_load, Client, ClientConfig, ClientError, ErrorCode, LoadConfig, ScheduleSpec, ServeConfig,
+    ServeSummary, Server,
+};
 
 /// Binds on a free loopback port and runs the server on its own
 /// thread.
@@ -18,28 +20,20 @@ fn start(config: ServeConfig) -> (SocketAddr, JoinHandle<Result<ServeSummary, Mc
     (addr, std::thread::spawn(move || server.run()))
 }
 
-/// One raw protocol connection for hand-written request lines.
-struct Conn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+fn connect(addr: SocketAddr) -> Client {
+    ClientConfig::new(addr.to_string())
+        .connect()
+        .expect("connect")
 }
 
-impl Conn {
-    fn open(addr: SocketAddr) -> Conn {
-        let stream = TcpStream::connect(addr).expect("connect");
-        Conn {
-            writer: stream.try_clone().expect("clone stream"),
-            reader: BufReader::new(stream),
-        }
-    }
-
-    fn request(&mut self, line: &str) -> ScheduleResponse {
-        self.writer
-            .write_all(format!("{line}\n").as_bytes())
-            .expect("send request");
-        let mut response = String::new();
-        self.reader.read_line(&mut response).expect("read response");
-        serde_json::from_str(response.trim()).expect("response parses")
+/// The typed failure a call must produce, or the test fails with the
+/// actual response.
+fn expect_server_error(
+    result: Result<mcds_serve::Scheduled, ClientError>,
+) -> mcds_serve::ServeError {
+    match result {
+        Err(ClientError::Server(e)) => e,
+        other => panic!("expected a typed server failure, got {other:?}"),
     }
 }
 
@@ -47,14 +41,16 @@ impl Conn {
 fn load_run_hits_the_cache_and_drains_cleanly() {
     let (addr, handle) = start(ServeConfig {
         workers: 2,
-        queue_depth: 32,
+        queue_depth: 64,
         ..ServeConfig::default()
     });
 
     let report = run_load(&LoadConfig {
         addr: addr.to_string(),
         connections: 4,
-        requests: 25,
+        requests: 100,
+        distinct_keys: 6,
+        pipeline: 8,
         seed: 7,
         ..LoadConfig::default()
     })
@@ -62,25 +58,31 @@ fn load_run_hits_the_cache_and_drains_cleanly() {
     assert_eq!(report.requests, 100, "every request gets a response");
     assert_eq!(report.ok, 100, "no errors under normal load");
     assert_eq!(report.errors + report.rejected, 0);
-    assert!(
-        report.cache_hits >= 1,
-        "repeated workloads must hit the cache (hits={})",
-        report.cache_hits
+    assert_eq!(report.distinct_keys, 6);
+    assert_eq!(
+        report.cold.requests, 6,
+        "cold phase touches each key exactly once"
     );
-    assert!(report.cache_misses >= 1, "first requests compute");
+    assert_eq!(report.cold.cache_misses, 6, "cold requests compute");
+    assert_eq!(
+        report.warm.cache_hits, report.warm.requests,
+        "every warm request is a cache hit"
+    );
     assert!(
         report.consistent_outcomes,
         "identical keys must serialize to byte-identical outcomes"
     );
-    assert!(report.distinct_keys >= 2 && report.distinct_keys <= 6);
+    assert!(
+        report.p99_us >= report.warm.p99_us,
+        "merged p99 cannot undercut the warm phase"
+    );
 
-    let mut control = Conn::open(addr);
-    let pong = control.request(r#"{"verb":"ping"}"#);
-    assert_eq!((pong.status.as_str(), pong.verb.as_str()), ("ok", "ping"));
-    let stats = control.request(r#"{"verb":"stats"}"#);
-    let entries = stats.stats.expect("stats payload");
+    let mut control = connect(addr);
+    control.ping().expect("pong");
+    let stats = control.stats().expect("stats payload");
     let get = |name: &str| {
-        entries
+        stats
+            .entries
             .iter()
             .find(|e| e.name == name)
             .map_or(0, |e| e.value)
@@ -89,30 +91,27 @@ fn load_run_hits_the_cache_and_drains_cleanly() {
     assert_eq!(get("serve.cache.hits"), report.cache_hits);
     assert_eq!(get("serve.cache.misses"), report.cache_misses);
 
-    let bye = control.request(r#"{"verb":"shutdown"}"#);
-    assert_eq!(bye.status, "ok");
+    control.shutdown().expect("acknowledged drain");
     let summary = handle.join().expect("no panic").expect("clean drain");
     assert_eq!(summary.cache_hits, report.cache_hits);
     assert_eq!(summary.errors, 0);
+    assert_eq!(summary.legacy_frames, 0, "v1 clients leave no legacy marks");
 }
 
 #[test]
-fn full_queue_rejects_instead_of_hanging() {
+fn full_queue_rejects_with_a_typed_overload_code() {
     // queue_depth 0: every computation is an overload.
     let (addr, handle) = start(ServeConfig {
         workers: 1,
         queue_depth: 0,
         ..ServeConfig::default()
     });
-    let mut conn = Conn::open(addr);
-    let response = conn.request(r#"{"verb":"schedule","workload":"e1"}"#);
-    assert_eq!(response.status, "rejected");
-    assert!(
-        response.error.expect("reason").contains("overloaded"),
-        "rejection must say why"
-    );
-    assert!(response.key.is_some(), "rejection still reports the key");
-    conn.request(r#"{"verb":"shutdown"}"#);
+    let mut client = connect(addr);
+    let error = expect_server_error(client.schedule(&ScheduleSpec::workload("e1")));
+    assert_eq!(error.code, ErrorCode::Overloaded);
+    assert!(error.retryable(), "overload is transient by definition");
+    assert!(error.key.is_some(), "rejection still reports the key");
+    client.shutdown().expect("drain");
     let summary = handle.join().expect("no panic").expect("clean drain");
     assert!(summary.rejected >= 1);
 }
@@ -120,28 +119,43 @@ fn full_queue_rejects_instead_of_hanging() {
 #[test]
 fn malformed_requests_poison_only_their_own_connection() {
     let (addr, handle) = start(ServeConfig::default());
-    let mut bad = Conn::open(addr);
-    let mut good = Conn::open(addr);
+    let mut bad = connect(addr);
+    let mut good = connect(addr);
 
-    let garbage = bad.request("this is not json");
-    assert_eq!(garbage.status, "error");
-    assert!(garbage.error.expect("diagnostic").contains("malformed"));
-    let unknown = bad.request(r#"{"verb":"frobnicate"}"#);
-    assert_eq!(unknown.status, "error");
-    let incomplete = bad.request(r#"{"verb":"schedule"}"#);
-    assert_eq!(incomplete.status, "error");
+    // Hand-typed garbage goes through the raw line interface the typed
+    // client cannot produce.
+    let garbage = bad.raw_roundtrip("this is not json").expect("typed reply");
+    assert_eq!(failure_code(&garbage), Some(ErrorCode::BadRequest));
+    let unknown = bad
+        .raw_roundtrip(r#"{"v":1,"verb":"frobnicate"}"#)
+        .expect("typed reply");
+    assert_eq!(failure_code(&unknown), Some(ErrorCode::BadRequest));
+    let incomplete = bad
+        .raw_roundtrip(r#"{"v":1,"verb":"schedule"}"#)
+        .expect("typed reply");
+    assert_eq!(failure_code(&incomplete), Some(ErrorCode::BadRequest));
 
     // The same connection keeps working after its errors…
-    let pong = bad.request(r#"{"verb":"ping"}"#);
-    assert_eq!(pong.status, "ok");
+    bad.ping().expect("connection survives its own errors");
     // …and the other connection never noticed.
-    let ok = good.request(r#"{"verb":"schedule","workload":"e2","iterations":8}"#);
-    assert_eq!(ok.status, "ok");
-    assert!(ok.outcome.is_some());
+    let ok = good
+        .schedule(&ScheduleSpec {
+            iterations: Some(8),
+            ..ScheduleSpec::workload("e2")
+        })
+        .expect("clean request on a clean connection");
+    assert_eq!(ok.outcome.app, "e2");
 
-    good.request(r#"{"verb":"shutdown"}"#);
+    good.shutdown().expect("drain");
     let summary = handle.join().expect("no panic").expect("clean drain");
     assert!(summary.errors >= 3);
+}
+
+fn failure_code(response: &mcds_serve::ServeResponse) -> Option<ErrorCode> {
+    match response {
+        mcds_serve::ServeResponse::Failed(e) => Some(e.code),
+        _ => None,
+    }
 }
 
 #[test]
@@ -151,36 +165,141 @@ fn expired_deadlines_abandon_the_run_without_poisoning_the_cache() {
         degrade: false,
         ..ServeConfig::default()
     });
-    let mut conn = Conn::open(addr);
+    let mut client = connect(addr);
 
-    let expired = conn.request(r#"{"verb":"schedule","workload":"e3","deadline_ms":0}"#);
-    assert_eq!(expired.status, "error");
-    assert_eq!(
-        expired.retryable,
-        Some(true),
-        "an abandoned run is transient, not a verdict on the request"
-    );
+    let expired = expect_server_error(client.schedule(&ScheduleSpec {
+        deadline_ms: Some(0),
+        ..ScheduleSpec::workload("e3")
+    }));
+    assert_eq!(expired.code, ErrorCode::Deadline);
     assert!(
-        expired.error.expect("diagnostic").contains("abandoned"),
-        "deadline failures must be explicit"
+        expired.retryable(),
+        "an abandoned run is transient, not a verdict on the request"
     );
 
     // The abandoned run was not cached: the retry computes (a miss)
     // and succeeds.
-    let retry = conn.request(r#"{"verb":"schedule","workload":"e3"}"#);
-    assert_eq!(retry.status, "ok");
-    assert_eq!(retry.cache.as_deref(), Some("miss"));
+    let retry = client
+        .schedule(&ScheduleSpec::workload("e3"))
+        .expect("retry computes");
+    assert!(!retry.cache_hit);
     // And now it is cached.
-    let again = conn.request(r#"{"verb":"schedule","workload":"e3"}"#);
-    assert_eq!(again.cache.as_deref(), Some("hit"));
+    let again = client
+        .schedule(&ScheduleSpec::workload("e3"))
+        .expect("cached");
+    assert!(again.cache_hit);
     assert_eq!(
-        again.outcome.expect("hit carries the outcome"),
-        retry.outcome.expect("miss carries the outcome"),
-        "hit and miss must agree"
+        again.outcome, retry.outcome,
+        "hit and miss must agree byte for byte"
     );
 
-    conn.request(r#"{"verb":"shutdown"}"#);
+    client.shutdown().expect("drain");
     let summary = handle.join().expect("no panic").expect("clean drain");
     assert!(summary.deadline_misses >= 1);
     assert!(summary.cache_hits >= 1);
+}
+
+#[test]
+fn pipelined_frames_come_back_in_request_order() {
+    let (addr, handle) = start(ServeConfig::default());
+
+    // A batch of frames written before any response is read: the
+    // reactor must answer them strictly in order, interleaving cheap
+    // pings behind an expensive schedule without reordering.
+    let mut client = connect(addr);
+    client
+        .schedule(&ScheduleSpec::workload("e1"))
+        .expect("warm the cache");
+    let responses = client
+        .pipeline_raw(&[
+            r#"{"v":1,"verb":"schedule","workload":"e2"}"#,
+            r#"{"v":1,"verb":"ping"}"#,
+            r#"{"v":1,"verb":"schedule","workload":"e1"}"#,
+            r#"{"v":1,"verb":"ping"}"#,
+        ])
+        .expect("four typed responses");
+    assert_eq!(responses.len(), 4);
+    assert!(
+        matches!(&responses[0], mcds_serve::ServeResponse::Scheduled(s) if s.outcome.app == "e2")
+    );
+    assert!(matches!(
+        &responses[1],
+        mcds_serve::ServeResponse::Pong { .. }
+    ));
+    assert!(
+        matches!(&responses[2], mcds_serve::ServeResponse::Scheduled(s) if s.outcome.app == "e1" && s.cache_hit)
+    );
+    assert!(matches!(
+        &responses[3],
+        mcds_serve::ServeResponse::Pong { .. }
+    ));
+
+    client.shutdown().expect("drain");
+    handle.join().expect("no panic").expect("clean drain");
+}
+
+#[test]
+fn legacy_and_v1_frames_share_the_cache_and_count_separately() {
+    let (addr, handle) = start(ServeConfig::default());
+
+    // A legacy (un-versioned) client and a v1 client request the same
+    // work: one computation, byte-identical outcomes, and the compat
+    // shim counts exactly the legacy frames.
+    let spec = ScheduleSpec {
+        iterations: Some(12),
+        ..ScheduleSpec::workload("mpeg")
+    };
+    let mut legacy = connect(addr);
+    let legacy_line = mcds_serve::ServeRequest::Schedule(spec.clone()).encode_legacy();
+    let first = legacy.raw_roundtrip(&legacy_line).expect("typed reply");
+    let mcds_serve::ServeResponse::Scheduled(first) = first else {
+        panic!("legacy frame must be served: {first:?}");
+    };
+    assert!(!first.cache_hit);
+
+    let mut modern = connect(addr);
+    let second = modern.schedule(&spec).expect("v1 frame");
+    assert!(second.cache_hit, "legacy and v1 map to the same key");
+    assert_eq!(second.outcome, first.outcome, "identical bytes either way");
+    assert_eq!(second.key, first.key);
+
+    modern.shutdown().expect("drain");
+    let summary = handle.join().expect("no panic").expect("clean drain");
+    assert_eq!(
+        summary.legacy_frames, 1,
+        "only the un-versioned frame counts"
+    );
+}
+
+#[test]
+fn sharded_cache_still_deduplicates_across_many_keys() {
+    // A 64-shard cache under a multi-connection pipelined load over
+    // many distinct keys: every key computes exactly once (the misses
+    // equal the key count) and every repeat hits, regardless of which
+    // shard it routes to.
+    let (addr, handle) = start(ServeConfig {
+        workers: 2,
+        queue_depth: 256,
+        shards: 64,
+        ..ServeConfig::default()
+    });
+    let report = run_load(&LoadConfig {
+        addr: addr.to_string(),
+        connections: 4,
+        requests: 600,
+        distinct_keys: 144,
+        pipeline: 16,
+        seed: 3,
+        ..LoadConfig::default()
+    })
+    .expect("load run succeeds");
+    assert_eq!(report.ok, 600);
+    assert_eq!(report.cache_misses, 144, "each key computes exactly once");
+    assert_eq!(report.cache_hits, 456);
+    assert_eq!(report.distinct_keys, 144);
+    assert!(report.consistent_outcomes);
+
+    let mut control = connect(addr);
+    control.shutdown().expect("drain");
+    handle.join().expect("no panic").expect("clean drain");
 }

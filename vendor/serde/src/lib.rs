@@ -83,6 +83,21 @@ pub trait Deserialize: Sized {
     }
 }
 
+// `Value` serializes as itself, which lets callers parse JSON into a
+// raw tree (e.g. `serde_json::from_str::<Value>`) and inspect fields
+// before committing to a typed decode.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
