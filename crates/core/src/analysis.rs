@@ -11,13 +11,36 @@
 //! threads.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use mcds_model::{Application, ClusterId, ClusterSchedule, Words};
+use mcds_sim::{OpSchedule, SimReport};
 
 use crate::{
     cluster_peak, find_candidates_with, Candidate, FootprintModel, Lifetimes, RetentionSet,
+    StagePlan,
 };
+
+/// One memoized reuse-factor evaluation: the stage plan, the emitted
+/// operation schedule, and the simulated makespan for one rung of the
+/// RF ladder in
+/// [`plan_common`](crate::SchedulerKind)-style planning.
+///
+/// The triple is a pure function of the workload structure plus the
+/// inputs folded into the memo key (see
+/// [`ScheduleAnalysis::ladder_eval`]); notably it never reads the Frame
+/// Buffer capacity, which is what lets arch-only variants share rungs.
+#[derive(Debug)]
+pub struct LadderEval {
+    /// Stage plans for one full execution at this reuse factor.
+    pub stages: Vec<StagePlan>,
+    /// The operation schedule emitted from those stages.
+    pub ops: OpSchedule,
+    /// The full simulation report of `ops` — kept whole (not just the
+    /// makespan) so the final evaluation of the chosen rung can reuse
+    /// it instead of re-simulating.
+    pub report: SimReport,
+}
 
 /// Cached invariants of one (application, cluster schedule) pair.
 ///
@@ -31,6 +54,9 @@ pub struct ScheduleAnalysis {
     candidates: [OnceLock<Vec<Candidate>>; 2],
     /// Empty-retention cluster peaks keyed by (cluster, rf, model).
     footprints: Mutex<HashMap<(usize, u64, bool), Words>>,
+    /// RF-ladder evaluations keyed by a canonical hash of their
+    /// non-structural inputs (see [`ScheduleAnalysis::ladder_eval`]).
+    evals: Mutex<HashMap<u64, Arc<LadderEval>>>,
 }
 
 impl ScheduleAnalysis {
@@ -42,7 +68,53 @@ impl ScheduleAnalysis {
             lifetimes: Lifetimes::analyze(app, sched),
             candidates: [OnceLock::new(), OnceLock::new()],
             footprints: Mutex::new(HashMap::new()),
+            evals: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The memoized RF-ladder evaluation under `key`, if present.
+    #[must_use]
+    pub fn ladder_hit(&self, key: u64) -> Option<Arc<LadderEval>> {
+        self.evals
+            .lock()
+            .expect("not poisoned")
+            .get(&key)
+            .map(Arc::clone)
+    }
+
+    /// The memoized RF-ladder evaluation under `key`, computing it via
+    /// `compute` on first request.
+    ///
+    /// The *caller* owns the key contract: `key` must cover every input
+    /// of `compute` beyond the (application, cluster schedule) pair this
+    /// analysis was built from — the reuse factor, the retention set,
+    /// the context-load policy and Context Memory capacity, and the
+    /// timing parameters the simulator reads. The Frame Buffer capacity
+    /// is deliberately absent: stage building, op emission, and the
+    /// cycle simulation never consume it, which is exactly what lets
+    /// arch-only (FB-size) variants of one structure share rungs.
+    ///
+    /// Concurrent first requests may both run `compute`; the results
+    /// are identical by the purity contract, so whichever insert lands
+    /// last is indistinguishable from the other.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error; errors are never cached.
+    pub fn ladder_eval<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<LadderEval, E>,
+    ) -> Result<Arc<LadderEval>, E> {
+        if let Some(hit) = self.evals.lock().expect("not poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let eval = Arc::new(compute()?);
+        self.evals
+            .lock()
+            .expect("not poisoned")
+            .insert(key, Arc::clone(&eval));
+        Ok(eval)
     }
 
     /// The lifetime analysis.

@@ -20,8 +20,10 @@
 //! [`Observer::fault`](crate::trace::Observer::fault) so firing also
 //! bumps a `fault.<seam>` metric on the run's registry.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
@@ -245,6 +247,17 @@ fn decision_hash(seed: u64, seam: Seam, index: u64) -> u64 {
     splitmix64(splitmix64(seed ^ salt) ^ index)
 }
 
+/// Anything that can answer "does a fault fire here?": a process-wide
+/// [`FaultPlan`] or a per-request [`FaultScope`]. The scheduler-side
+/// seams ([`Observer::fault`](crate::trace::Observer::fault)) consume
+/// decisions through this trait so the pipeline works identically under
+/// either counter scope.
+pub trait FaultDecider: Sync {
+    /// One decision at `seam`: consumes the decider's next counter
+    /// index for that seam and returns the fault to inject, if any.
+    fn decide(&self, seam: Seam) -> Option<Fault>;
+}
+
 /// A live fault plan: the config plus per-seam atomic decision
 /// counters. Shared across threads (`Arc`) — decisions are lock-free.
 #[derive(Debug)]
@@ -254,6 +267,10 @@ pub struct FaultPlan {
     queries: [AtomicU64; SEAMS],
     fired: [AtomicU64; SEAMS],
     sequence_hash: AtomicU64,
+    /// Attempts seen per request key, so every retry of the same key
+    /// scopes to a fresh deterministic decision stream (a transient
+    /// fault must not replay forever).
+    attempts: Mutex<HashMap<u64, u64>>,
 }
 
 impl FaultPlan {
@@ -266,6 +283,7 @@ impl FaultPlan {
             queries: Default::default(),
             fired: Default::default(),
             sequence_hash: AtomicU64::new(0),
+            attempts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -282,11 +300,46 @@ impl FaultPlan {
     pub fn decide(&self, seam: Seam) -> Option<Fault> {
         let s = seam.index();
         let index = self.queries[s].fetch_add(1, Ordering::Relaxed);
+        self.roll(seam, self.config.seed, index)
+    }
+
+    /// Opens a per-request decision scope for `request_key`. The scope
+    /// owns fresh per-seam counters and salts every decision with the
+    /// key and this key's attempt number, so:
+    ///
+    /// * the faults a request sees depend only on `(seed, key,
+    ///   attempt)` — not on how many allocations *other* requests
+    ///   performed before it ran, and
+    /// * a retry of the same key draws a fresh stream, so a transient
+    ///   fault stays transient instead of replaying on every attempt.
+    ///
+    /// Scope decisions still account to the plan's global snapshot
+    /// (queries, fires, sequence hash).
+    #[must_use]
+    pub fn scope(self: &Arc<Self>, request_key: u64) -> FaultScope {
+        let attempt = {
+            let mut attempts = self.attempts.lock().expect("fault attempts poisoned");
+            let slot = attempts.entry(request_key).or_insert(0);
+            let attempt = *slot;
+            *slot += 1;
+            attempt
+        };
+        FaultScope {
+            seed: self.config.seed ^ splitmix64(request_key ^ splitmix64(attempt)),
+            plan: Arc::clone(self),
+            queries: Default::default(),
+        }
+    }
+
+    /// The shared decision core: rate check, fire bookkeeping, and
+    /// flavor derivation for one `(seed, seam, index)` triple.
+    fn roll(&self, seam: Seam, seed: u64, index: u64) -> Option<Fault> {
+        let s = seam.index();
         let rate = self.config.rates_ppm[s];
         if rate == 0 {
             return None;
         }
-        let h = decision_hash(self.config.seed, seam, index);
+        let h = decision_hash(seed, seam, index);
         if h % 1_000_000 >= u64::from(rate) {
             return None;
         }
@@ -339,6 +392,50 @@ impl FaultPlan {
                 .collect(),
             sequence_hash: self.sequence_hash.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl FaultDecider for FaultPlan {
+    fn decide(&self, seam: Seam) -> Option<Fault> {
+        FaultPlan::decide(self, seam)
+    }
+}
+
+/// A per-request view of a [`FaultPlan`], from
+/// [`FaultPlan::scope`]: decisions index private per-seam counters
+/// salted by `(request_key, attempt)` instead of the plan's
+/// process-wide counters.
+///
+/// This is what makes chaos replay robust to *unrelated* call-count
+/// changes: with process-wide counters, making the allocator issue one
+/// more or one fewer [`Seam::FbAlloc`] query for request A shifts every
+/// later request's decision indices; with a scope, each request's fault
+/// stream is a pure function of its own behavior.
+#[derive(Debug)]
+pub struct FaultScope {
+    plan: Arc<FaultPlan>,
+    /// Effective seed: the plan seed salted with the request key and
+    /// the per-key attempt number.
+    seed: u64,
+    queries: [AtomicU64; SEAMS],
+}
+
+impl FaultScope {
+    /// The plan this scope draws configuration and accounting from.
+    #[must_use]
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl FaultDecider for FaultScope {
+    fn decide(&self, seam: Seam) -> Option<Fault> {
+        let s = seam.index();
+        let index = self.queries[s].fetch_add(1, Ordering::Relaxed);
+        // Global query accounting: the snapshot still counts every
+        // decision taken anywhere.
+        self.plan.queries[s].fetch_add(1, Ordering::Relaxed);
+        self.plan.roll(seam, self.seed, index)
     }
 }
 
@@ -464,6 +561,66 @@ mod tests {
         let json = serde_json::to_string(&snap).expect("serialize");
         let back: FaultSnapshot = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn scopes_replay_by_key_and_attempt() {
+        let drain_scope = |scope: &FaultScope, seam: Seam, n: usize| -> Vec<Option<Fault>> {
+            (0..n).map(|_| scope.decide(seam)).collect()
+        };
+        let a = Arc::new(FaultPlan::new(FaultConfig::chaos(7)));
+        let b = Arc::new(FaultPlan::new(FaultConfig::chaos(7)));
+        // First attempts for the same key replay across plans…
+        let sa = a.scope(0xDEAD_BEEF);
+        let sb = b.scope(0xDEAD_BEEF);
+        for seam in Seam::ALL {
+            assert_eq!(
+                drain_scope(&sa, seam, 300),
+                drain_scope(&sb, seam, 300),
+                "same (seed, key, attempt) must replay at {seam}"
+            );
+        }
+        // …and a retry of the key draws a different stream (the fault
+        // sequence must not be pinned to the key forever). A hot rate
+        // makes stream divergence overwhelmingly likely.
+        let hot = Arc::new(FaultPlan::new(
+            FaultConfig::new(7).with_rate(Seam::FbAlloc, 500_000),
+        ));
+        let attempt0 = drain_scope(&hot.scope(0xDEAD_BEEF), Seam::FbAlloc, 64);
+        let attempt1 = drain_scope(&hot.scope(0xDEAD_BEEF), Seam::FbAlloc, 64);
+        assert_ne!(attempt0, attempt1, "attempt number salts the stream");
+    }
+
+    #[test]
+    fn scoped_decisions_ignore_other_requests_traffic() {
+        // The same key sees the same faults no matter how much other
+        // keys (or the global counters) were queried first.
+        let quiet = Arc::new(FaultPlan::new(FaultConfig::chaos(7)));
+        let busy = Arc::new(FaultPlan::new(FaultConfig::chaos(7)));
+        for _ in 0..500 {
+            let _ = busy.decide(Seam::FbAlloc);
+        }
+        let other = busy.scope(1);
+        for _ in 0..500 {
+            let _ = other.decide(Seam::FbAlloc);
+        }
+        let sq = quiet.scope(42);
+        let sb = busy.scope(42);
+        let a: Vec<_> = (0..300).map(|_| sq.decide(Seam::FbAlloc)).collect();
+        let b: Vec<_> = (0..300).map(|_| sb.decide(Seam::FbAlloc)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scoped_queries_account_to_the_plan_snapshot() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig::new(9)));
+        let scope = plan.scope(5);
+        for _ in 0..40 {
+            let _ = scope.decide(Seam::FbAlloc);
+        }
+        let _ = plan.decide(Seam::FbAlloc);
+        let snap = plan.snapshot();
+        assert_eq!(snap.seams[3].queries, 41, "scope queries are counted");
     }
 
     #[test]

@@ -102,8 +102,56 @@ pub fn canonical_value_hash(value: &Value) -> u64 {
     h.0
 }
 
-/// The content-addressed key of one scheduling request: a canonical
-/// hash over (application, partition, architecture, scheduler, config).
+/// The workload-structure half of a request key: a canonical hash over
+/// (application, partition) only.
+///
+/// Everything the structure key covers feeds the arch-independent
+/// analysis phase — clustering resolution, lifetimes, sharing-candidate
+/// ranking — so two requests with equal structure keys can share one
+/// memoized [`ScheduleAnalysis`](crate::ScheduleAnalysis) even when
+/// their architectures, schedulers, or configs differ.
+///
+/// Pass `None` for `sched` when the request uses the default singleton
+/// partition — an explicit singleton partition hashes differently on
+/// purpose (it pins cluster ids).
+#[must_use]
+pub fn structure_key(app: &Application, sched: Option<&ClusterSchedule>) -> u64 {
+    let tree = Value::Seq(vec![
+        Value::Str("structure".to_owned()),
+        app.to_value(),
+        sched.map_or(Value::Null, Serialize::to_value),
+    ]);
+    canonical_value_hash(&tree)
+}
+
+/// The architecture half of a request key: a canonical hash over
+/// (scheduler, architecture, config) — every input the data-scheduling
+/// and allocation phases consume beyond the workload structure.
+#[must_use]
+pub fn arch_key(arch: &ArchParams, kind: SchedulerKind, config: &SchedulerConfig) -> u64 {
+    let tree = Value::Seq(vec![
+        Value::Str(kind.name().to_owned()),
+        arch.to_value(),
+        config.to_value(),
+    ]);
+    canonical_value_hash(&tree)
+}
+
+/// Combines a [`structure_key`] and an [`arch_key`] into the full
+/// request key. The asymmetric mix (the arch half passes through
+/// `splitmix64` before the XOR, and the combination is finalized once
+/// more) keeps the two halves from cancelling and breaks the
+/// swap-symmetry a plain XOR would have.
+#[must_use]
+pub fn compose_key(structure: u64, arch: u64) -> u64 {
+    crate::fault::splitmix64(structure ^ crate::fault::splitmix64(arch))
+}
+
+/// The content-addressed key of one scheduling request: the
+/// [`compose_key`] combination of its [`structure_key`] and
+/// [`arch_key`] halves, so callers that already hold the halves (the
+/// serve analysis cache, the sweep deduplicator) compose the same key
+/// without re-hashing the full request.
 ///
 /// Pass `None` for `sched` when the request uses the default singleton
 /// partition — an explicit singleton partition hashes differently on
@@ -116,14 +164,7 @@ pub fn request_key(
     kind: SchedulerKind,
     config: &SchedulerConfig,
 ) -> u64 {
-    let tree = Value::Seq(vec![
-        Value::Str(kind.name().to_owned()),
-        app.to_value(),
-        sched.map_or(Value::Null, Serialize::to_value),
-        arch.to_value(),
-        config.to_value(),
-    ]);
-    canonical_value_hash(&tree)
+    compose_key(structure_key(app, sched), arch_key(arch, kind, config))
 }
 
 #[cfg(test)]
@@ -194,5 +235,30 @@ mod tests {
             request_key(&a, Some(&singles), &arch, SchedulerKind::Cds, &config),
             "explicit partition differs from implicit default"
         );
+    }
+
+    #[test]
+    fn split_halves_compose_to_the_request_key() {
+        let config = SchedulerConfig::default();
+        let arch = ArchParams::m1();
+        let a = app(8);
+        let s = structure_key(&a, None);
+        let ak = arch_key(&arch, SchedulerKind::Cds, &config);
+        assert_eq!(
+            compose_key(s, ak),
+            request_key(&a, None, &arch, SchedulerKind::Cds, &config)
+        );
+        // Arch-only variants share the structure half…
+        let big = ArchParams::m1_with_fb(Words::kilo(2));
+        assert_eq!(s, structure_key(&a, None));
+        assert_ne!(ak, arch_key(&big, SchedulerKind::Cds, &config));
+        // …and structure variants share the arch half.
+        assert_ne!(s, structure_key(&app(9), None));
+        assert_eq!(ak, arch_key(&arch, SchedulerKind::Cds, &config));
+        // The scheduler axis lives on the arch half: analysis is
+        // scheduler-independent.
+        assert_ne!(ak, arch_key(&arch, SchedulerKind::Ds, &config));
+        // Composition is order-sensitive: swapped halves change the key.
+        assert_ne!(compose_key(s, ak), compose_key(ak, s));
     }
 }

@@ -85,25 +85,29 @@ mod sharing;
 mod trace;
 
 pub use alloc_walk::{AllocationReport, AllocationWalk, PlacementRecord, PlacementRole};
-pub use analysis::ScheduleAnalysis;
+pub use analysis::{LadderEval, ScheduleAnalysis};
 pub use cancel::CancelToken;
 pub use codegen::{generate_program, CodeOp, CodeOpDisplay, TransferProgram};
 pub use emit::{emit_ops, stage_compute_cycles};
 pub use error::{McdsError, ScheduleError};
-pub use fault::{splitmix64, Fault, FaultConfig, FaultPlan, FaultSnapshot, Seam, SeamStats};
+pub use fault::{
+    splitmix64, Fault, FaultConfig, FaultDecider, FaultPlan, FaultScope, FaultSnapshot, Seam,
+    SeamStats,
+};
 pub use footprint::{all_fit, cluster_peak, ds_formula, first_unfit, FootprintModel};
-pub use key::{canonical_value_hash, request_key};
+pub use key::{arch_key, canonical_value_hash, compose_key, request_key, structure_key};
 pub use lifetime::Lifetimes;
 pub use pipeline::{
-    ClusterProvider, Pipeline, PipelineComparison, PipelineRun, SchedulerKind, SingletonClusters,
+    ClusterProvider, Pipeline, PipelineComparison, PipelineRun, PreparedSchedule, SchedulerKind,
+    SingletonClusters,
 };
 pub use plan::{build_stages, SchedulePlan, StagePlan};
 pub use report::{table_header, Comparison, ExperimentRow};
 pub use retention::{select_greedy, select_greedy_with, RetentionRanking, RetentionSet};
 pub use rf::max_common_rf;
 pub use scheduler::{
-    evaluate, evaluate_observed, BasicScheduler, CdsScheduler, ContextPolicy, DataScheduler,
-    DsScheduler, SchedulerConfig,
+    evaluate, evaluate_observed, evaluate_with_analysis, BasicScheduler, CdsScheduler,
+    ContextPolicy, DataScheduler, DsScheduler, SchedulerConfig,
 };
 pub use sharing::{find_candidates, find_candidates_with, Candidate, RetainedKind};
 pub use trace::{

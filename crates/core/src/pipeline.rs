@@ -36,10 +36,28 @@ use mcds_sim::SimReport;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate_observed, render_explain, BasicScheduler, CancelToken, CdsScheduler, Comparison,
-    DataScheduler, DsScheduler, ExperimentRow, Fault, FaultPlan, McdsError, MetricsRegistry,
-    Observer, ScheduleAnalysis, SchedulePlan, SchedulerConfig, Seam, TraceSink, VecSink,
+    evaluate_with_analysis, render_explain, BasicScheduler, CancelToken, CdsScheduler, Comparison,
+    DataScheduler, DsScheduler, ExperimentRow, Fault, FaultDecider, FaultPlan, FaultScope,
+    McdsError, MetricsRegistry, Observer, ScheduleAnalysis, SchedulePlan, SchedulerConfig, Seam,
+    TraceSink, VecSink,
 };
+
+/// How a pipeline consumes fault decisions: straight off the shared
+/// plan's process-wide counters, or through a per-request
+/// [`FaultScope`].
+enum FaultBinding {
+    Global(Arc<FaultPlan>),
+    Scoped(FaultScope),
+}
+
+impl FaultBinding {
+    fn decider(&self) -> &dyn FaultDecider {
+        match self {
+            FaultBinding::Global(plan) => plan.as_ref(),
+            FaultBinding::Scoped(scope) => scope,
+        }
+    }
+}
 
 /// A cluster-formation strategy: anything that can turn an application
 /// into a [`ClusterSchedule`] for a given architecture.
@@ -155,7 +173,7 @@ pub struct Pipeline {
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
     cancel: Option<CancelToken>,
-    faults: Option<Arc<FaultPlan>>,
+    faults: Option<FaultBinding>,
 }
 
 impl Pipeline {
@@ -246,13 +264,25 @@ impl Pipeline {
     /// omit it.
     #[must_use]
     pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
-        self.faults = Some(plan);
+        self.faults = Some(FaultBinding::Global(plan));
+        self
+    }
+
+    /// Like [`faults`](Pipeline::faults), but scoped: decisions index
+    /// per-request counters salted by `(request_key, attempt)` via
+    /// [`FaultPlan::scope`], so this run's fault stream is independent
+    /// of how many decisions other requests consumed, and retries of
+    /// the same key draw fresh streams. The serving layer binds every
+    /// worker run this way.
+    #[must_use]
+    pub fn faults_scoped(mut self, plan: &Arc<FaultPlan>, request_key: u64) -> Self {
+        self.faults = Some(FaultBinding::Scoped(plan.scope(request_key)));
         self
     }
 
     fn observer(&self) -> Observer<'_> {
         Observer::new(self.sink.as_deref(), self.metrics.as_deref())
-            .with_faults(self.faults.as_deref())
+            .with_faults(self.faults.as_ref().map(FaultBinding::decider))
     }
 
     fn check_cancel(&self) -> Result<(), McdsError> {
@@ -323,6 +353,75 @@ impl Pipeline {
         )
     }
 
+    /// Runs the arch-independent front half of the chain — cluster
+    /// resolution plus the shared [`ScheduleAnalysis`] (lifetimes,
+    /// sharing candidates) — and packages it for reuse by
+    /// [`run_prepared`](Pipeline::run_prepared).
+    ///
+    /// The result depends only on the application and the resolved
+    /// partition, so one `PreparedSchedule` can serve every
+    /// (architecture, scheduler, config) variant of the same workload
+    /// structure — provided the [`ClusterProvider`] itself ignores the
+    /// architecture (fixed schedules and [`SingletonClusters`] do;
+    /// search-based providers may not).
+    ///
+    /// This half is pure and uncancellable: no checkpoints fire, no
+    /// trace events stream, and no fault decisions are consumed, so a
+    /// cached `PreparedSchedule` is byte-identical to what a
+    /// from-scratch [`run`](Pipeline::run) would have computed
+    /// internally even when the producing request was faulted or
+    /// cancelled later in its pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the [`ClusterProvider`] reports.
+    pub fn prepare(&self) -> Result<PreparedSchedule, McdsError> {
+        let schedule = self.resolve_clusters()?;
+        let analysis = Arc::new(ScheduleAnalysis::new(&self.app, &schedule));
+        Ok(PreparedSchedule { schedule, analysis })
+    }
+
+    /// Runs the back half of the chain — data scheduling, allocation,
+    /// and evaluation — over a previously [`prepare`](Pipeline::prepare)d
+    /// front half.
+    ///
+    /// Consults the same seams in the same order as
+    /// [`run`](Pipeline::run) (admission, clustering, planning), so
+    /// fault streams, cancellation behavior, trace events, and the
+    /// outcome are all bit-identical to a from-scratch run of the same
+    /// request — the incremental-equivalence differential suite pins
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Planning or evaluation errors, unified as [`McdsError`].
+    pub fn run_prepared(&self, prepared: &PreparedSchedule) -> Result<PipelineRun, McdsError> {
+        self.checkpoint(Seam::PipelineAdmission)?;
+        let observer = self.observer();
+        self.checkpoint(Seam::PipelineClustering)?;
+        let scheduler = self.scheduler.instantiate(self.config);
+        let plan = scheduler.plan_observed(
+            &self.app,
+            &prepared.schedule,
+            &self.arch,
+            &prepared.analysis,
+            observer,
+        )?;
+        self.checkpoint(Seam::PipelinePlanning)?;
+        let report = evaluate_with_analysis(
+            &plan,
+            &self.arch,
+            &self.config,
+            &prepared.analysis,
+            observer,
+        )?;
+        Ok(PipelineRun {
+            schedule: prepared.schedule.clone(),
+            plan,
+            report,
+        })
+    }
+
     /// Runs the full chain with the selected scheduler.
     ///
     /// # Errors
@@ -339,7 +438,7 @@ impl Pipeline {
         let plan =
             scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
         self.checkpoint(Seam::PipelinePlanning)?;
-        let report = evaluate_observed(&plan, &self.arch, observer)?;
+        let report = evaluate_with_analysis(&plan, &self.arch, &self.config, &analysis, observer)?;
         Ok(PipelineRun {
             schedule,
             plan,
@@ -362,8 +461,8 @@ impl Pipeline {
             local: local.clone(),
             other: self.sink.clone(),
         };
-        let observer =
-            Observer::new(Some(&tee), self.metrics.as_deref()).with_faults(self.faults.as_deref());
+        let observer = Observer::new(Some(&tee), self.metrics.as_deref())
+            .with_faults(self.faults.as_ref().map(FaultBinding::decider));
         self.checkpoint(Seam::PipelineAdmission)?;
         let schedule = self.resolve_clusters()?;
         self.checkpoint(Seam::PipelineClustering)?;
@@ -372,7 +471,7 @@ impl Pipeline {
         let plan =
             scheduler.plan_observed(&self.app, &schedule, &self.arch, &analysis, observer)?;
         self.checkpoint(Seam::PipelinePlanning)?;
-        let report = evaluate_observed(&plan, &self.arch, observer)?;
+        let report = evaluate_with_analysis(&plan, &self.arch, &self.config, &analysis, observer)?;
         let log = render_explain(&local.take());
         Ok((
             PipelineRun {
@@ -429,6 +528,31 @@ impl fmt::Debug for Pipeline {
             .field("scheduler", &self.scheduler)
             .field("arch", &self.arch)
             .finish_non_exhaustive()
+    }
+}
+
+/// The reusable front half of a pipeline: the resolved cluster schedule
+/// plus the arch-independent [`ScheduleAnalysis`] over it, from
+/// [`Pipeline::prepare`]. Cloning shares the analysis (`Arc`), so a
+/// cached instance serves concurrent [`Pipeline::run_prepared`] calls
+/// across arch variants of the same workload structure.
+#[derive(Debug, Clone)]
+pub struct PreparedSchedule {
+    schedule: ClusterSchedule,
+    analysis: Arc<ScheduleAnalysis>,
+}
+
+impl PreparedSchedule {
+    /// The resolved cluster schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &ClusterSchedule {
+        &self.schedule
+    }
+
+    /// The shared analysis over that schedule.
+    #[must_use]
+    pub fn analysis(&self) -> &Arc<ScheduleAnalysis> {
+        &self.analysis
     }
 }
 
@@ -702,6 +826,60 @@ mod tests {
             .expect("all rates zero");
         assert_eq!(plain.plan().rf(), faulted.plan().rf());
         assert_eq!(plain.report().total(), faulted.report().total());
+    }
+
+    #[test]
+    fn prepared_run_matches_from_scratch_across_arches() {
+        for arch in [ArchParams::m1(), ArchParams::m1_with_fb(Words::kilo(2))] {
+            for kind in SchedulerKind::ALL {
+                let pipeline = Pipeline::new(app()).arch(arch).scheduler(kind);
+                let prepared = pipeline.prepare().expect("prepares");
+                let inc = pipeline.run_prepared(&prepared).expect("runs prepared");
+                let scratch = pipeline.run().expect("runs");
+                assert_eq!(inc.plan().rf(), scratch.plan().rf());
+                assert_eq!(inc.report().total(), scratch.report().total());
+                assert_eq!(inc.schedule(), scratch.schedule());
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_run_streams_identical_trace_events() {
+        let inc_sink = VecSink::new();
+        let scratch_sink = VecSink::new();
+        let incremental = Pipeline::new(app()).trace(inc_sink.clone());
+        let prepared = incremental.prepare().expect("prepares");
+        incremental.run_prepared(&prepared).expect("runs prepared");
+        Pipeline::new(app())
+            .trace(scratch_sink.clone())
+            .run()
+            .expect("runs");
+        assert_eq!(
+            inc_sink.take(),
+            scratch_sink.take(),
+            "prepared reuse must not perturb the event stream"
+        );
+    }
+
+    #[test]
+    fn scoped_faults_replay_per_key_through_the_pipeline() {
+        use crate::FaultConfig;
+        // Under a scoped binding, the outcome for (seed, key, attempt)
+        // is independent of unrelated traffic drawn from the same plan.
+        let outcome = |pre_drain: u64| {
+            let plan = Arc::new(FaultPlan::new(
+                FaultConfig::new(11).with_rate(Seam::FbAlloc, 200_000),
+            ));
+            for _ in 0..pre_drain {
+                let _ = plan.decide(Seam::FbAlloc);
+            }
+            Pipeline::new(app())
+                .faults_scoped(&plan, 0xABCD)
+                .run()
+                .map(|r| r.report().total())
+                .map_err(|e| e.to_string())
+        };
+        assert_eq!(outcome(0), outcome(999));
     }
 
     #[test]

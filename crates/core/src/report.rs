@@ -7,8 +7,8 @@ use mcds_sim::SimReport;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate, DataScheduler, ScheduleAnalysis, ScheduleError, SchedulePlan, SchedulerConfig,
-    SchedulerKind,
+    evaluate_with_analysis, DataScheduler, Observer, ScheduleAnalysis, ScheduleError, SchedulePlan,
+    SchedulerConfig, SchedulerKind,
 };
 
 /// The outcome of running all three schedulers on one experiment.
@@ -42,7 +42,7 @@ impl Comparison {
         let analysis = ScheduleAnalysis::new(app, sched);
         let go = |s: &dyn DataScheduler| -> Result<(SchedulePlan, SimReport), ScheduleError> {
             let plan = s.plan_with_analysis(app, sched, arch, &analysis)?;
-            let report = evaluate(&plan, arch)?;
+            let report = evaluate_with_analysis(&plan, arch, &config, &analysis, Observer::none())?;
             Ok((plan, report))
         };
         Comparison {

@@ -1,16 +1,18 @@
 //! The three data schedulers behind a common interface.
 
+use std::sync::Arc;
+
 use mcds_csched::ContextScheduler;
-use mcds_model::{Application, ArchParams, ClusterSchedule, Cycles, Words};
+use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
 use mcds_sim::{SimReport, Simulator};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::emit::emit_ops;
 use crate::plan::build_stages;
 use crate::{
-    all_fit, cluster_peak, first_unfit, select_greedy, select_greedy_with, AllocationWalk, Event,
-    FootprintModel, Observer, RetentionRanking, RetentionSet, ScheduleAnalysis, ScheduleError,
-    SchedulePlan,
+    all_fit, canonical_value_hash, cluster_peak, first_unfit, select_greedy, select_greedy_with,
+    AllocationWalk, Event, FootprintModel, LadderEval, Observer, RetentionRanking, RetentionSet,
+    ScheduleAnalysis, ScheduleError, SchedulePlan,
 };
 
 /// How context loads are planned per stage.
@@ -434,13 +436,7 @@ fn plan_common(
         Retain::Yes => analysis.sharing_candidates(app, sched, arch.fb_cross_set_access()),
     };
 
-    let mut best: Option<(
-        u64,
-        RetentionSet,
-        Vec<crate::StagePlan>,
-        mcds_sim::OpSchedule,
-        Cycles,
-    )> = None;
+    let mut best: Option<(u64, RetentionSet, Arc<LadderEval>)> = None;
     for rf in rf_candidates {
         // 2. Retention (CDS only): greedy TF-ordered selection, keeping
         //    a candidate only if every cluster still fits at this RF.
@@ -454,20 +450,33 @@ fn plan_common(
             ),
         };
 
-        // 3. Context plan for this RF's round structure.
-        let rounds = app.iterations().div_ceil(rf);
-        let stage_clusters: Vec<usize> = (0..rounds).flat_map(|_| 0..sched.len()).collect();
-        let ctx_plan = match config.context_policy {
-            ContextPolicy::ReloadPerActivation => {
-                cs.plan_reload_always(&cluster_contexts, &stage_clusters)
-            }
-            ContextPolicy::LruResidency => cs.plan(&cluster_contexts, &stage_clusters),
-        };
-
-        // 4. Stages, ops, tentative evaluation.
-        let stages = build_stages(app, sched, lifetimes, &retention, rf, ctx_plan.loads());
-        let ops = emit_ops(app, sched, &stages)?;
-        let total = simulator.run(&ops)?.total();
+        // 3+4. Context plan, stages, ops, tentative evaluation — a pure
+        //      function of the workload structure plus the inputs in
+        //      the memo key (which the FB capacity is *not* part of),
+        //      so arch-only variants replay the rung from the shared
+        //      analysis instead of re-simulating it.
+        let eval = analysis.ladder_eval(
+            ladder_eval_key(rf, &retention, config, arch),
+            || -> Result<LadderEval, ScheduleError> {
+                let rounds = app.iterations().div_ceil(rf);
+                let stage_clusters: Vec<usize> = (0..rounds).flat_map(|_| 0..sched.len()).collect();
+                let ctx_plan = match config.context_policy {
+                    ContextPolicy::ReloadPerActivation => {
+                        cs.plan_reload_always(&cluster_contexts, &stage_clusters)
+                    }
+                    ContextPolicy::LruResidency => cs.plan(&cluster_contexts, &stage_clusters),
+                };
+                let stages = build_stages(app, sched, lifetimes, &retention, rf, ctx_plan.loads());
+                let ops = emit_ops(app, sched, &stages)?;
+                let report = simulator.run(&ops)?;
+                Ok(LadderEval {
+                    stages,
+                    ops,
+                    report,
+                })
+            },
+        )?;
+        let total = eval.report.total();
         observer.count("plan.rf_evaluated", 1);
         observer.emit(|| Event::RfEvaluated {
             scheduler: name.to_owned(),
@@ -479,15 +488,17 @@ fn plan_common(
             None => true,
             // Strictly faster wins; on a tie prefer the larger RF
             // (fewer context loads for the same makespan).
-            Some((best_rf, .., best_total)) => {
-                total < *best_total || (total == *best_total && rf > *best_rf)
+            Some((best_rf, _, best_eval)) => {
+                total < best_eval.report.total()
+                    || (total == best_eval.report.total() && rf > *best_rf)
             }
         };
         if better {
-            best = Some((rf, retention, stages, ops, total));
+            best = Some((rf, retention, eval));
         }
     }
-    let (rf, retention, stages, ops, best_total) = best.expect("at least one RF candidate");
+    let (rf, retention, eval) = best.expect("at least one RF candidate");
+    let best_total = eval.report.total();
     observer.observe("plan.rf", rf);
     observer.emit(|| Event::RfChosen {
         scheduler: name.to_owned(),
@@ -546,11 +557,37 @@ fn plan_common(
     Ok(SchedulePlan::new(
         name.to_owned(),
         rf,
-        stages,
+        eval.stages.clone(),
         retention,
-        ops,
+        eval.ops.clone(),
         allocation,
     ))
+}
+
+/// The memo key of one RF-ladder rung: a canonical hash over every
+/// input of the (stages, ops, makespan) triple beyond the workload
+/// structure the owning [`ScheduleAnalysis`] is keyed by. The Frame
+/// Buffer capacity is deliberately absent — stage building, op
+/// emission, and the cycle simulation never read it (only the retention
+/// *selection* does, and the selected set is hashed by value here) —
+/// which is exactly what lets arch-only variants share rungs.
+fn ladder_eval_key(
+    rf: u64,
+    retention: &RetentionSet,
+    config: &SchedulerConfig,
+    arch: &ArchParams,
+) -> u64 {
+    let tree = Value::Seq(vec![
+        Value::Str("ladder".to_owned()),
+        Value::UInt(rf),
+        retention.to_value(),
+        config.context_policy.to_value(),
+        Value::UInt(u64::from(arch.cm_context_words())),
+        Value::UInt(arch.data_cycles_per_word()),
+        Value::UInt(arch.context_cycles_per_word()),
+        Value::UInt(arch.kernel_setup_cycles()),
+    ]);
+    canonical_value_hash(&tree)
 }
 
 fn id_u32(id: impl Into<usize>) -> u32 {
@@ -675,6 +712,48 @@ pub fn evaluate_observed(
     } else {
         simulator.run(ops)?
     };
+    observer.count("sim.runs", 1);
+    observer.count("sim.total_cycles", report.total().get());
+    observer.emit(|| Event::SimCompleted {
+        scheduler: plan.scheduler().to_owned(),
+        total_cycles: report.total().get(),
+        dma_busy: report.dma_busy().get(),
+        rc_busy: report.rc_busy().get(),
+    });
+    Ok(report)
+}
+
+/// Runs a plan on the M1 simulator, reusing the rung evaluation
+/// memoized in `analysis` when its simulation report is already known.
+///
+/// The chosen plan's (rf, retention) rung was necessarily simulated
+/// during planning under the same `config` and `arch`, so outside the
+/// per-op event path (the `sim-op-events` feature with an active
+/// observer, which must drive the simulator to narrate each op's
+/// timeline span) this normally re-simulates nothing: the memoized
+/// report is the same bytes a fresh [`evaluate_observed`] would
+/// produce, and the completion counters and event are emitted
+/// identically. Plans that did not come out of this `analysis` (a memo
+/// miss) fall back to a fresh simulation.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_with_analysis(
+    plan: &SchedulePlan,
+    arch: &ArchParams,
+    config: &SchedulerConfig,
+    analysis: &ScheduleAnalysis,
+    observer: Observer<'_>,
+) -> Result<SimReport, ScheduleError> {
+    if cfg!(feature = "sim-op-events") && observer.active() {
+        return evaluate_observed(plan, arch, observer);
+    }
+    let key = ladder_eval_key(plan.rf(), plan.retention(), config, arch);
+    let Some(eval) = analysis.ladder_hit(key) else {
+        return evaluate_observed(plan, arch, observer);
+    };
+    let report = eval.report.clone();
     observer.count("sim.runs", 1);
     observer.count("sim.total_cycles", report.total().get());
     observer.emit(|| Event::SimCompleted {

@@ -54,7 +54,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::Serialize;
 
-use crate::fault::{Fault, FaultPlan, Seam};
+use crate::fault::{Fault, FaultDecider, Seam};
 
 /// One observed decision or action, in schedule order.
 ///
@@ -368,7 +368,7 @@ impl Drop for JsonLinesSink {
 pub struct Observer<'a> {
     sink: Option<&'a dyn TraceSink>,
     metrics: Option<&'a MetricsRegistry>,
-    faults: Option<&'a FaultPlan>,
+    faults: Option<&'a dyn FaultDecider>,
 }
 
 impl<'a> Observer<'a> {
@@ -399,10 +399,12 @@ impl<'a> Observer<'a> {
         }
     }
 
-    /// Attaches a fault-injection plan: instrumented seams start
+    /// Attaches a fault decider (a process-wide
+    /// [`FaultPlan`](crate::FaultPlan) or a per-request
+    /// [`FaultScope`](crate::FaultScope)): instrumented seams start
     /// consulting it via [`fault`](Self::fault).
     #[must_use]
-    pub fn with_faults(mut self, faults: Option<&'a FaultPlan>) -> Self {
+    pub fn with_faults(mut self, faults: Option<&'a dyn FaultDecider>) -> Self {
         self.faults = faults;
         self
     }
@@ -447,7 +449,7 @@ impl<'a> Observer<'a> {
     }
 
     /// One fault decision at `seam` — `None` unless a
-    /// [`FaultPlan`](crate::FaultPlan) is attached *and* its
+    /// [`FaultDecider`](crate::FaultDecider) is attached *and* its
     /// deterministic counter fires here. Firing bumps the seam's
     /// `fault.*` counter on the attached metrics registry.
     #[inline]

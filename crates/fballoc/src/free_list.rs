@@ -1,6 +1,468 @@
-//! The `FB_list`: a sorted linear list of all free blocks.
+//! The `FB_list`: the set of free blocks in one Frame Buffer set.
+//!
+//! Two implementations share one API and bit-identical semantics:
+//!
+//! * [`FreeList`] — the production list. Blocks live in a start-ordered
+//!   map plus 64 size buckets (by `floor(log2(len))`), so directional
+//!   first-fit probes touch only the buckets that can possibly satisfy
+//!   the request instead of scanning every hole.
+//! * [`LinearFreeList`] — the original sorted-`Vec` linear scan, kept
+//!   verbatim as the shadow oracle for the differential property suite
+//!   (`tests/differential.rs`) and the before/after hot-path bench.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use mcds_model::Words;
+
+/// Bucket index for a block length: `floor(log2(len))`.
+///
+/// Bucket `k` holds lengths in `[2^k, 2^(k+1))`, so every block in a
+/// bucket above `bucket(need)` satisfies `need`, and within
+/// `bucket(need)` a per-block length check decides.
+fn bucket(len: u64) -> usize {
+    debug_assert!(len > 0);
+    (63 - len.leading_zeros()) as usize
+}
+
+/// A sorted, coalesced list of free address ranges within one Frame
+/// Buffer set — the paper's `FB_list`.
+///
+/// Addresses are word indices in `[0, capacity)`. The list maintains
+/// the invariants checked in debug builds: blocks are sorted by start
+/// address, no two blocks touch or overlap (touching blocks are
+/// coalesced on insert), and the size-bucket index mirrors the block
+/// map exactly.
+///
+/// # Example
+///
+/// ```
+/// use mcds_fballoc::FreeList;
+/// use mcds_model::Words;
+///
+/// let mut fl = FreeList::new(Words::new(100));
+/// assert_eq!(fl.total_free(), Words::new(100));
+/// let at = fl.take_first_fit(Words::new(30), true).expect("fits");
+/// assert_eq!(at, 70); // carved from the top of the highest block
+/// assert_eq!(fl.total_free(), Words::new(70));
+/// ```
+#[derive(Clone)]
+pub struct FreeList {
+    capacity: Words,
+    /// `start -> len`, the authoritative free-range set.
+    blocks: BTreeMap<u64, u64>,
+    /// `buckets[k]` holds the starts of blocks with
+    /// `floor(log2(len)) == k`.
+    buckets: [BTreeSet<u64>; 64],
+    /// Bit `k` set iff `buckets[k]` is nonempty.
+    nonempty: u64,
+    /// Running sum of all block lengths.
+    total: u64,
+}
+
+impl fmt::Debug for FreeList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FreeList")
+            .field("capacity", &self.capacity)
+            .field("blocks", &self.blocks)
+            .finish()
+    }
+}
+
+impl PartialEq for FreeList {
+    fn eq(&self, other: &Self) -> bool {
+        // The bucket index and totals are derived from the block map.
+        self.capacity == other.capacity && self.blocks == other.blocks
+    }
+}
+
+impl Eq for FreeList {}
+
+impl FreeList {
+    /// An entirely-free list covering `[0, capacity)`.
+    #[must_use]
+    pub fn new(capacity: Words) -> Self {
+        let mut fl = FreeList {
+            capacity,
+            blocks: BTreeMap::new(),
+            buckets: std::array::from_fn(|_| BTreeSet::new()),
+            nonempty: 0,
+            total: 0,
+        };
+        if !capacity.is_zero() {
+            fl.link(0, capacity.get());
+        }
+        fl
+    }
+
+    /// Capacity of the underlying set.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        self.capacity
+    }
+
+    /// Sum of all free block sizes.
+    #[must_use]
+    pub fn total_free(&self) -> Words {
+        Words::new(self.total)
+    }
+
+    /// Size of the largest free block.
+    #[must_use]
+    pub fn largest_block(&self) -> Words {
+        if self.nonempty == 0 {
+            return Words::ZERO;
+        }
+        // The largest block lives in the topmost nonempty bucket; its
+        // members differ by less than 2x, so scan that one bucket.
+        let top = 63 - self.nonempty.leading_zeros() as usize;
+        let max = self.buckets[top]
+            .iter()
+            .map(|s| self.blocks[s])
+            .max()
+            .unwrap_or(0);
+        Words::new(max)
+    }
+
+    /// Number of free blocks (fragmentation indicator).
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Free ranges as `(start, len)` pairs, sorted by address.
+    #[must_use]
+    pub fn ranges(&self) -> Vec<(u64, Words)> {
+        self.blocks
+            .iter()
+            .map(|(&s, &l)| (s, Words::new(l)))
+            .collect()
+    }
+
+    /// FNV-1a hash of the free-block structure (capacity plus every
+    /// `(start, len)` pair in address order). Two lists with identical
+    /// free ranges hash identically, so a replayed event stream can be
+    /// checked against the hash recorded in
+    /// [`TraceEvent::free_hash`](crate::TraceEvent::free_hash) without
+    /// storing the whole list.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.capacity.get());
+        for (&start, &len) in &self.blocks {
+            mix(start);
+            mix(len);
+        }
+        h
+    }
+
+    /// Returns `true` if `[start, start+size)` is entirely free.
+    #[must_use]
+    pub fn is_free(&self, start: u64, size: Words) -> bool {
+        if size.is_zero() {
+            return true;
+        }
+        let end = start + size.get();
+        self.blocks
+            .range(..=start)
+            .next_back()
+            .is_some_and(|(&s, &l)| s <= start && end <= s + l)
+    }
+
+    /// First-fit carve of a contiguous `size` words.
+    ///
+    /// With `from_upper == true` the scan walks blocks from the highest
+    /// address downwards and carves from the *top* of the first block
+    /// that fits (the paper's "first-fit algorithm from upper free
+    /// addresses"); otherwise it walks upwards and carves from the
+    /// bottom. Returns the start address of the carved range, or `None`
+    /// if no single block fits.
+    pub fn take_first_fit(&mut self, size: Words, from_upper: bool) -> Option<u64> {
+        if size.is_zero() {
+            return None;
+        }
+        let need = size.get();
+        let bstart = self.find_first_fit(need, from_upper)?;
+        let blen = self.blocks[&bstart];
+        let start = if from_upper {
+            bstart + blen - need
+        } else {
+            bstart
+        };
+        self.carve(bstart, blen, start, need);
+        Some(start)
+    }
+
+    /// The start of the directional first-fit block for `need` words:
+    /// the highest-addressed fitting block when `from_upper`, the
+    /// lowest otherwise.
+    fn find_first_fit(&self, need: u64, from_upper: bool) -> Option<u64> {
+        let k = bucket(need);
+        let mut best: Option<u64> = None;
+        // Every block in a bucket above k is large enough; only the
+        // directional extreme of each such bucket can win.
+        let mut mask = if k >= 63 {
+            0
+        } else {
+            self.nonempty & !((1u64 << (k + 1)) - 1)
+        };
+        while mask != 0 {
+            let j = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let s = if from_upper {
+                *self.buckets[j].last().expect("nonempty bit set")
+            } else {
+                *self.buckets[j].first().expect("nonempty bit set")
+            };
+            best = Some(match best {
+                None => s,
+                Some(b) if from_upper => b.max(s),
+                Some(b) => b.min(s),
+            });
+        }
+        // Bucket k holds lengths in [2^k, 2^(k+1)); `need` falls in
+        // that range, so check lengths individually, walking in the
+        // scan direction and stopping once no entry can beat `best`.
+        if from_upper {
+            for &s in self.buckets[k].iter().rev() {
+                if best.is_some_and(|b| s < b) {
+                    break;
+                }
+                if self.blocks[&s] >= need {
+                    best = Some(s);
+                    break;
+                }
+            }
+        } else {
+            for &s in &self.buckets[k] {
+                if best.is_some_and(|b| s > b) {
+                    break;
+                }
+                if self.blocks[&s] >= need {
+                    best = Some(s);
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Best-fit carve: picks the *smallest* block that holds `size`
+    /// (ties broken towards the scan direction), carving from the end
+    /// indicated by `from_upper`. Provided for the ablation against the
+    /// paper's first-fit choice.
+    pub fn take_best_fit(&mut self, size: Words, from_upper: bool) -> Option<u64> {
+        if size.is_zero() {
+            return None;
+        }
+        let need = size.get();
+        let bstart = self.find_best_fit(need, from_upper)?;
+        let blen = self.blocks[&bstart];
+        let start = if from_upper {
+            bstart + blen - need
+        } else {
+            bstart
+        };
+        self.carve(bstart, blen, start, need);
+        Some(start)
+    }
+
+    /// The start of the best-fit block for `need` words. The minimal
+    /// qualifying length lives either in `bucket(need)` itself or, if
+    /// none there qualifies, in the lowest nonempty bucket above it —
+    /// bucket length ranges do not overlap, so no other bucket needs a
+    /// look.
+    fn find_best_fit(&self, need: u64, from_upper: bool) -> Option<u64> {
+        let k = bucket(need);
+        if let Some(s) = self.best_in_bucket(k, need, from_upper) {
+            return Some(s);
+        }
+        let mask = if k >= 63 {
+            0
+        } else {
+            self.nonempty & !((1u64 << (k + 1)) - 1)
+        };
+        if mask == 0 {
+            return None;
+        }
+        self.best_in_bucket(mask.trailing_zeros() as usize, need, from_upper)
+    }
+
+    /// Smallest qualifying block in bucket `j`; ties resolve to the
+    /// highest start when `from_upper`, the lowest otherwise — matching
+    /// the linear scan's directional `min_by_key`.
+    fn best_in_bucket(&self, j: usize, need: u64, from_upper: bool) -> Option<u64> {
+        let mut best: Option<(u64, u64)> = None; // (len, start)
+        for &s in &self.buckets[j] {
+            let len = self.blocks[&s];
+            if len < need {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bl, bs)) => {
+                    len < bl || (len == bl && if from_upper { s > bs } else { s < bs })
+                }
+            };
+            if better {
+                best = Some((len, s));
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Carves the specific range `[start, start+size)` if it is free.
+    /// Returns `true` on success.
+    pub fn take_at(&mut self, start: u64, size: Words) -> bool {
+        if size.is_zero() {
+            return false;
+        }
+        let need = size.get();
+        let end = start + need;
+        let Some((&bstart, &blen)) = self.blocks.range(..=start).next_back() else {
+            return false;
+        };
+        if end > bstart + blen {
+            return false;
+        }
+        self.carve(bstart, blen, start, need);
+        true
+    }
+
+    /// Removes `[start, start+len)` from the block `[bstart,
+    /// bstart+blen)`, possibly leaving one or two remainder blocks.
+    fn carve(&mut self, bstart: u64, blen: u64, start: u64, len: u64) {
+        debug_assert!(bstart <= start && start + len <= bstart + blen);
+        self.unlink(bstart, blen);
+        let low_len = start - bstart;
+        if low_len > 0 {
+            self.link(bstart, low_len);
+        }
+        let high_start = start + len;
+        let high_len = bstart + blen - high_start;
+        if high_len > 0 {
+            self.link(high_start, high_len);
+        }
+        self.debug_check();
+    }
+
+    /// Returns `[start, start+size)` to the free list, coalescing with
+    /// any adjacent free blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or overlaps an existing free
+    /// block (double free) — both indicate allocator bugs, not user
+    /// errors.
+    pub fn insert(&mut self, start: u64, size: Words) {
+        if size.is_zero() {
+            return;
+        }
+        let len = size.get();
+        let end = start + len;
+        assert!(
+            end <= self.capacity.get(),
+            "free of [{start}, {end}) beyond capacity {}",
+            self.capacity
+        );
+        if let Some((&ps, &pl)) = self.blocks.range(..start).next_back() {
+            assert!(
+                ps + pl <= start,
+                "double free: overlaps [{}, {})",
+                ps,
+                ps + pl
+            );
+        }
+        let next = self.blocks.range(start..).next().map(|(&s, &l)| (s, l));
+        if let Some((ns, nl)) = next {
+            assert!(end <= ns, "double free: overlaps [{}, {})", ns, ns + nl);
+        }
+        let mut new_start = start;
+        let mut new_len = len;
+        // Coalesce with the following block.
+        if let Some((ns, nl)) = next {
+            if ns == end {
+                self.unlink(ns, nl);
+                new_len += nl;
+            }
+        }
+        // Coalesce with the preceding block.
+        if let Some((&ps, &pl)) = self.blocks.range(..start).next_back() {
+            if ps + pl == start {
+                self.unlink(ps, pl);
+                new_start = ps;
+                new_len += pl;
+            }
+        }
+        self.link(new_start, new_len);
+        self.debug_check();
+    }
+
+    /// Adds a block to the map and every index structure.
+    fn link(&mut self, start: u64, len: u64) {
+        let b = bucket(len);
+        let fresh = self.blocks.insert(start, len).is_none();
+        debug_assert!(fresh, "link over an existing block at {start}");
+        self.buckets[b].insert(start);
+        self.nonempty |= 1u64 << b;
+        self.total += len;
+    }
+
+    /// Removes a block from the map and every index structure.
+    fn unlink(&mut self, start: u64, len: u64) {
+        let b = bucket(len);
+        let removed = self.blocks.remove(&start);
+        debug_assert_eq!(removed, Some(len), "unlink of an unknown block");
+        self.buckets[b].remove(&start);
+        if self.buckets[b].is_empty() {
+            self.nonempty &= !(1u64 << b);
+        }
+        self.total -= len;
+    }
+
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut prev_end = 0u64;
+            let mut first = true;
+            let mut total = 0u64;
+            for (&start, &len) in &self.blocks {
+                assert!(len > 0, "zero-length free block");
+                assert!(
+                    first || prev_end < start,
+                    "overlapping or touching free blocks"
+                );
+                first = false;
+                prev_end = start + len;
+                total += len;
+                assert!(
+                    self.buckets[bucket(len)].contains(&start),
+                    "block missing from its size bucket"
+                );
+            }
+            assert!(prev_end <= self.capacity.get(), "block beyond capacity");
+            assert_eq!(total, self.total, "stale running total");
+            let mut mask = 0u64;
+            let mut indexed = 0usize;
+            for (k, b) in self.buckets.iter().enumerate() {
+                if !b.is_empty() {
+                    mask |= 1u64 << k;
+                }
+                indexed += b.len();
+            }
+            assert_eq!(mask, self.nonempty, "stale nonempty bitmask");
+            assert_eq!(indexed, self.blocks.len(), "stale bucket index");
+        }
+    }
+}
 
 /// A free block: `[start, start + len)` in word addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,33 +477,19 @@ impl Block {
     }
 }
 
-/// A sorted, coalesced list of free address ranges within one Frame
-/// Buffer set — the paper's `FB_list`.
-///
-/// Addresses are word indices in `[0, capacity)`. The list maintains two
-/// invariants checked in debug builds: blocks are sorted by start
-/// address, and no two blocks touch or overlap (touching blocks are
-/// coalesced on insert).
-///
-/// # Example
-///
-/// ```
-/// use mcds_fballoc::FreeList;
-/// use mcds_model::Words;
-///
-/// let mut fl = FreeList::new(Words::new(100));
-/// assert_eq!(fl.total_free(), Words::new(100));
-/// let at = fl.take_first_fit(Words::new(30), true).expect("fits");
-/// assert_eq!(at, 70); // carved from the top of the highest block
-/// assert_eq!(fl.total_free(), Words::new(70));
-/// ```
+/// The original sorted-`Vec` free list with linear directional scans —
+/// semantically bit-identical to [`FreeList`] and kept as the shadow
+/// oracle: the differential property suite replays every action
+/// sequence against both and asserts identical placements, stats, and
+/// [`state_hash`](LinearFreeList::state_hash) values, and the hot-path
+/// bench measures the indexed list against this baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FreeList {
+pub struct LinearFreeList {
     capacity: Words,
     blocks: Vec<Block>,
 }
 
-impl FreeList {
+impl LinearFreeList {
     /// An entirely-free list covering `[0, capacity)`.
     #[must_use]
     pub fn new(capacity: Words) -> Self {
@@ -53,7 +501,7 @@ impl FreeList {
                 len: capacity.get(),
             }]
         };
-        FreeList { capacity, blocks }
+        LinearFreeList { capacity, blocks }
     }
 
     /// Capacity of the underlying set.
@@ -89,12 +537,8 @@ impl FreeList {
             .collect()
     }
 
-    /// FNV-1a hash of the free-block structure (capacity plus every
-    /// `(start, len)` pair in address order). Two lists with identical
-    /// free ranges hash identically, so a replayed event stream can be
-    /// checked against the hash recorded in
-    /// [`TraceEvent::free_hash`](crate::TraceEvent::free_hash) without
-    /// storing the whole list.
+    /// FNV-1a hash of the free-block structure; identical input ranges
+    /// produce the same value as [`FreeList::state_hash`].
     #[must_use]
     pub fn state_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -126,14 +570,8 @@ impl FreeList {
             .any(|b| b.start <= start && end <= b.end())
     }
 
-    /// First-fit carve of a contiguous `size` words.
-    ///
-    /// With `from_upper == true` the scan walks blocks from the highest
-    /// address downwards and carves from the *top* of the first block
-    /// that fits (the paper's "first-fit algorithm from upper free
-    /// addresses"); otherwise it walks upwards and carves from the
-    /// bottom. Returns the start address of the carved range, or `None`
-    /// if no single block fits.
+    /// First-fit carve of a contiguous `size` words; see
+    /// [`FreeList::take_first_fit`].
     pub fn take_first_fit(&mut self, size: Words, from_upper: bool) -> Option<u64> {
         if size.is_zero() {
             return None;
@@ -156,10 +594,7 @@ impl FreeList {
         Some(start)
     }
 
-    /// Best-fit carve: picks the *smallest* block that holds `size`
-    /// (ties broken towards the scan direction), carving from the end
-    /// indicated by `from_upper`. Provided for the ablation against the
-    /// paper's first-fit choice.
+    /// Best-fit carve; see [`FreeList::take_best_fit`].
     pub fn take_best_fit(&mut self, size: Words, from_upper: bool) -> Option<u64> {
         if size.is_zero() {
             return None;
@@ -312,6 +747,7 @@ mod tests {
         let fl = FreeList::new(Words::ZERO);
         assert_eq!(fl.block_count(), 0);
         assert_eq!(fl.total_free(), Words::ZERO);
+        assert_eq!(fl.largest_block(), Words::ZERO);
     }
 
     #[test]
@@ -395,6 +831,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "double free")]
+    fn linear_double_free_panics() {
+        let mut fl = LinearFreeList::new(Words::new(30));
+        fl.insert(0, Words::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn linear_out_of_bounds_free_panics() {
+        let mut fl = LinearFreeList::new(Words::new(30));
+        assert!(fl.take_at(0, Words::new(30)));
+        fl.insert(25, Words::new(10));
+    }
+
+    #[test]
     fn state_hash_tracks_structure_not_history() {
         let mut a = FreeList::new(Words::new(100));
         let mut b = FreeList::new(Words::new(100));
@@ -416,11 +867,45 @@ mod tests {
     }
 
     #[test]
+    fn linear_and_indexed_hash_identically() {
+        let mut a = FreeList::new(Words::new(100));
+        let mut b = LinearFreeList::new(Words::new(100));
+        assert!(a.take_at(10, Words::new(20)));
+        assert!(b.take_at(10, Words::new(20)));
+        assert_eq!(a.take_first_fit(Words::new(8), true), Some(92));
+        assert_eq!(b.take_first_fit(Words::new(8), true), Some(92));
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(a.ranges(), b.ranges());
+    }
+
+    #[test]
     fn zero_size_requests() {
         let mut fl = FreeList::new(Words::new(10));
         assert_eq!(fl.take_first_fit(Words::ZERO, true), None);
+        assert_eq!(fl.take_best_fit(Words::ZERO, true), None);
         assert!(!fl.take_at(0, Words::ZERO));
         fl.insert(0, Words::ZERO); // no-op
         assert_eq!(fl.total_free(), Words::new(10));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_with_directional_ties() {
+        // Holes: [0,10) len 10, [20,28) len 8, [40,48) len 8, [60,100) len 40.
+        let mk = || {
+            let mut fl = FreeList::new(Words::new(100));
+            assert!(fl.take_at(10, Words::new(10)));
+            assert!(fl.take_at(28, Words::new(12)));
+            assert!(fl.take_at(48, Words::new(12)));
+            fl
+        };
+        // Upper tie-break: the higher of the two len-8 holes.
+        let mut fl = mk();
+        assert_eq!(fl.take_best_fit(Words::new(8), true), Some(40));
+        // Lower tie-break: the lower one.
+        let mut fl = mk();
+        assert_eq!(fl.take_best_fit(Words::new(8), false), Some(20));
+        // A 9-word request skips the len-8 holes for the len-10 one.
+        let mut fl = mk();
+        assert_eq!(fl.take_best_fit(Words::new(9), false), Some(0));
     }
 }

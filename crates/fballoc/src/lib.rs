@@ -55,7 +55,7 @@ mod trace;
 
 pub use allocator::{AllocHandle, Allocation, Direction, FbAllocator, FitPolicy, Segment};
 pub use error::AllocError;
-pub use free_list::FreeList;
+pub use free_list::{FreeList, LinearFreeList};
 pub use regularity::PlacementMemory;
 pub use stats::AllocStats;
 pub use trace::{render_map, render_map_at, render_peak_map, TraceEvent, TraceKind};

@@ -26,7 +26,9 @@
 //! of inheriting the short deadline's failure.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use mcds_core::PreparedSchedule;
 
 use crate::protocol::{ErrorCode, Outcome};
 
@@ -179,6 +181,80 @@ impl Drop for FlightGuard {
     }
 }
 
+/// One memoized analysis entry: in flight (a worker is preparing it) or
+/// ready to reuse.
+enum AnalysisSlot {
+    InFlight,
+    Ready(Arc<PreparedSchedule>),
+}
+
+/// One shard of the analysis family: its own map and its own condvar
+/// for the blocking single-flight protocol.
+struct AnalysisShard {
+    map: Mutex<HashMap<u64, AnalysisSlot>>,
+    cv: Condvar,
+}
+
+/// What [`OutcomeCache::analysis_lookup`] resolved a structure key to.
+///
+/// Unlike the outcome family's token-based [`Lookup`], this protocol
+/// *blocks* concurrent requesters: the callers are worker threads (not
+/// the reactor), and an analysis in flight resolves in milliseconds, so
+/// parking the worker on the shard's condvar is simpler and strictly
+/// better than re-running the analysis.
+pub enum AnalysisLookup {
+    /// A memoized analysis was available (possibly after a short wait
+    /// for the in-flight leader) — the arch-only fast path.
+    Hit(Arc<PreparedSchedule>),
+    /// This worker is the leader: prepare the analysis, then
+    /// [`fulfill`](AnalysisGuard::fulfill) the guard. Dropping the
+    /// guard without fulfilling (preparation failed or panicked) clears
+    /// the flight and wakes the waiters, which re-elect a leader.
+    Lead(AnalysisGuard),
+}
+
+/// The analysis leader's obligation; see [`AnalysisLookup::Lead`].
+pub struct AnalysisGuard {
+    cache: Arc<OutcomeCache>,
+    skey: u64,
+    done: bool,
+}
+
+impl AnalysisGuard {
+    /// The structure key this flight prepares.
+    #[must_use]
+    pub fn structure_key(&self) -> u64 {
+        self.skey
+    }
+
+    /// Publishes the prepared analysis for every current and future
+    /// requester of this structure key and wakes the blocked waiters.
+    pub fn fulfill(mut self, prepared: Arc<PreparedSchedule>) {
+        self.done = true;
+        let shard = self.cache.analysis_shard(self.skey);
+        shard
+            .map
+            .lock()
+            .expect("analysis shard lock")
+            .insert(self.skey, AnalysisSlot::Ready(prepared));
+        shard.cv.notify_all();
+    }
+}
+
+impl Drop for AnalysisGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            let shard = self.cache.analysis_shard(self.skey);
+            let mut map = shard.map.lock().expect("analysis shard lock");
+            if matches!(map.get(&self.skey), Some(AnalysisSlot::InFlight)) {
+                map.remove(&self.skey);
+            }
+            drop(map);
+            shard.cv.notify_all();
+        }
+    }
+}
+
 /// Default shard count — plenty for the worker/connection counts this
 /// daemon runs with, small enough that an empty cache stays cheap.
 pub const DEFAULT_SHARDS: usize = 16;
@@ -187,6 +263,10 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// `Arc`.
 pub struct OutcomeCache {
     shards: Box<[Mutex<HashMap<u64, Entry>>]>,
+    /// The analysis family: one shard per outcome shard, keyed by
+    /// *structure* key and holding memoized
+    /// [`PreparedSchedule`]s instead of outcomes.
+    analysis: Box<[AnalysisShard]>,
     /// `log2(shards.len())` — the key's top `bits` bits select the
     /// shard.
     bits: u32,
@@ -207,6 +287,12 @@ impl OutcomeCache {
         let n = n.clamp(1, 1024).next_power_of_two();
         Arc::new(OutcomeCache {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            analysis: (0..n)
+                .map(|_| AnalysisShard {
+                    map: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
             bits: n.trailing_zeros(),
             orphans: Mutex::new(Vec::new()),
         })
@@ -232,6 +318,55 @@ impl OutcomeCache {
 
     fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
         &self.shards[self.shard_of(key)]
+    }
+
+    fn analysis_shard(&self, skey: u64) -> &AnalysisShard {
+        &self.analysis[self.shard_of(skey)]
+    }
+
+    /// Resolves a *structure* key to its memoized
+    /// [`PreparedSchedule`], blocking briefly if another worker is
+    /// preparing it right now. The first requester becomes the leader
+    /// and must [`fulfill`](AnalysisGuard::fulfill) (or drop) the
+    /// returned guard. See [`AnalysisLookup`] for why this family
+    /// blocks where the outcome family uses waiter tokens.
+    #[must_use]
+    pub fn analysis_lookup(self: &Arc<Self>, skey: u64) -> AnalysisLookup {
+        let shard = self.analysis_shard(skey);
+        let mut map = shard.map.lock().expect("analysis shard lock");
+        loop {
+            match map.get(&skey) {
+                Some(AnalysisSlot::Ready(p)) => return AnalysisLookup::Hit(Arc::clone(p)),
+                Some(AnalysisSlot::InFlight) => {
+                    map = shard.cv.wait(map).expect("analysis shard lock");
+                }
+                None => {
+                    map.insert(skey, AnalysisSlot::InFlight);
+                    return AnalysisLookup::Lead(AnalysisGuard {
+                        cache: Arc::clone(self),
+                        skey,
+                        done: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Memoized analysis count across all shards (in-flight slots
+    /// excluded).
+    #[must_use]
+    pub fn analysis_len(&self) -> usize {
+        self.analysis
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .expect("analysis shard lock")
+                    .values()
+                    .filter(|e| matches!(e, AnalysisSlot::Ready(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Resolves `key` without blocking: an immediate hit, leadership of
@@ -508,6 +643,79 @@ mod tests {
         // A single shard routes everything to 0 without shifting by 64.
         let one = OutcomeCache::with_shards(1);
         assert_eq!(one.shard_of(u64::MAX), 0);
+    }
+
+    fn prepared() -> Arc<PreparedSchedule> {
+        use mcds_model::{ApplicationBuilder, Cycles, DataKind, Words};
+        let mut b = ApplicationBuilder::new("cache-test");
+        let a = b.data("a", Words::new(64), DataKind::ExternalInput);
+        let f = b.data("f", Words::new(32), DataKind::FinalResult);
+        b.kernel("k", 16, Cycles::new(200), &[a], &[f]);
+        let app = b.iterations(8).build().expect("valid");
+        Arc::new(mcds_core::Pipeline::new(app).prepare().expect("prepares"))
+    }
+
+    #[test]
+    fn analysis_first_leads_then_hits() {
+        let cache = OutcomeCache::new();
+        let AnalysisLookup::Lead(guard) = cache.analysis_lookup(11) else {
+            panic!("empty family: first requester leads");
+        };
+        assert_eq!(guard.structure_key(), 11);
+        let p = prepared();
+        guard.fulfill(Arc::clone(&p));
+        let AnalysisLookup::Hit(hit) = cache.analysis_lookup(11) else {
+            panic!("memoized analysis hits");
+        };
+        assert!(Arc::ptr_eq(&hit, &p), "the same shared analysis");
+        assert_eq!(cache.analysis_len(), 1);
+        // Another structure key leads independently.
+        assert!(matches!(cache.analysis_lookup(12), AnalysisLookup::Lead(_)));
+        // The outcome family is untouched by the analysis family.
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn analysis_waiters_block_until_the_leader_fulfills() {
+        let cache = OutcomeCache::new();
+        let AnalysisLookup::Lead(guard) = cache.analysis_lookup(5) else {
+            panic!("leads");
+        };
+        let p = prepared();
+        let hit = std::thread::scope(|s| {
+            let waiter = {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || match cache.analysis_lookup(5) {
+                    AnalysisLookup::Hit(h) => h,
+                    AnalysisLookup::Lead(_) => panic!("flight is open: must wait, not lead"),
+                })
+            };
+            // Give the waiter a moment to park on the condvar, then
+            // publish.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            guard.fulfill(Arc::clone(&p));
+            waiter.join().expect("no panic")
+        });
+        assert!(Arc::ptr_eq(&hit, &p));
+    }
+
+    #[test]
+    fn dropped_analysis_guard_reelects_a_leader() {
+        let cache = OutcomeCache::new();
+        let AnalysisLookup::Lead(guard) = cache.analysis_lookup(6) else {
+            panic!("leads");
+        };
+        let relead = std::thread::scope(|s| {
+            let waiter = {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || matches!(cache.analysis_lookup(6), AnalysisLookup::Lead(_)))
+            };
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(guard); // preparation failed: no fulfill
+            waiter.join().expect("no panic")
+        });
+        assert!(relead, "a waiter takes over the abandoned flight");
+        assert_eq!(cache.analysis_len(), 0);
     }
 
     #[test]

@@ -34,15 +34,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use mcds_core::{
-    request_key, CancelToken, Counter, Fault, FaultPlan, Histogram, McdsError, MetricsRegistry,
-    Pipeline, PipelineRun, SchedulerConfig, SchedulerKind, Seam,
+    arch_key, compose_key, structure_key, CancelToken, Counter, Fault, FaultPlan, Histogram,
+    McdsError, MetricsRegistry, Pipeline, PipelineRun, SchedulerConfig, SchedulerKind, Seam,
 };
 use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{
-    degraded_key, CachedEntry, CachedResult, FlightGuard, Lookup, OutcomeCache, Token,
-    DEFAULT_SHARDS,
+    degraded_key, AnalysisLookup, CachedEntry, CachedResult, FlightGuard, Lookup, OutcomeCache,
+    Token, DEFAULT_SHARDS,
 };
 use crate::protocol::{
     decode_request, render_scheduled, ErrorCode, FrameBuffer, FrameError, Outcome, ScheduleSpec,
@@ -132,6 +132,13 @@ pub struct ServeSummary {
     /// (deprecated — the shim lasts one release).
     #[serde(default)]
     pub legacy_frames: u64,
+    /// Computations that reused a memoized analysis (arch-only
+    /// variants of an already-analyzed workload structure).
+    #[serde(default)]
+    pub analysis_hits: u64,
+    /// Computations that had to run the analysis front half.
+    #[serde(default)]
+    pub analysis_misses: u64,
 }
 
 /// A `schedule` line resolved into pipeline inputs, shared between the
@@ -143,6 +150,9 @@ struct Resolved {
     kind: SchedulerKind,
     /// Canonical content key of the *full-quality* request.
     key: u64,
+    /// The workload-structure half of `key` — the analysis cache's
+    /// address, shared by every arch/scheduler variant.
+    structure_key: u64,
     deadline_ms: Option<u64>,
 }
 
@@ -282,6 +292,8 @@ struct Counters {
     worker_restarts: Counter,
     degraded: Counter,
     legacy: Counter,
+    analysis_hits: Counter,
+    analysis_misses: Counter,
     latency: Histogram,
 }
 
@@ -297,6 +309,8 @@ impl Counters {
             worker_restarts: metrics.counter("serve.worker_restarts"),
             degraded: metrics.counter("serve.degraded"),
             legacy: metrics.counter("serve.legacy_frames"),
+            analysis_hits: metrics.counter("serve.analysis.hits"),
+            analysis_misses: metrics.counter("serve.analysis.misses"),
             latency: metrics.histogram("serve.latency_us"),
         }
     }
@@ -429,6 +443,8 @@ impl Server {
                 .as_ref()
                 .map_or(0, |f| f.snapshot().total_fired()),
             legacy_frames: count("serve.legacy_frames"),
+            analysis_hits: count("serve.analysis.hits"),
+            analysis_misses: count("serve.analysis.misses"),
         })
     }
 }
@@ -1403,13 +1419,39 @@ fn supervised_run(
         }
         if faulted {
             if let Some(plan) = &ctx.faults {
-                pipeline = pipeline.faults(Arc::clone(plan));
+                // Scoped: this run's fault stream indexes per-request
+                // counters salted by (key, attempt), so chaos replay is
+                // a pure function of the request — independent of how
+                // many allocation calls other requests made first.
+                pipeline = pipeline.faults_scoped(plan, resolved.key);
             }
         }
         if let Some(sched) = &resolved.sched {
             pipeline = pipeline.schedule(sched.clone());
         }
-        pipeline.run()
+        // Analysis memoization by structure key: arch-only variants of
+        // an already-analyzed workload skip straight to data scheduling
+        // + allocation. The single-flight guard blocks concurrent
+        // preparers of the same structure; a failed preparation drops
+        // the guard, wakes the waiters, and surfaces the (deterministic)
+        // error through the normal outcome path.
+        match ctx.cache.analysis_lookup(resolved.structure_key) {
+            AnalysisLookup::Hit(prepared) => {
+                ctx.counters.analysis_hits.incr();
+                pipeline.run_prepared(&prepared)
+            }
+            AnalysisLookup::Lead(lead) => {
+                ctx.counters.analysis_misses.incr();
+                match pipeline.prepare() {
+                    Ok(prepared) => {
+                        let prepared = Arc::new(prepared);
+                        lead.fulfill(Arc::clone(&prepared));
+                        pipeline.run_prepared(&prepared)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
     }))
     .map_err(|_| ())
 }
@@ -1597,19 +1639,15 @@ fn resolve(spec: ScheduleSpec) -> Result<Resolved, String> {
             (app, Some(sched))
         }
     };
-    let key = request_key(
-        &app,
-        sched.as_ref(),
-        &arch,
-        kind,
-        &SchedulerConfig::default(),
-    );
+    let skey = structure_key(&app, sched.as_ref());
+    let key = compose_key(skey, arch_key(&arch, kind, &SchedulerConfig::default()));
     Ok(Resolved {
         app,
         sched,
         arch,
         kind,
         key,
+        structure_key: skey,
         deadline_ms: spec.deadline_ms,
     })
 }

@@ -1,0 +1,107 @@
+//! End-to-end tests of the analysis memoization: arch-only variants of
+//! an already-served workload structure reuse the memoized front half
+//! (observable as `serve.analysis.hits`) and still produce outcomes
+//! byte-identical to a cold server that computed them from scratch.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use mcds_core::McdsError;
+use mcds_serve::{Client, ClientConfig, ScheduleSpec, ServeConfig, ServeSummary, Server};
+
+fn start(config: ServeConfig) -> (SocketAddr, JoinHandle<Result<ServeSummary, McdsError>>) {
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    ClientConfig::new(addr.to_string())
+        .connect()
+        .expect("connect")
+}
+
+fn shutdown(
+    client: &mut Client,
+    handle: JoinHandle<Result<ServeSummary, McdsError>>,
+) -> ServeSummary {
+    client.shutdown().expect("acknowledged drain");
+    handle.join().expect("no panic").expect("clean drain")
+}
+
+fn spec(workload: &str, fb_kw: u64) -> ScheduleSpec {
+    ScheduleSpec {
+        fb_kw: Some(fb_kw),
+        ..ScheduleSpec::workload(workload)
+    }
+}
+
+#[test]
+fn arch_only_variants_hit_the_analysis_cache() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = connect(addr);
+
+    // Cold: the structure has never been analyzed — miss.
+    let small = client.schedule(&spec("e1", 1)).expect("schedules");
+    assert!(!small.cache_hit);
+
+    // Same workload structure, bigger Frame Buffer: a different request
+    // key (the outcome cache must miss) but the same structure key (the
+    // analysis cache must hit).
+    let big = client.schedule(&spec("e1", 2)).expect("schedules");
+    assert!(!big.cache_hit, "a new arch is a new outcome");
+    assert_ne!(small.key, big.key, "arch is part of the request key");
+    assert_ne!(
+        small.outcome, big.outcome,
+        "doubling the FB changes the schedule"
+    );
+
+    // A different structure misses the analysis cache again.
+    let other = client.schedule(&spec("e2", 1)).expect("schedules");
+    assert!(!other.cache_hit);
+
+    // And an outcome-cache hit never consults the analysis family.
+    let replay = client.schedule(&spec("e1", 2)).expect("schedules");
+    assert!(replay.cache_hit);
+    assert_eq!(replay.outcome, big.outcome);
+
+    let stats = client.stats().expect("stats payload");
+    let get = |name: &str| {
+        stats
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0, |e| e.value)
+    };
+    assert_eq!(get("serve.analysis.hits"), 1, "exactly the e1@2K variant");
+    assert_eq!(get("serve.analysis.misses"), 2, "one per structure");
+    assert_eq!(get("serve.cache.misses"), 3, "outcome accounting untouched");
+
+    let summary = shutdown(&mut client, handle);
+    assert_eq!(summary.analysis_hits, 1);
+    assert_eq!(summary.analysis_misses, 2);
+}
+
+#[test]
+fn analysis_reuse_is_byte_identical_to_a_cold_server() {
+    // Warm path: e1@1K analyzes, e1@2K reuses the memoized analysis.
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = connect(addr);
+    client.schedule(&spec("e1", 1)).expect("schedules");
+    let reused = client.schedule(&spec("e1", 2)).expect("schedules");
+    let warm_summary = shutdown(&mut client, handle);
+    assert_eq!(warm_summary.analysis_hits, 1, "the reuse actually happened");
+
+    // Cold path: a fresh server computes e1@2K from scratch.
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = connect(addr);
+    let scratch = client.schedule(&spec("e1", 2)).expect("schedules");
+    let cold_summary = shutdown(&mut client, handle);
+    assert_eq!(cold_summary.analysis_hits, 0);
+
+    assert_eq!(reused.key, scratch.key, "same request, same key");
+    assert_eq!(
+        reused.outcome, scratch.outcome,
+        "analysis reuse must not perturb the schedule"
+    );
+}

@@ -10,7 +10,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mcds_core::{Fault, FaultConfig, FaultPlan, McdsError, Seam};
+use mcds_core::{
+    request_key, Fault, FaultConfig, FaultDecider, FaultPlan, McdsError, SchedulerConfig,
+    SchedulerKind, Seam,
+};
+use mcds_model::{ArchParams, Words};
 use mcds_serve::{
     run_load, Client, ClientConfig, ClientError, ErrorCode, LoadConfig, ScheduleSpec, Scheduled,
     ServeConfig, ServeError, ServeResponse, ServeSummary, Server,
@@ -45,6 +49,36 @@ fn probe_seed(config: impl Fn(u64) -> FaultConfig, seam: Seam, wanted: &[Option<
             wanted
                 .iter()
                 .all(|w| plan.decide(seam).as_ref() == w.as_ref())
+        })
+        .expect("a matching seed exists in the probe range")
+}
+
+/// The canonical key `resolve` computes for a default-arch workload
+/// request — the address the server salts per-request fault scopes with.
+fn workload_request_key(name: &str, kind: SchedulerKind) -> u64 {
+    let (app, sched) = mcds_workloads::mix::by_name(name, 16).expect("known workload");
+    let arch = ArchParams::m1()
+        .to_builder()
+        .fb_set_words(Words::kilo(1))
+        .build();
+    request_key(&app, Some(&sched), &arch, kind, &SchedulerConfig::default())
+}
+
+/// Like [`probe_seed`], but for seams the server draws through a
+/// per-request [`FaultPlan::scope`]: `wanted[n]` is the first decision
+/// of attempt `n` for `key` at `seam`.
+fn probe_scoped_seed(
+    config: impl Fn(u64) -> FaultConfig,
+    key: u64,
+    seam: Seam,
+    wanted: &[Option<Fault>],
+) -> u64 {
+    (0..4_000)
+        .find(|&seed| {
+            let plan = Arc::new(FaultPlan::new(config(seed)));
+            wanted
+                .iter()
+                .all(|w| plan.scope(key).decide(seam).as_ref() == w.as_ref())
         })
         .expect("a matching seed exists in the probe range")
 }
@@ -106,11 +140,12 @@ fn injected_worker_panic_is_supervised_and_the_retry_succeeds() {
 
 #[test]
 fn injected_stage_cancel_degrades_instead_of_failing() {
-    // A seed whose admission checkpoint cancels every one of the first
-    // eight runs.
+    // A seed whose admission checkpoint cancels the first eight
+    // full-quality attempts on this workload's request key.
     let make = |s| FaultConfig::new(s).with_rate(Seam::PipelineAdmission, 1_000_000);
-    let seed = probe_seed(
+    let seed = probe_scoped_seed(
         make,
+        workload_request_key("e2", SchedulerKind::Cds),
         Seam::PipelineAdmission,
         &[Some(Fault::StageCancel); 8],
     );
@@ -146,8 +181,9 @@ fn injected_stage_cancel_degrades_instead_of_failing() {
 #[test]
 fn injected_stage_cancel_is_a_typed_retryable_error_without_degrade() {
     let make = |s| FaultConfig::new(s).with_rate(Seam::PipelineAdmission, 1_000_000);
-    let seed = probe_seed(
+    let seed = probe_scoped_seed(
         make,
+        workload_request_key("e3", SchedulerKind::Cds),
         Seam::PipelineAdmission,
         &[Some(Fault::StageCancel); 4],
     );

@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use mcds_core::{
-    evaluate_observed, render_explain, request_key, ExperimentRow, McdsError, Observer,
-    ScheduleAnalysis, ScheduleError, SchedulerKind, TraceSink, VecSink,
+    arch_key, compose_key, evaluate_observed, render_explain, structure_key, ExperimentRow,
+    McdsError, Observer, ScheduleAnalysis, ScheduleError, SchedulerKind, TraceSink, VecSink,
 };
 use mcds_model::{Application, ArchParams, ClusterSchedule, Cycles, Words};
 
@@ -36,7 +36,12 @@ struct Cell<'a> {
     app: &'a Application,
     sched: &'a ClusterSchedule,
     analysis: &'a ScheduleAnalysis,
+    /// Workload-structure key half, shared by every arch/scheduler
+    /// variant of this (workload, partition).
+    structure: u64,
     arch: ArchParams,
+    /// Index into the sweep's arch axis (for the arch-key half).
+    arch_idx: usize,
 }
 
 pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
@@ -54,7 +59,7 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
 
     // Resolve partitions and build one shared analysis per (workload,
     // partition) — reused across every architecture and scheduler.
-    let mut resolved: Vec<Vec<(String, ClusterSchedule, ScheduleAnalysis)>> = Vec::new();
+    let mut resolved: Vec<Vec<(String, ClusterSchedule, ScheduleAnalysis, u64)>> = Vec::new();
     for w in &spec.workloads {
         let partitions: Vec<(String, ClusterSchedule)> = if w.partitions.is_empty() {
             vec![(
@@ -69,7 +74,8 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
                 .into_iter()
                 .map(|(name, sched)| {
                     let analysis = ScheduleAnalysis::new(&w.app, &sched);
-                    (name, sched, analysis)
+                    let structure = structure_key(&w.app, Some(&sched));
+                    (name, sched, analysis, structure)
                 })
                 .collect(),
         );
@@ -78,15 +84,17 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
     // Flatten into grid-ordered cells.
     let mut cells: Vec<Cell<'_>> = Vec::new();
     for (w, parts) in spec.workloads.iter().zip(&resolved) {
-        for (pname, sched, analysis) in parts {
-            for arch in &archs {
+        for (pname, sched, analysis, structure) in parts {
+            for (arch_idx, arch) in archs.iter().enumerate() {
                 cells.push(Cell {
                     workload: &w.name,
                     partition: pname,
                     app: &w.app,
                     sched,
                     analysis,
+                    structure: *structure,
                     arch: *arch,
+                    arch_idx,
                 });
             }
         }
@@ -98,14 +106,25 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
     // Content-addressed dedup: two tasks whose (app, partition, arch,
     // scheduler, config) hash to the same request key are the same
     // evaluation, so only the first (the *canonical* task) runs and
-    // every duplicate reads its slot. The mapping is computed serially
-    // before the workers start, so it is deterministic.
+    // every duplicate reads its slot. The key composes from split
+    // halves — each cell's structure half was hashed once at
+    // resolution, and the arch half is hashed once per (arch,
+    // scheduler) here rather than per task. The mapping is computed
+    // serially before the workers start, so it is deterministic.
+    let arch_halves: Vec<Vec<u64>> = archs
+        .iter()
+        .map(|arch| {
+            spec.schedulers
+                .iter()
+                .map(|&kind| arch_key(arch, kind, &spec.config))
+                .collect()
+        })
+        .collect();
     let mut canonical: Vec<usize> = Vec::with_capacity(tasks);
     let mut first_by_key: HashMap<u64, usize> = HashMap::with_capacity(tasks);
     for t in 0..tasks {
         let cell = &cells[t / n_sched];
-        let kind = spec.schedulers[t % n_sched];
-        let key = request_key(cell.app, Some(cell.sched), &cell.arch, kind, &spec.config);
+        let key = compose_key(cell.structure, arch_halves[cell.arch_idx][t % n_sched]);
         canonical.push(*first_by_key.entry(key).or_insert(t));
     }
     let unique: Vec<usize> = (0..tasks).filter(|&t| canonical[t] == t).collect();
