@@ -14,6 +14,7 @@
 //! mcds client   [options]                  # single-process load client; prints a JSON report
 //! mcds load     [options]                  # scaled multi-process load harness; prints a merged JSON report
 //! mcds chaos    [options]                  # deterministic fault-injection soak; prints JSON per seed
+//! mcds overload [options]                  # adversarial overload drill; prints a JSON evidence report
 //! mcds hotpath  [options]                  # hot-path micro-benchmarks; prints a JSON evidence report
 //!
 //! options:
@@ -43,6 +44,17 @@
 //!   --fault-seed S         attach a deterministic chaos-preset fault plan seeded S
 //!   --degrade-below-ms D   deadlines under D ms skip straight to the degraded scheduler
 //!   --no-degrade           disable the degraded (within-cluster-only) fallback
+//!   --qos-quotas P,S,B     per-class admission quotas, priority,standard,batch
+//!                          (0 inherits --queue-depth; default: 0,0,0)
+//!   --shed-after-ms D      shed stale lower-class queue heads once dequeue
+//!                          delay exceeds D ms (0 = off; default: 250)
+//!   --idle-timeout-ms D    reap connections with no complete frame for D ms
+//!                          (0 = off; default: 60000)
+//!   --write-stall-ms D     reap connections accepting no bytes for D ms while
+//!                          output is pending (0 = off; default: 10000)
+//!   --conn-buffer-kb N     per-connection buffered-output cap in KiB; past it
+//!                          the peer gets `overloaded` and is disconnected
+//!                          (0 = off; default: 1024)
 //!
 //! client options:
 //!   --addr A:P             server address (default: 127.0.0.1:7171)
@@ -54,6 +66,7 @@
 //!   --scheduler basic|ds|cds               (default: server default)
 //!   --deadline-ms D        per-request deadline (default: none)
 //!   --retries N            re-queues per failed request (default: 3)
+//!   --class C              admission class: priority|standard|batch (default: standard)
 //!   --legacy               send deprecated un-versioned frames (compat-shim exercise)
 //!
 //! load options (all client options, plus):
@@ -66,6 +79,19 @@
 //!   --seeds N              soak N consecutive seeds S, S+1, … (default: 1)
 //!   --requests M           requests per seed (default: 200)
 //!   --workers N            server worker threads per seed (default: 2)
+//!
+//! overload options:
+//!   --addr A:P             attack an already-running server (default: self-host
+//!                          a small-quota, short-timeout server for the drill)
+//!   --requests M           requests per well-behaved traffic class (default: 400)
+//!   --priority-deadline-ms D   per-request deadline for the priority class;
+//!                          the report records whether its p99 met it (default: 2000)
+//!   --abuse-clients N      clients per abusive population (default: 4)
+//!   --abuse-duration-ms D  abusive-population runtime (default: 1500)
+//!   --abuse-modes a,b      comma-separated populations to run, from
+//!                          slow_writer|stalled_reader|idle_holder|frame_flood
+//!                          (default: frame_flood,stalled_reader)
+//!   --out F.json           also write the report to F.json
 //!
 //! hotpath options:
 //!   --out F.json           also write the report to F.json
@@ -88,7 +114,8 @@ use mcds_model::{
     Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId, Words,
 };
 use mcds_serve::{
-    run_load, ClientConfig, LoadConfig, LoadReport, ScheduleSpec, Scheduled, ServeConfig, Server,
+    run_abuse, run_load, AbuseConfig, AbuseMode, AbuseReport, ClientConfig, LoadConfig, LoadReport,
+    QosClass, ScheduleSpec, Scheduled, ServeConfig, ServeSummary, Server, StatEntry,
 };
 use mcds_sim::{bottleneck, render_gantt, Simulator};
 use mcds_sweep::{SweepReport, SweepSpec, SweepWorkload};
@@ -107,7 +134,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
         return Err(McdsError::spec(
-            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|load|chaos> …",
+            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|load|chaos|overload|hotpath> …",
         ));
     };
     match cmd.as_str() {
@@ -124,6 +151,7 @@ fn run(args: &[String]) -> Result<(), McdsError> {
         "client" => client(&args[1..]),
         "load" => load(&args[1..]),
         "chaos" => chaos(&args[1..]),
+        "overload" => overload(&args[1..]),
         "hotpath" => hotpath(&args[1..]),
         other => Err(McdsError::spec(format!("unknown command `{other}`"))),
     }
@@ -487,6 +515,21 @@ fn serve(args: &[String]) -> Result<(), McdsError> {
     if let Some(shards) = parsed_opt(args, "--shards")? {
         config.shards = shards;
     }
+    if let Some(quotas) = opt(args, "--qos-quotas") {
+        config.qos_quotas = parse_quotas(quotas)?;
+    }
+    if let Some(after) = parsed_opt(args, "--shed-after-ms")? {
+        config.shed_after_ms = after;
+    }
+    if let Some(idle) = parsed_opt(args, "--idle-timeout-ms")? {
+        config.idle_timeout_ms = idle;
+    }
+    if let Some(stall) = parsed_opt(args, "--write-stall-ms")? {
+        config.write_stall_ms = stall;
+    }
+    if let Some(kb) = parsed_opt::<usize>(args, "--conn-buffer-kb")? {
+        config.max_conn_buffer_bytes = kb.saturating_mul(1024);
+    }
     let server = Server::bind(config)?;
     println!("mcds-serve listening on {}", server.local_addr());
     let summary = server.run()?;
@@ -497,11 +540,39 @@ fn serve(args: &[String]) -> Result<(), McdsError> {
     Ok(())
 }
 
+/// Parses a `--qos-quotas P,S,B` triple (0 = inherit the queue depth).
+fn parse_quotas(spec: &str) -> Result<[usize; 3], McdsError> {
+    let parts: Vec<usize> = spec
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|e| McdsError::spec(format!("--qos-quotas `{v}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    <[usize; 3]>::try_from(parts).map_err(|_| {
+        McdsError::spec("--qos-quotas needs exactly three values: priority,standard,batch")
+    })
+}
+
+fn class_from(args: &[String]) -> Result<Option<QosClass>, McdsError> {
+    opt(args, "--class")
+        .map(|v| {
+            QosClass::from_wire(v).ok_or_else(|| {
+                McdsError::spec(format!(
+                    "--class `{v}`: expected priority, standard, or batch"
+                ))
+            })
+        })
+        .transpose()
+}
+
 fn load_config_from(args: &[String]) -> Result<LoadConfig, McdsError> {
     let mut config = LoadConfig {
         addr: opt(args, "--addr").unwrap_or("127.0.0.1:7171").to_owned(),
         scheduler: opt(args, "--scheduler").map(str::to_owned),
         deadline_ms: parsed_opt(args, "--deadline-ms")?,
+        class: class_from(args)?,
         legacy: flag(args, "--legacy"),
         ..LoadConfig::default()
     };
@@ -577,6 +648,9 @@ fn load(args: &[String]) -> Result<(), McdsError> {
             }
             if let Some(d) = config.deadline_ms {
                 cmd.args(["--deadline-ms", &d.to_string()]);
+            }
+            if let Some(c) = config.class {
+                cmd.args(["--class", c.as_str()]);
             }
             if config.legacy {
                 cmd.arg("--legacy");
@@ -828,6 +902,209 @@ fn chaos(args: &[String]) -> Result<(), McdsError> {
         return Err(McdsError::spec(
             "chaos soak detected cache poisoning or inconsistent outcomes",
         ));
+    }
+    Ok(())
+}
+
+/// One overload drill's evidence: two well-behaved traffic classes
+/// (priority with a deadline, batch without) racing several abusive
+/// populations against one small-quota server, plus the server's own
+/// robustness counters snapshotted over the wire afterwards.
+#[derive(serde::Serialize)]
+struct OverloadReport {
+    /// Deadline sent with every priority request, in milliseconds.
+    priority_deadline_ms: u64,
+    /// `serve.qos.shed.priority` after the drill — structurally pinned
+    /// to zero (the shed governor only drains classes *below* the one
+    /// being dequeued).
+    priority_sheds: u64,
+    /// `true` iff the priority class's p99 latency beat its deadline.
+    priority_p99_within_deadline: bool,
+    /// Peak per-connection buffered output the server ever held
+    /// (`serve.conn.buffer_bytes.max`) — the memory-bound evidence.
+    buffer_high_water_bytes: u64,
+    /// The priority-class load report.
+    priority: LoadReport,
+    /// The batch-class load report (no deadline; absorbs rejections).
+    batch: LoadReport,
+    /// One report per abusive population.
+    abuse: Vec<AbuseReport>,
+    /// Every `serve.*` counter after the drill (QoS lanes, reaping,
+    /// buffer caps, queue gauges) — snapshotted via the `stats` verb.
+    server_stats: Vec<StatEntry>,
+    /// The drained server's summary when the drill self-hosted one.
+    summary: Option<ServeSummary>,
+}
+
+/// Adversarial overload drill: self-hosts a deliberately small,
+/// short-fused server (unless `--addr` points at a live one), then
+/// races a deadline-bearing priority workload and a batch workload
+/// against misbehaving-client populations, and reports whether the
+/// QoS lanes and slow-peer defenses held: priority p99 under its
+/// deadline with zero priority sheds, batch absorbing the rejections,
+/// and per-connection memory bounded by the buffer cap.
+fn overload(args: &[String]) -> Result<(), McdsError> {
+    let requests: usize = parsed_opt(args, "--requests")?.unwrap_or(400);
+    let deadline_ms: u64 = parsed_opt(args, "--priority-deadline-ms")?.unwrap_or(2000);
+    let abuse_clients: usize = parsed_opt(args, "--abuse-clients")?.unwrap_or(4);
+    let abuse_duration_ms: u64 = parsed_opt(args, "--abuse-duration-ms")?.unwrap_or(1500);
+    let modes: Vec<AbuseMode> = opt(args, "--abuse-modes")
+        .unwrap_or("frame_flood,stalled_reader")
+        .split(',')
+        .map(|m| {
+            AbuseMode::from_name(m.trim())
+                .ok_or_else(|| McdsError::spec(format!("--abuse-modes `{m}`: unknown mode")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Tight batch quota so admission rejections actually happen, short
+    // peer timeouts and a small buffer cap so the abusive populations
+    // trip every defense within the drill's runtime.
+    let (addr, hosted) = match opt(args, "--addr") {
+        Some(a) => (a.to_owned(), None),
+        None => {
+            let server = Server::bind(ServeConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 2,
+                queue_depth: 64,
+                qos_quotas: [64, 16, 8],
+                shed_after_ms: 100,
+                idle_timeout_ms: 500,
+                write_stall_ms: 500,
+                max_conn_buffer_bytes: 64 * 1024,
+                ..ServeConfig::default()
+            })?;
+            let addr = server.local_addr().to_string();
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+    eprintln!(
+        "overload drill against {addr}: {requests} requests/class, \
+         {abuse_clients} abusive clients per mode for {abuse_duration_ms}ms"
+    );
+
+    let load_for = |class: QosClass,
+                    deadline: Option<u64>,
+                    pipeline: usize,
+                    distinct_keys: usize,
+                    retries: u32,
+                    seed: u64| {
+        run_load(&LoadConfig {
+            addr: addr.clone(),
+            connections: 2,
+            requests,
+            distinct_keys,
+            pipeline,
+            seed,
+            deadline_ms: deadline,
+            class: Some(class),
+            retries,
+            ..LoadConfig::default()
+        })
+    };
+    let (priority, batch, abuse) = std::thread::scope(|s| {
+        // Priority: few keys (mostly cache hits), shallow pipeline,
+        // generous retries — the traffic that must stay fast.
+        let p = s.spawn(|| load_for(QosClass::Priority, Some(deadline_ms), 4, 12, 6, 11));
+        // Batch: many distinct keys so the cold phase is genuine
+        // compute pressure on the batch lane's small quota, a deep
+        // pipeline, and few retries so rejections stand and show up.
+        let b = s.spawn(|| {
+            load_for(
+                QosClass::Batch,
+                None,
+                32,
+                requests.div_ceil(4).max(16),
+                2,
+                23,
+            )
+        });
+        let abusers: Vec<_> = modes
+            .iter()
+            .map(|&mode| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    run_abuse(&AbuseConfig {
+                        addr,
+                        mode,
+                        clients: abuse_clients,
+                        duration_ms: abuse_duration_ms,
+                    })
+                })
+            })
+            .collect();
+        let join = "overload driver thread panicked";
+        let p = p.join().map_err(|_| McdsError::spec(join));
+        let b = b.join().map_err(|_| McdsError::spec(join));
+        let abuse: Vec<AbuseReport> = abusers
+            .into_iter()
+            .map(|h| h.join().expect("abuse populations must not panic"))
+            .collect();
+        (p, b, abuse)
+    });
+    let (mut priority, mut batch) = (priority??, batch??);
+    priority.strip_raw();
+    batch.strip_raw();
+
+    let server_stats: Vec<StatEntry> = {
+        let mut client = ClientConfig::new(&addr)
+            .connect()
+            .map_err(|e| McdsError::spec(format!("stats connection: {e}")))?;
+        let reply = client
+            .stats()
+            .map_err(|e| McdsError::spec(format!("stats: {e}")))?;
+        reply
+            .entries
+            .into_iter()
+            .filter(|e| e.name.starts_with("serve."))
+            .collect()
+    };
+    let stat = |name: &str| {
+        server_stats
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0, |e| e.value)
+    };
+    let priority_sheds = stat("serve.qos.shed.priority");
+    let buffer_high_water_bytes = stat("serve.conn.buffer_bytes.max");
+
+    let summary = match hosted {
+        None => None,
+        Some(handle) => {
+            // The shutdown frame can race lingering abusive
+            // connections being reaped; retry on fresh connections
+            // until the server actually drains (watchdog-bounded).
+            let watchdog = std::time::Instant::now();
+            while !handle.is_finished() {
+                if watchdog.elapsed() > std::time::Duration::from_secs(60) {
+                    return Err(McdsError::spec("overload: server did not drain within 60s"));
+                }
+                let _ = chaos_shutdown(&addr, 5);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Some(
+                handle
+                    .join()
+                    .map_err(|_| McdsError::spec("overload: server thread panicked"))??,
+            )
+        }
+    };
+
+    let report = OverloadReport {
+        priority_deadline_ms: deadline_ms,
+        priority_sheds,
+        priority_p99_within_deadline: priority.p99_us <= deadline_ms.saturating_mul(1000),
+        buffer_high_water_bytes,
+        priority,
+        batch,
+        abuse,
+        server_stats,
+        summary,
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| McdsError::spec(e.to_string()))?;
+    println!("{json}");
+    if let Some(path) = opt(args, "--out") {
+        std::fs::write(path, format!("{json}\n"))?;
     }
     Ok(())
 }

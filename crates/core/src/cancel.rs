@@ -94,6 +94,16 @@ impl CancelToken {
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
+    /// `true` only when the *deadline* has passed — independent of any
+    /// explicit [`cancel`](Self::cancel). Admission queues use this to
+    /// early-drop jobs whose deadline expired while they waited, which
+    /// must be answered `deadline` rather than treated as cancelled
+    /// server work.
+    #[must_use]
+    pub fn is_expired(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
     /// Fails with [`McdsError::Cancelled`] once the token has tripped —
     /// the polling point instrumented code calls at stage boundaries.
     ///
@@ -153,9 +163,21 @@ mod tests {
     fn elapsed_deadline_trips() {
         let t = CancelToken::with_deadline(Duration::ZERO);
         assert!(t.is_cancelled());
+        assert!(t.is_expired());
         assert_eq!(t.remaining(), Some(Duration::ZERO));
         let err = t.check().unwrap_err();
         assert!(err.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn explicit_cancel_is_not_expiry() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.is_expired(), "cancel alone must not read as expiry");
+        let bare = CancelToken::new();
+        bare.cancel();
+        assert!(!bare.is_expired(), "no deadline, never expired");
     }
 
     #[test]

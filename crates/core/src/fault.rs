@@ -29,7 +29,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct seams (length of [`Seam::ALL`]).
-const SEAMS: usize = 7;
+const SEAMS: usize = 11;
 
 /// A named injection point. Each seam owns an independent decision
 /// counter, so the faults fired at one seam never depend on how often
@@ -51,6 +51,18 @@ pub enum Seam {
     ServeRead,
     /// Serve connection about to write a response frame.
     ServeWrite,
+    /// Reactor poll(2) layer (queried once per processed frame so the
+    /// decision stream stays independent of tick timing).
+    PollError,
+    /// Reactor accepted a connection (failure drops the new socket as
+    /// if `accept(2)` itself had failed).
+    AcceptFail,
+    /// Reactor accepted a connection into a simulated exhausted fd
+    /// table (the socket is shed immediately).
+    FdExhausted,
+    /// Reactor tick body panics (the supervisor must restart the
+    /// reactor without dropping the listener).
+    TickPanic,
 }
 
 impl Seam {
@@ -63,6 +75,10 @@ impl Seam {
         Seam::WorkerRun,
         Seam::ServeRead,
         Seam::ServeWrite,
+        Seam::PollError,
+        Seam::AcceptFail,
+        Seam::FdExhausted,
+        Seam::TickPanic,
     ];
 
     /// Stable dotted name, used for `fault.<seam>` metrics and
@@ -77,6 +93,10 @@ impl Seam {
             Seam::WorkerRun => "serve.worker",
             Seam::ServeRead => "serve.read",
             Seam::ServeWrite => "serve.write",
+            Seam::PollError => "serve.poll",
+            Seam::AcceptFail => "serve.accept",
+            Seam::FdExhausted => "serve.fds",
+            Seam::TickPanic => "serve.tick",
         }
     }
 
@@ -92,6 +112,10 @@ impl Seam {
             Seam::WorkerRun => "fault.serve.worker",
             Seam::ServeRead => "fault.serve.read",
             Seam::ServeWrite => "fault.serve.write",
+            Seam::PollError => "fault.serve.poll",
+            Seam::AcceptFail => "fault.serve.accept",
+            Seam::FdExhausted => "fault.serve.fds",
+            Seam::TickPanic => "fault.serve.tick",
         }
     }
 
@@ -104,6 +128,10 @@ impl Seam {
             Seam::WorkerRun => 4,
             Seam::ServeRead => 5,
             Seam::ServeWrite => 6,
+            Seam::PollError => 7,
+            Seam::AcceptFail => 8,
+            Seam::FdExhausted => 9,
+            Seam::TickPanic => 10,
         }
     }
 }
@@ -141,6 +169,16 @@ pub enum Fault {
     /// The serve connection dribbles the response out in small delayed
     /// chunks (slow-loris writer).
     SlowWrite,
+    /// The reactor's poll layer reports a spurious error; the
+    /// supervisor restarts the reactor (connections drop, the listener
+    /// and caches survive).
+    PollFail,
+    /// `accept(2)` lands in a simulated exhausted fd table; the freshly
+    /// accepted socket is shed before it is registered.
+    FdExhausted,
+    /// The reactor tick body panics mid-frame; the supervisor catches
+    /// the unwind and restarts the reactor.
+    TickPanic,
 }
 
 impl Fault {
@@ -154,6 +192,9 @@ impl Fault {
             Fault::Disconnect => "disconnect",
             Fault::TruncateWrite => "truncate-write",
             Fault::SlowWrite => "slow-write",
+            Fault::PollFail => "poll-fail",
+            Fault::FdExhausted => "fd-exhausted",
+            Fault::TickPanic => "tick-panic",
         }
     }
 }
@@ -217,6 +258,14 @@ impl FaultConfig {
     /// allocation walk queries [`Seam::FbAlloc`] dozens of times per
     /// run, so its rate is an order of magnitude lower to land a
     /// comparable per-request fault probability.
+    ///
+    /// Tuned for the poll(2) reactor: [`Seam::ServeWrite`] fires hot
+    /// enough that both write flavors ([`Fault::TruncateWrite`] and
+    /// the dribbled [`Fault::SlowWrite`], which exercises the
+    /// partial-write resume path through the timer heap) land several
+    /// times per soak, and the four reactor seams (poll / accept / fd
+    /// table / tick) fire at rates low enough that the supervisor
+    /// restart cost stays a small fraction of the run.
     #[must_use]
     pub fn chaos(seed: u64) -> FaultConfig {
         FaultConfig::new(seed)
@@ -225,8 +274,12 @@ impl FaultConfig {
             .with_rate(Seam::PipelinePlanning, 30_000)
             .with_rate(Seam::FbAlloc, 1_500)
             .with_rate(Seam::WorkerRun, 15_000)
-            .with_rate(Seam::ServeRead, 25_000)
-            .with_rate(Seam::ServeWrite, 25_000)
+            .with_rate(Seam::ServeRead, 20_000)
+            .with_rate(Seam::ServeWrite, 40_000)
+            .with_rate(Seam::PollError, 4_000)
+            .with_rate(Seam::AcceptFail, 8_000)
+            .with_rate(Seam::FdExhausted, 4_000)
+            .with_rate(Seam::TickPanic, 5_000)
             .with_delay_us(200)
     }
 }
@@ -366,7 +419,7 @@ impl FaultPlan {
                 }
             }
             Seam::WorkerRun => Fault::WorkerPanic,
-            Seam::ServeRead => Fault::Disconnect,
+            Seam::ServeRead | Seam::AcceptFail => Fault::Disconnect,
             Seam::ServeWrite => {
                 if roll.is_multiple_of(2) {
                     Fault::TruncateWrite
@@ -374,6 +427,9 @@ impl FaultPlan {
                     Fault::SlowWrite
                 }
             }
+            Seam::PollError => Fault::PollFail,
+            Seam::FdExhausted => Fault::FdExhausted,
+            Seam::TickPanic => Fault::TickPanic,
         })
     }
 
@@ -621,6 +677,39 @@ mod tests {
         let _ = plan.decide(Seam::FbAlloc);
         let snap = plan.snapshot();
         assert_eq!(snap.seams[3].queries, 41, "scope queries are counted");
+    }
+
+    #[test]
+    fn reactor_seams_map_to_their_flavors() {
+        let always = FaultPlan::new(
+            FaultConfig::new(3)
+                .with_rate(Seam::PollError, 1_000_000)
+                .with_rate(Seam::AcceptFail, 1_000_000)
+                .with_rate(Seam::FdExhausted, 1_000_000)
+                .with_rate(Seam::TickPanic, 1_000_000),
+        );
+        assert!(matches!(
+            always.decide(Seam::PollError),
+            Some(Fault::PollFail)
+        ));
+        assert!(matches!(
+            always.decide(Seam::AcceptFail),
+            Some(Fault::Disconnect)
+        ));
+        assert!(matches!(
+            always.decide(Seam::FdExhausted),
+            Some(Fault::FdExhausted)
+        ));
+        assert!(matches!(
+            always.decide(Seam::TickPanic),
+            Some(Fault::TickPanic)
+        ));
+        // The reactor seams extend the snapshot *after* the seven
+        // original seams, so historical seam indices stay stable.
+        let snap = always.snapshot();
+        assert_eq!(snap.seams[5].seam, "serve.read");
+        assert_eq!(snap.seams[10].seam, "serve.tick");
+        assert_eq!((snap.seams[10].queries, snap.seams[10].fired), (1, 1));
     }
 
     #[test]

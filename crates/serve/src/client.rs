@@ -21,7 +21,8 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use crate::protocol::{
-    ErrorCode, ScheduleSpec, Scheduled, ServeError, ServeRequest, ServeResponse, StatsReply,
+    ErrorCode, QosClass, ScheduleSpec, Scheduled, ServeError, ServeRequest, ServeResponse,
+    StatsReply,
 };
 
 /// Builder-style client configuration. Every `with_*` method consumes
@@ -35,6 +36,7 @@ pub struct ClientConfig {
     backoff_cap_ms: u64,
     retry_budget_ms: u64,
     deadline_ms: Option<u64>,
+    class: Option<QosClass>,
     reconnect: bool,
     seed: u64,
 }
@@ -51,6 +53,7 @@ impl ClientConfig {
             backoff_cap_ms: 80,
             retry_budget_ms: 2_000,
             deadline_ms: None,
+            class: None,
             reconnect: true,
             seed: 1,
         }
@@ -84,6 +87,15 @@ impl ClientConfig {
     #[must_use]
     pub fn with_deadline(mut self, deadline_ms: u64) -> ClientConfig {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Default admission class attached to every `schedule` whose spec
+    /// does not carry its own (the server treats an absent class as
+    /// `standard`).
+    #[must_use]
+    pub fn with_class(mut self, class: QosClass) -> ClientConfig {
+        self.class = Some(class);
         self
     }
 
@@ -264,7 +276,8 @@ pub struct Client {
 
 impl Client {
     /// Computes (or fetches from cache) a scheduling outcome. The
-    /// config's default deadline applies when the spec carries none.
+    /// config's default deadline and admission class apply when the
+    /// spec carries none.
     ///
     /// # Errors
     ///
@@ -275,6 +288,9 @@ impl Client {
         let mut spec = spec.clone();
         if spec.deadline_ms.is_none() {
             spec.deadline_ms = self.config.deadline_ms;
+        }
+        if spec.class.is_none() {
+            spec.class = self.config.class;
         }
         match self.request(&ServeRequest::Schedule(spec))? {
             ServeResponse::Scheduled(s) => Ok(s),

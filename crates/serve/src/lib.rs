@@ -58,10 +58,13 @@ pub use cache::{
     DEFAULT_SHARDS,
 };
 pub use client::{Client, ClientConfig, ClientError};
-pub use load::{run_load, KeySpace, LoadConfig, LoadReport, PhaseStats};
+pub use load::{
+    run_abuse, run_load, AbuseConfig, AbuseMode, AbuseReport, KeySpace, LoadConfig, LoadReport,
+    PhaseStats,
+};
 pub use protocol::{
     decode_request, format_key, parse_key, render_scheduled, ErrorCode, FrameBuffer, FrameError,
-    Outcome, RequestError, ResponseError, ResponseFrame, ScheduleSpec, Scheduled, ServeError,
-    ServeRequest, ServeResponse, StatEntry, StatsReply, WireVersion,
+    Outcome, QosClass, RequestError, ResponseError, ResponseFrame, ScheduleSpec, Scheduled,
+    ServeError, ServeRequest, ServeResponse, StatEntry, StatsReply, WireVersion,
 };
 pub use server::{ServeConfig, ServeSummary, Server};

@@ -17,13 +17,15 @@
 //! `consistent_outcomes` to `false`.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use mcds_core::{splitmix64, McdsError};
 use serde::{Deserialize, Serialize};
 
 use crate::client::Conn;
-use crate::protocol::{format_key, ScheduleSpec, ServeRequest, ServeResponse};
+use crate::protocol::{format_key, QosClass, ScheduleSpec, ServeRequest, ServeResponse};
 
 /// Load-generator tunables (one driver process).
 #[derive(Debug, Clone)]
@@ -49,6 +51,8 @@ pub struct LoadConfig {
     pub scheduler: Option<String>,
     /// Per-request deadline in milliseconds (`None` → no deadline).
     pub deadline_ms: Option<u64>,
+    /// Admission class sent with every request (`None` → standard).
+    pub class: Option<QosClass>,
     /// Times a failed request is re-queued after its first try:
     /// transport failures and typed retryable failures (overload,
     /// deadline, faults) retry; deterministic failures never do.
@@ -70,6 +74,7 @@ impl Default for LoadConfig {
             seed: 1,
             scheduler: None,
             deadline_ms: None,
+            class: None,
             retries: 3,
             legacy: false,
         }
@@ -108,6 +113,7 @@ impl KeySpace {
                     fb_kw: Some(KEYSPACE_FB_KW + k / per_fb),
                     scheduler: config.scheduler.clone(),
                     deadline_ms: config.deadline_ms,
+                    class: config.class,
                 };
                 let request = ServeRequest::Schedule(spec);
                 let mut line = if config.legacy {
@@ -761,9 +767,247 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, McdsError> {
     })
 }
 
+// ---- misbehaving clients ----------------------------------------------
+
+/// How an abusive peer misbehaves — each mode targets one of the
+/// server's slow-peer defenses (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbuseMode {
+    /// Writes a valid frame one byte at a time with long pauses —
+    /// a slow-loris writer that never completes a frame quickly. The
+    /// idle reaper should drop it (`last_frame` never advances).
+    SlowWriter,
+    /// Pipelines schedule requests as fast as possible and never
+    /// reads a byte back — the buffer cap and the write-stall timeout
+    /// should bound the server's memory and reclaim the fd.
+    StalledReader,
+    /// Connects and sends nothing — the connect-and-idle defense
+    /// should reap it.
+    IdleHolder,
+    /// Floods small valid frames without reading responses — admission
+    /// quotas, the buffer cap, and the write-stall timeout all engage.
+    FrameFlood,
+}
+
+impl AbuseMode {
+    /// Stable wire/report name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbuseMode::SlowWriter => "slow_writer",
+            AbuseMode::StalledReader => "stalled_reader",
+            AbuseMode::IdleHolder => "idle_holder",
+            AbuseMode::FrameFlood => "frame_flood",
+        }
+    }
+
+    /// Parses a report name back into a mode.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<AbuseMode> {
+        match name {
+            "slow_writer" => Some(AbuseMode::SlowWriter),
+            "stalled_reader" => Some(AbuseMode::StalledReader),
+            "idle_holder" => Some(AbuseMode::IdleHolder),
+            "frame_flood" => Some(AbuseMode::FrameFlood),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AbuseMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One abusive peer population.
+#[derive(Debug, Clone)]
+pub struct AbuseConfig {
+    /// Server address.
+    pub addr: String,
+    /// How the peers misbehave.
+    pub mode: AbuseMode,
+    /// Concurrent abusive connections.
+    pub clients: usize,
+    /// How long to keep misbehaving (per client; reconnects on server
+    /// closes until the budget runs out).
+    pub duration_ms: u64,
+}
+
+/// What one abusive population managed to inflict (and absorb).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AbuseReport {
+    /// The [`AbuseMode`] name.
+    pub mode: String,
+    /// Concurrent abusive clients.
+    pub clients: u64,
+    /// Connections opened across the run (first + reconnects).
+    pub connects: u64,
+    /// Complete frames written (0 for idle holders; partial for slow
+    /// writers).
+    pub frames_sent: u64,
+    /// Bytes written to the server.
+    pub bytes_sent: u64,
+    /// Times the server terminated the connection (reset, EOF, or a
+    /// refused write) — the defenses doing their job.
+    pub server_closed: u64,
+    /// Wall-clock duration of the abuse run in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// One abusive client loop: misbehave until the deadline, reconnecting
+/// whenever the server drops us.
+fn abuse_client(addr: &str, mode: AbuseMode, until: Instant, report: &mut AbuseReport) {
+    let ping = {
+        let mut line = ServeRequest::Ping.encode();
+        line.push('\n');
+        line
+    };
+    let flood_payload = {
+        // A real schedule request so floods exercise admission, not
+        // just the parse path.
+        let mut line = ServeRequest::Schedule(ScheduleSpec::workload("e1")).encode();
+        line.push('\n');
+        line
+    };
+    while Instant::now() < until {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        report.connects += 1;
+        let mut stream = stream;
+        let _ = stream.set_nodelay(true);
+        let closed = match mode {
+            AbuseMode::IdleHolder => {
+                // Hold the fd and wait for the server to reap us.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                let mut byte = [0u8; 1];
+                loop {
+                    if Instant::now() >= until {
+                        break false;
+                    }
+                    match stream.read(&mut byte) {
+                        Ok(0) => break true,
+                        Ok(_) => {}
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        Err(_) => break true,
+                    }
+                }
+            }
+            AbuseMode::SlowWriter => {
+                // One byte every 10ms: the frame technically grows,
+                // but `last_frame` never advances.
+                let mut closed = false;
+                'conn: loop {
+                    for &b in ping.as_bytes() {
+                        if Instant::now() >= until {
+                            break 'conn;
+                        }
+                        if stream.write_all(&[b]).is_err() {
+                            closed = true;
+                            break 'conn;
+                        }
+                        report.bytes_sent += 1;
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    report.frames_sent += 1;
+                }
+                closed
+            }
+            AbuseMode::StalledReader | AbuseMode::FrameFlood => {
+                // Write hard, read never. The stalled reader paces
+                // itself a little so the server's write buffer (not
+                // the client's socket) is the contended resource.
+                let payload = flood_payload.as_bytes();
+                let pace = if mode == AbuseMode::StalledReader {
+                    Duration::from_millis(1)
+                } else {
+                    Duration::ZERO
+                };
+                let mut closed = false;
+                while Instant::now() < until {
+                    match stream.write(payload) {
+                        Ok(0) | Err(_) => {
+                            closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            report.bytes_sent += n as u64;
+                            if n == payload.len() {
+                                report.frames_sent += 1;
+                            }
+                        }
+                    }
+                    if !pace.is_zero() {
+                        std::thread::sleep(pace);
+                    }
+                }
+                closed
+            }
+        };
+        if closed {
+            report.server_closed += 1;
+        }
+    }
+}
+
+/// Unleashes one abusive population against a server and reports what
+/// it managed to do. Never fails: an unreachable server just produces
+/// a report with zero connects.
+#[must_use]
+pub fn run_abuse(config: &AbuseConfig) -> AbuseReport {
+    let started = Instant::now();
+    let until = started + Duration::from_millis(config.duration_ms);
+    let clients = config.clients.max(1);
+    let reports: Vec<AbuseReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut report = AbuseReport::default();
+                    abuse_client(&config.addr, config.mode, until, &mut report);
+                    report
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("abuse thread must not panic"))
+            .collect()
+    });
+    let mut merged = AbuseReport {
+        mode: config.mode.as_str().to_owned(),
+        clients: clients as u64,
+        elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        ..AbuseReport::default()
+    };
+    for r in reports {
+        merged.connects += r.connects;
+        merged.frames_sent += r.frames_sent;
+        merged.bytes_sent += r.bytes_sent;
+        merged.server_closed += r.server_closed;
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn abuse_mode_names_round_trip() {
+        for mode in [
+            AbuseMode::SlowWriter,
+            AbuseMode::StalledReader,
+            AbuseMode::IdleHolder,
+            AbuseMode::FrameFlood,
+        ] {
+            assert_eq!(AbuseMode::from_name(mode.as_str()), Some(mode));
+        }
+        assert_eq!(AbuseMode::from_name("polite_client"), None);
+    }
 
     #[test]
     fn buckets_are_monotone_and_invertible() {

@@ -7,7 +7,7 @@
 //! the wire each request is one flat JSON object:
 //!
 //! ```text
-//! {"v":1,"verb":"schedule","workload":"e1","iterations":16,"scheduler":"cds","deadline_ms":500}
+//! {"v":1,"verb":"schedule","workload":"e1","iterations":16,"scheduler":"cds","deadline_ms":500,"class":"priority"}
 //! {"v":1,"verb":"ping"}
 //! {"v":1,"verb":"stats"}
 //! {"v":1,"verb":"shutdown"}
@@ -260,6 +260,81 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// The admission class of a `schedule` request: which QoS lane the job
+/// queues in. Carried on the wire as the optional `class` field of the
+/// v1 envelope.
+///
+/// Lane resolution is deliberately forgiving: a missing `class`, a
+/// legacy (pre-v1) frame, and an *unknown* class string all resolve to
+/// [`QosClass::Standard`] — an old client must never be rejected for
+/// not knowing about lanes, and a newer client's future class name
+/// must degrade to standard service rather than an error. Only a
+/// wrong-*typed* `class` field (a number, an object) is malformed,
+/// answered with [`ErrorCode::BadRequest`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum QosClass {
+    /// Latency-sensitive traffic: dequeued before everything else,
+    /// shed last.
+    Priority,
+    /// The default lane; every request without an explicit class.
+    #[default]
+    Standard,
+    /// Throughput traffic: dequeued only when the other lanes are
+    /// empty, shed first under overload.
+    Batch,
+}
+
+impl QosClass {
+    /// Every class, highest priority first (dequeue order; shed order
+    /// is the reverse).
+    pub const ALL: [QosClass; 3] = [QosClass::Priority, QosClass::Standard, QosClass::Batch];
+
+    /// The stable wire string for this class.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QosClass::Priority => "priority",
+            QosClass::Standard => "standard",
+            QosClass::Batch => "batch",
+        }
+    }
+
+    /// Parses a wire string; `None` for class names this build does
+    /// not know.
+    #[must_use]
+    pub fn from_wire(s: &str) -> Option<QosClass> {
+        Some(match s {
+            "priority" => QosClass::Priority,
+            "standard" => QosClass::Standard,
+            "batch" => QosClass::Batch,
+            _ => return None,
+        })
+    }
+
+    /// Parses a wire string, resolving unknown class names to
+    /// [`QosClass::Standard`] (the compat rule above).
+    #[must_use]
+    pub fn from_wire_lossy(s: &str) -> QosClass {
+        QosClass::from_wire(s).unwrap_or_default()
+    }
+
+    /// Lane index: 0 = priority, 1 = standard, 2 = batch.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::Priority => 0,
+            QosClass::Standard => 1,
+            QosClass::Batch => 2,
+        }
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The options of a `schedule` request (everything but the verb).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScheduleSpec {
@@ -280,6 +355,8 @@ pub struct ScheduleSpec {
     /// Per-request deadline in milliseconds; the pipeline abandons the
     /// run at the next stage boundary once it expires.
     pub deadline_ms: Option<u64>,
+    /// Admission class ([`QosClass`]); absent means standard.
+    pub class: Option<QosClass>,
 }
 
 impl ScheduleSpec {
@@ -290,6 +367,13 @@ impl ScheduleSpec {
             workload: Some(name.to_owned()),
             ..ScheduleSpec::default()
         }
+    }
+
+    /// The lane this request queues in: the explicit class, or
+    /// standard.
+    #[must_use]
+    pub fn qos(&self) -> QosClass {
+        self.class.unwrap_or_default()
     }
 }
 
@@ -376,6 +460,7 @@ struct RequestFrame {
     fb_kw: Option<u64>,
     scheduler: Option<String>,
     deadline_ms: Option<u64>,
+    class: Option<String>,
 }
 
 impl ServeRequest {
@@ -403,6 +488,7 @@ impl ServeRequest {
             fb_kw: spec.fb_kw,
             scheduler: spec.scheduler,
             deadline_ms: spec.deadline_ms,
+            class: spec.class.map(|c| c.as_str().to_owned()),
         }
     }
 
@@ -459,6 +545,9 @@ pub fn decode_request(line: &str) -> Result<(ServeRequest, WireVersion), Request
             fb_kw: frame.fb_kw,
             scheduler: frame.scheduler,
             deadline_ms: frame.deadline_ms,
+            // Unknown class names resolve to the standard lane; only a
+            // wrong-typed field is an error (caught by `from_value`).
+            class: frame.class.as_deref().map(QosClass::from_wire_lossy),
         }),
         other => {
             return Err(RequestError::Malformed(format!(
@@ -942,6 +1031,57 @@ mod tests {
         // Unknown verbs are BadRequest too.
         let err = decode_request(r#"{"v":1,"verb":"fly"}"#).expect_err("unknown verb");
         assert!(matches!(err, RequestError::Malformed(_)));
+    }
+
+    #[test]
+    fn qos_class_resolution_follows_the_compat_rules() {
+        // Explicit classes roundtrip through the typed surface.
+        let mut spec = ScheduleSpec::workload("e1");
+        spec.class = Some(QosClass::Priority);
+        let line = ServeRequest::Schedule(spec.clone()).encode();
+        assert!(line.contains("\"class\":\"priority\""));
+        match decode_request(&line).expect("decodes").0 {
+            ServeRequest::Schedule(s) => {
+                assert_eq!(s, spec);
+                assert_eq!(s.qos(), QosClass::Priority);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Absent class (v1 and legacy alike): standard lane, no error.
+        for frame in [
+            r#"{"v":1,"verb":"schedule","workload":"e1"}"#,
+            r#"{"verb":"schedule","workload":"e1"}"#,
+            r#"{"v":1,"verb":"schedule","workload":"e1","class":null}"#,
+        ] {
+            match decode_request(frame).expect("decodes").0 {
+                ServeRequest::Schedule(s) => {
+                    assert_eq!(s.class, None, "{frame}");
+                    assert_eq!(s.qos(), QosClass::Standard, "{frame}");
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+        // Unknown class *names* degrade to standard…
+        let future = r#"{"v":1,"verb":"schedule","workload":"e1","class":"platinum"}"#;
+        match decode_request(future).expect("decodes").0 {
+            ServeRequest::Schedule(s) => assert_eq!(s.class, Some(QosClass::Standard)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // …but a wrong-typed class field is a typed BadRequest.
+        for bad in [
+            r#"{"v":1,"verb":"schedule","workload":"e1","class":3}"#,
+            r#"{"v":1,"verb":"schedule","workload":"e1","class":["priority"]}"#,
+            r#"{"v":1,"verb":"schedule","workload":"e1","class":{"x":1}}"#,
+        ] {
+            let err = decode_request(bad).expect_err("wrong-typed class is rejected");
+            assert_eq!(err.code(), ErrorCode::BadRequest, "{bad}");
+        }
+        // Wire strings are stable and ALL is in dequeue order.
+        for class in QosClass::ALL {
+            assert_eq!(QosClass::from_wire(class.as_str()), Some(class));
+        }
+        assert_eq!(QosClass::ALL.map(QosClass::index), [0, 1, 2]);
+        assert_eq!(QosClass::from_wire_lossy("gold"), QosClass::Standard);
     }
 
     #[test]

@@ -8,12 +8,21 @@
 //! [`OutcomeCache`]: hits are answered inline by splicing the
 //! pre-serialized outcome into the connection's write buffer
 //! ([`render_scheduled`]), the single leader per key is pushed onto a
-//! **bounded admission queue** (full queue → typed `overloaded`
-//! rejection, not unbounded memory) and computed by a fixed worker
-//! pool, and concurrent requesters of an in-flight key park as
-//! *waiters* — no thread blocks — until the leader's completion fans
-//! the shared result out to all of them through the completion queue
-//! and the reactor's [`Waker`].
+//! **bounded admission queue** split into strict-priority QoS lanes
+//! (full lane → typed `overloaded` rejection, not unbounded memory)
+//! and computed by a fixed worker pool, and concurrent requesters of
+//! an in-flight key park as *waiters* — no thread blocks — until the
+//! leader's completion fans the shared result out to all of them
+//! through the completion queue and the reactor's [`Waker`].
+//!
+//! Overload and abuse defenses (DESIGN.md §14): per-class lane
+//! quotas, a dequeue-side queue-delay governor that sheds stale
+//! lower-class work, deadline-expired jobs answered without running,
+//! idle/write-stall connection reaping, and a per-connection buffer
+//! cap. The reactor itself is crash-only: [`Server::run`] supervises
+//! the tick loop under `catch_unwind`, so a panicking tick (or an
+//! injected poll failure) recycles the incarnation while the
+//! listener, caches, queue, and workers survive.
 //!
 //! Responses on a connection are delivered in request order (a
 //! per-connection FIFO of pending slots), so pipelined clients can keep
@@ -30,6 +39,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,8 +55,9 @@ use crate::cache::{
     Token, DEFAULT_SHARDS,
 };
 use crate::protocol::{
-    decode_request, render_scheduled, ErrorCode, FrameBuffer, FrameError, Outcome, ScheduleSpec,
-    Scheduled, ServeError, ServeRequest, ServeResponse, StatEntry, StatsReply, WireVersion,
+    decode_request, render_scheduled, ErrorCode, FrameBuffer, FrameError, Outcome, QosClass,
+    ScheduleSpec, Scheduled, ServeError, ServeRequest, ServeResponse, StatEntry, StatsReply,
+    WireVersion,
 };
 use crate::sys::{PollSet, Waker};
 
@@ -83,6 +94,31 @@ pub struct ServeConfig {
     /// full CDS entirely and go straight to the degraded scheduler
     /// (`0` disables the upfront check).
     pub degrade_below_ms: u64,
+    /// Per-class admission-lane quotas `[priority, standard, batch]`;
+    /// a lane left at `0` inherits [`queue_depth`](Self::queue_depth).
+    /// Lanes are drained in strict priority order, so a small batch
+    /// quota bounds how much background traffic can queue behind
+    /// latency-sensitive work.
+    pub qos_quotas: [usize; 3],
+    /// Queue sojourn (milliseconds) beyond which the dequeue-side
+    /// governor sheds stale jobs from lanes *below* the one being
+    /// served — a CoDel-style early drop under sustained overload.
+    /// The priority lane is never shed. `0` disables shedding.
+    pub shed_after_ms: u64,
+    /// A connection with no *complete* frame for this many
+    /// milliseconds (and nothing pending or unwritten) is reaped —
+    /// the slow-loris/connect-and-idle defense. `0` disables.
+    pub idle_timeout_ms: u64,
+    /// A connection with unwritten output making no flush progress for
+    /// this many milliseconds is dropped (stalled reader). `0`
+    /// disables.
+    pub write_stall_ms: u64,
+    /// Cap on one connection's total buffered bytes (unread frames +
+    /// unwritten responses). Exceeding it gets a typed `overloaded`
+    /// error and the connection is closed after flushing — per-peer
+    /// memory stays bounded under frame floods and stalled readers.
+    /// `0` disables.
+    pub max_conn_buffer_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +136,11 @@ impl Default for ServeConfig {
             faults: None,
             degrade: true,
             degrade_below_ms: 0,
+            qos_quotas: [0, 0, 0],
+            shed_after_ms: 250,
+            idle_timeout_ms: 60_000,
+            write_stall_ms: 10_000,
+            max_conn_buffer_bytes: 1024 * 1024,
         }
     }
 }
@@ -139,6 +180,26 @@ pub struct ServeSummary {
     /// Computations that had to run the analysis front half.
     #[serde(default)]
     pub analysis_misses: u64,
+    /// Reactor incarnations recycled by the supervisor after a panic
+    /// or an injected poll failure (listener and caches survive).
+    #[serde(default)]
+    pub reactor_restarts: u64,
+    /// Queued jobs shed by the queue-delay governor (all lanes).
+    #[serde(default)]
+    pub qos_shed: u64,
+    /// Jobs whose deadline expired while queued, answered `deadline`
+    /// without running.
+    #[serde(default)]
+    pub qos_expired: u64,
+    /// Connections closed for exceeding the per-connection buffer cap.
+    #[serde(default)]
+    pub conn_overflows: u64,
+    /// Connections reaped by the idle timeout.
+    #[serde(default)]
+    pub idle_reaped: u64,
+    /// Connections dropped by the write-stall timeout.
+    #[serde(default)]
+    pub write_stalls: u64,
 }
 
 /// A `schedule` line resolved into pipeline inputs, shared between the
@@ -154,6 +215,9 @@ struct Resolved {
     /// address, shared by every arch/scheduler variant.
     structure_key: u64,
     deadline_ms: Option<u64>,
+    /// Admission lane (not part of `key` — identical computations
+    /// share one cache entry whatever class requested them).
+    class: QosClass,
 }
 
 /// Memoized fate of an exact request line (bytes → outcome of the
@@ -187,61 +251,108 @@ struct Job {
     guard: FlightGuard,
     /// The leader's reply token (waiter tokens live in the cache).
     leader: Token,
+    /// Lane this job was admitted on.
+    class: QosClass,
+    /// When the job entered its lane — drives the queue-delay governor
+    /// and the dequeue-side deadline drop.
+    enqueued: Instant,
 }
 
 struct QueueState {
-    jobs: VecDeque<Box<Job>>,
+    /// One FIFO per class, indexed by [`QosClass::index`] and drained
+    /// in strict priority order.
+    lanes: [VecDeque<Box<Job>>; 3],
     closed: bool,
 }
 
-/// The bounded admission queue.
+/// The bounded admission queue, split into strict-priority QoS lanes.
 struct JobQueue {
     state: Mutex<QueueState>,
     available: Condvar,
-    depth: usize,
+    /// Per-lane capacity, indexed by [`QosClass::index`].
+    quotas: [usize; 3],
+    /// Sojourn beyond which lower lanes are shed at dequeue (`None`
+    /// disables the governor).
+    shed_after: Option<Duration>,
 }
 
 impl JobQueue {
-    fn new(depth: usize) -> Self {
+    fn new(quotas: [usize; 3], shed_after: Option<Duration>) -> Self {
         JobQueue {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 closed: false,
             }),
             available: Condvar::new(),
-            depth,
+            quotas,
+            shed_after,
         }
     }
 
-    /// Admits the job, or hands it back (with whether the queue was
-    /// closed rather than full) — the caller turns that into a typed
-    /// rejection.
+    /// Admits the job onto its class lane, or hands it back (with
+    /// whether the queue was closed rather than the lane full) — the
+    /// caller turns that into a typed rejection.
     fn try_push(&self, job: Box<Job>) -> Result<(), (Box<Job>, bool)> {
+        let lane = job.class.index();
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
             return Err((job, true));
         }
-        if state.jobs.len() >= self.depth {
+        if state.lanes[lane].len() >= self.quotas[lane] {
             return Err((job, false));
         }
-        state.jobs.push_back(job);
+        state.lanes[lane].push_back(job);
         drop(state);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Next job, blocking; `None` once the queue is closed and empty.
-    fn pop(&self) -> Option<Box<Job>> {
+    /// Next job in strict priority order, blocking; `None` once the
+    /// queue is closed and drained. When the popped job itself waited
+    /// longer than `shed_after`, the queue is congested: stale heads
+    /// of every lane *below* the popped one are shed (lowest class
+    /// first) and returned for the caller to answer `overloaded` —
+    /// the priority lane can never appear below another and so is
+    /// never shed.
+    // Shed jobs stay boxed: they were boxed on the lane and the caller
+    // answers each one exactly as it would a popped job.
+    #[allow(clippy::vec_box)]
+    fn pop(&self) -> Option<(Box<Job>, Vec<Box<Job>>)> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if let Some(job) = state.jobs.pop_front() {
-                return Some(job);
+            let lane = state.lanes.iter().position(|l| !l.is_empty());
+            if let Some(lane) = lane {
+                let job = state.lanes[lane].pop_front().expect("non-empty lane");
+                let mut shed = Vec::new();
+                if let Some(limit) = self.shed_after {
+                    if job.enqueued.elapsed() > limit {
+                        for lower in ((lane + 1)..state.lanes.len()).rev() {
+                            while state.lanes[lower]
+                                .front()
+                                .is_some_and(|j| j.enqueued.elapsed() > limit)
+                            {
+                                shed.push(state.lanes[lower].pop_front().expect("checked front"));
+                            }
+                        }
+                    }
+                }
+                return Some((job, shed));
             }
             if state.closed {
                 return None;
             }
             state = self.available.wait(state).expect("queue lock");
         }
+    }
+
+    /// Current per-lane depths `[priority, standard, batch]`.
+    fn depths(&self) -> [usize; 3] {
+        let state = self.state.lock().expect("queue lock");
+        [
+            state.lanes[0].len(),
+            state.lanes[1].len(),
+            state.lanes[2].len(),
+        ]
     }
 
     fn close(&self) {
@@ -295,10 +406,26 @@ struct Counters {
     analysis_hits: Counter,
     analysis_misses: Counter,
     latency: Histogram,
+    /// Per-class admissions, indexed by [`QosClass::index`].
+    qos_admitted: [Counter; 3],
+    /// Per-class lane-full rejections.
+    qos_rejected: [Counter; 3],
+    /// Per-class queue-delay sheds.
+    qos_shed: [Counter; 3],
+    qos_expired: Counter,
+    reactor_restarts: Counter,
+    conn_overflows: Counter,
+    idle_reaped: Counter,
+    write_stalls: Counter,
+    /// Total buffered bytes per connection, observed each service
+    /// round — its `.max` is the per-peer memory high-water mark.
+    buffer_bytes: Histogram,
 }
 
 impl Counters {
     fn new(metrics: &Arc<MetricsRegistry>) -> Counters {
+        let per_class =
+            |stem: &str| QosClass::ALL.map(|c| metrics.counter(&format!("serve.qos.{stem}.{c}")));
         Counters {
             requests: metrics.counter("serve.requests"),
             hits: metrics.counter("serve.cache.hits"),
@@ -312,6 +439,15 @@ impl Counters {
             analysis_hits: metrics.counter("serve.analysis.hits"),
             analysis_misses: metrics.counter("serve.analysis.misses"),
             latency: metrics.histogram("serve.latency_us"),
+            qos_admitted: per_class("admitted"),
+            qos_rejected: per_class("rejected"),
+            qos_shed: per_class("shed"),
+            qos_expired: metrics.counter("serve.qos.expired"),
+            reactor_restarts: metrics.counter("serve.reactor_restarts"),
+            conn_overflows: metrics.counter("serve.conn.overflow"),
+            idle_reaped: metrics.counter("serve.conn.idle_reaped"),
+            write_stalls: metrics.counter("serve.conn.write_stalls"),
+            buffer_bytes: metrics.histogram("serve.conn.buffer_bytes"),
         }
     }
 }
@@ -329,6 +465,9 @@ struct Ctx {
     degrade: bool,
     degrade_below_ms: u64,
     counters: Counters,
+    /// Jobs a worker has dequeued but not yet completed — a live
+    /// gauge, read by the `stats` verb.
+    inflight: AtomicU64,
 }
 
 impl Ctx {
@@ -401,10 +540,23 @@ impl Server {
     /// per-request errors never abort the server.
     pub fn run(self) -> Result<ServeSummary, McdsError> {
         self.listener.set_nonblocking(true)?;
+        let quotas = [0, 1, 2].map(|lane| {
+            let quota = self.config.qos_quotas[lane];
+            if quota == 0 {
+                self.config.queue_depth
+            } else {
+                quota
+            }
+        });
+        let shed_after = if self.config.shed_after_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(self.config.shed_after_ms))
+        };
         let ctx = Ctx {
             cache: OutcomeCache::with_shards(self.config.shards),
             metrics: Arc::clone(&self.metrics),
-            queue: JobQueue::new(self.config.queue_depth),
+            queue: JobQueue::new(quotas, shed_after),
             completions: Mutex::new(Vec::new()),
             waker: Waker::new()?,
             fault_delay: Duration::from_micros(
@@ -417,13 +569,31 @@ impl Server {
             degrade: self.config.degrade,
             degrade_below_ms: self.config.degrade_below_ms,
             counters: Counters::new(&self.metrics),
+            inflight: AtomicU64::new(0),
         };
         std::thread::scope(|s| -> Result<(), McdsError> {
             for _ in 0..self.config.workers.max(1) {
                 s.spawn(|| worker_loop(&ctx));
             }
-            let mut reactor = Reactor::new(&ctx, &self.listener, &self.config);
-            let result = reactor.run();
+            // Crash-only supervision: a reactor incarnation is
+            // disposable — the listener, the outcome/analysis caches,
+            // the admission queue, and the worker pool all live out
+            // here and survive a tick panic (or an injected poll
+            // failure) intact. Connections and the parse memo die with
+            // the incarnation; clients see a transport error and
+            // retry, the memo rebuilds itself.
+            let result = loop {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    Reactor::new(&ctx, &self.listener, &self.config).run()
+                }));
+                match outcome {
+                    Ok(Ok(())) => break Ok(()),
+                    Ok(Err(McdsError::Faulted(_))) | Err(_) => {
+                        ctx.counters.reactor_restarts.incr();
+                    }
+                    Ok(Err(e)) => break Err(e),
+                }
+            };
             ctx.queue.close();
             result
         })?;
@@ -445,6 +615,15 @@ impl Server {
             legacy_frames: count("serve.legacy_frames"),
             analysis_hits: count("serve.analysis.hits"),
             analysis_misses: count("serve.analysis.misses"),
+            reactor_restarts: count("serve.reactor_restarts"),
+            qos_shed: QosClass::ALL
+                .iter()
+                .map(|c| count(&format!("serve.qos.shed.{c}")))
+                .sum(),
+            qos_expired: count("serve.qos.expired"),
+            conn_overflows: count("serve.conn.overflow"),
+            idle_reaped: count("serve.conn.idle_reaped"),
+            write_stalls: count("serve.conn.write_stalls"),
         })
     }
 }
@@ -513,6 +692,30 @@ struct Conn {
     close_after_flush: bool,
     /// Close immediately; discard anything unwritten.
     broken: bool,
+    /// Last *complete* frame processed (connect time until the
+    /// first) — a peer dribbling bytes without ever finishing a frame
+    /// still reads as idle, which is the slow-loris defense.
+    last_frame: Instant,
+    /// Last time `flush` moved bytes into the socket; a stalled
+    /// reader stops making progress here.
+    last_write_progress: Instant,
+}
+
+impl Conn {
+    /// Everything this peer is making the server hold: unparsed frame
+    /// bytes, parked/rendered responses, and the unwritten tail.
+    fn buffered_bytes(&self) -> usize {
+        let pending: usize = self
+            .pending
+            .iter()
+            .map(|s| match &s.state {
+                SlotState::Done(bytes) => bytes.len(),
+                SlotState::Waiting => 0,
+            })
+            .sum();
+        let dribble: usize = self.dribble.iter().map(Vec::len).sum();
+        (self.out.len() - self.out_pos) + pending + dribble + self.frames.len()
+    }
 }
 
 enum TimerEvent {
@@ -557,6 +760,9 @@ struct Reactor<'a> {
     listener: &'a TcpListener,
     poll_ms: u64,
     max_frame_bytes: usize,
+    idle_timeout: Duration,
+    write_stall: Duration,
+    max_conn_buffer: usize,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     by_gen: HashMap<u32, usize>,
@@ -565,6 +771,11 @@ struct Reactor<'a> {
     timer_seq: u64,
     draining: bool,
     drained_buffered: bool,
+    /// Set by an injected [`Seam::PollError`]: the tick loop bails out
+    /// with [`McdsError::Faulted`] at the next loop head and the
+    /// supervisor starts a fresh incarnation.
+    poll_failed: bool,
+    last_sweep: Instant,
     memo: HashMap<Box<[u8]>, Memo>,
     poll: PollSet,
     chunk: Vec<u8>,
@@ -577,6 +788,9 @@ impl<'a> Reactor<'a> {
             listener,
             poll_ms: config.poll_ms.max(1),
             max_frame_bytes: config.max_frame_bytes,
+            idle_timeout: Duration::from_millis(config.idle_timeout_ms),
+            write_stall: Duration::from_millis(config.write_stall_ms),
+            max_conn_buffer: config.max_conn_buffer_bytes,
             conns: Vec::new(),
             free: Vec::new(),
             by_gen: HashMap::new(),
@@ -585,6 +799,8 @@ impl<'a> Reactor<'a> {
             timer_seq: 0,
             draining: false,
             drained_buffered: false,
+            poll_failed: false,
+            last_sweep: Instant::now(),
             memo: HashMap::new(),
             poll: PollSet::new(),
             chunk: vec![0u8; 64 * 1024],
@@ -593,6 +809,9 @@ impl<'a> Reactor<'a> {
 
     fn run(&mut self) -> Result<(), McdsError> {
         loop {
+            if self.poll_failed {
+                return Err(McdsError::Faulted("injected poll failure".to_owned()));
+            }
             let replies =
                 std::mem::take(&mut *self.ctx.completions.lock().expect("completion lock"));
             for reply in replies {
@@ -613,6 +832,7 @@ impl<'a> Reactor<'a> {
                 }
             }
             self.fire_due_timers();
+            self.reap_slow_peers();
             if self.draining && !self.drained_buffered {
                 self.drained_buffered = true;
                 for idx in 0..self.conns.len() {
@@ -693,10 +913,74 @@ impl<'a> Reactor<'a> {
         i32::try_from(timeout.clamp(0, 60_000)).unwrap_or(25)
     }
 
+    /// Drops connections that stopped holding up their end: a peer
+    /// with unwritten output and no flush progress for `write_stall`
+    /// (stalled reader), or one that completed no frame for
+    /// `idle_timeout` while owing the server nothing (connect-and-idle
+    /// and slow-loris writers alike — `last_frame` only advances on
+    /// *complete* frames). Runs at most every 100ms; the reactor loop
+    /// already ticks at least every `poll_ms`.
+    fn reap_slow_peers(&mut self) {
+        if self.idle_timeout.is_zero() && self.write_stall.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last_sweep) < Duration::from_millis(100) {
+            return;
+        }
+        self.last_sweep = now;
+        for idx in 0..self.conns.len() {
+            let stalled;
+            match &self.conns[idx] {
+                Some(conn) => {
+                    if !self.write_stall.is_zero()
+                        && conn.out_pos < conn.out.len()
+                        && now.duration_since(conn.last_write_progress) > self.write_stall
+                    {
+                        stalled = true;
+                    } else if !self.idle_timeout.is_zero()
+                        && conn.pending.is_empty()
+                        && conn.dribble.is_empty()
+                        && conn.out_pos >= conn.out.len()
+                        && now.duration_since(conn.last_frame) > self.idle_timeout
+                    {
+                        stalled = false;
+                    } else {
+                        continue;
+                    }
+                }
+                None => continue,
+            }
+            let Some(mut conn) = self.conns[idx].take() else {
+                continue;
+            };
+            if stalled {
+                self.ctx.counters.write_stalls.incr();
+            } else {
+                self.ctx.counters.idle_reaped.incr();
+            }
+            conn.broken = true;
+            self.finish(idx, conn);
+        }
+    }
+
     fn accept_all(&mut self) -> Result<(), McdsError> {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // Injected accept-path failures, decided once per
+                    // accepted socket (deterministic under chaos
+                    // lockstep): the peer's connect already succeeded
+                    // in the kernel, so dropping the stream here looks
+                    // to the client like an immediate server-side
+                    // close — exactly what a transient accept error or
+                    // fd exhaustion produces.
+                    if self.ctx.fault(Seam::AcceptFail).is_some()
+                        || self.ctx.fault(Seam::FdExhausted).is_some()
+                    {
+                        drop(stream);
+                        continue;
+                    }
                     stream.set_nonblocking(true)?;
                     let _ = stream.set_nodelay(true);
                     self.add_conn(stream);
@@ -723,6 +1007,8 @@ impl<'a> Reactor<'a> {
             read_done: false,
             close_after_flush: false,
             broken: false,
+            last_frame: Instant::now(),
+            last_write_progress: Instant::now(),
         };
         let idx = match self.free.pop() {
             Some(idx) => {
@@ -742,6 +1028,14 @@ impl<'a> Reactor<'a> {
             return;
         };
         loop {
+            // Backpressure, not unbounded slurp: once this peer has a
+            // buffer cap's worth of unanswered input, stop reading and
+            // leave the rest in the kernel buffer — poll re-arms on the
+            // leftovers, and `enforce_buffer_cap` disconnects the peer
+            // if it is flooding rather than merely bursty.
+            if self.max_conn_buffer > 0 && conn.frames.len() >= self.max_conn_buffer {
+                break;
+            }
             match conn.stream.read(&mut self.chunk) {
                 Ok(0) => {
                     conn.read_done = true;
@@ -773,8 +1067,16 @@ impl<'a> Reactor<'a> {
                     if line.is_empty() {
                         continue;
                     }
+                    conn.last_frame = Instant::now();
                     self.process_line(conn, line);
                     if conn.broken || conn.close_after_flush {
+                        break;
+                    }
+                    // Small requests can render large responses: stop
+                    // answering the moment the cap is crossed so the
+                    // overshoot is bounded by one response, and let
+                    // `enforce_buffer_cap` deliver the verdict.
+                    if self.max_conn_buffer > 0 && conn.buffered_bytes() > self.max_conn_buffer {
                         break;
                     }
                 }
@@ -824,6 +1126,21 @@ impl<'a> Reactor<'a> {
         // the connection) before it is even counted — the client must
         // retry on a fresh connection, as with a real peer reset.
         if matches!(self.ctx.fault(Seam::ServeRead), Some(Fault::Disconnect)) {
+            conn.broken = true;
+            return;
+        }
+        // Reactor-era seams, decided once per processed frame (never
+        // per poll tick — tick counts are wall-clock dependent and
+        // would break chaos replay). Both take down the incarnation:
+        // a tick panic unwinds into the supervisor's `catch_unwind`,
+        // an injected poll failure flags the loop to bail with
+        // `Faulted` at the next head. No lock is held at this point,
+        // so the unwind cannot poison shared state.
+        if matches!(self.ctx.fault(Seam::TickPanic), Some(Fault::TickPanic)) {
+            panic!("injected reactor tick panic");
+        }
+        if matches!(self.ctx.fault(Seam::PollError), Some(Fault::PollFail)) {
+            self.poll_failed = true;
             conn.broken = true;
             return;
         }
@@ -879,13 +1196,32 @@ impl<'a> Reactor<'a> {
                 self.queue_response(conn, &ServeResponse::Pong { latency_us });
             }
             ServeRequest::Stats => {
-                let entries = self
+                let mut entries: Vec<StatEntry> = self
                     .ctx
                     .metrics
                     .snapshot()
                     .into_iter()
                     .map(|(name, value)| StatEntry { name, value })
                     .collect();
+                // Live gauges (queue occupancy and in-flight work)
+                // have no counter representation — compute them at
+                // snapshot time and keep the reply sorted by name.
+                let depths = self.ctx.queue.depths();
+                entries.push(StatEntry {
+                    name: "serve.queue.depth".to_owned(),
+                    value: depths.iter().map(|&d| d as u64).sum(),
+                });
+                for (class, depth) in QosClass::ALL.iter().zip(depths) {
+                    entries.push(StatEntry {
+                        name: format!("serve.queue.depth.{class}"),
+                        value: depth as u64,
+                    });
+                }
+                entries.push(StatEntry {
+                    name: "serve.inflight".to_owned(),
+                    value: self.ctx.inflight.load(Ordering::Relaxed),
+                });
+                entries.sort_by(|a, b| a.name.cmp(&b.name));
                 let latency_us = self.observed_latency(started);
                 self.queue_response(
                     conn,
@@ -986,6 +1322,7 @@ impl<'a> Reactor<'a> {
                 } else {
                     Some(deadline.map_or_else(CancelToken::new, CancelToken::at))
                 };
+                let class = resolved.class;
                 let job = Box::new(Job {
                     resolved: Arc::clone(resolved),
                     kind: if degraded_upfront {
@@ -997,9 +1334,14 @@ impl<'a> Reactor<'a> {
                     cancel,
                     guard,
                     leader: token,
+                    class,
+                    enqueued: started,
                 });
                 match ctx.queue.try_push(job) {
-                    Ok(()) => push_waiting(conn, started),
+                    Ok(()) => {
+                        ctx.counters.qos_admitted[class.index()].incr();
+                        push_waiting(conn, started);
+                    }
                     Err((job, closed)) => {
                         let Job { guard, .. } = *job;
                         let _ = guard.abandon();
@@ -1015,11 +1357,12 @@ impl<'a> Reactor<'a> {
                             );
                         } else {
                             ctx.counters.rejected.incr();
+                            ctx.counters.qos_rejected[class.index()].incr();
                             self.respond_failed(
                                 conn,
                                 started,
                                 ErrorCode::Overloaded,
-                                "overloaded: admission queue full",
+                                "overloaded: admission lane full",
                                 "schedule",
                                 Some(entry_key),
                             );
@@ -1330,9 +1673,43 @@ impl<'a> Reactor<'a> {
         }
     }
 
+    /// Enforces the per-connection buffer cap: a peer making the
+    /// server hold more than `max_conn_buffer` bytes (frame flood
+    /// against a stalled reader, typically) gets one final typed
+    /// `overloaded` error and is closed after flushing — the
+    /// write-stall timeout guarantees the fd is reclaimed even if the
+    /// peer never reads.
+    fn enforce_buffer_cap(&mut self, conn: &mut Conn) {
+        let buffered = conn.buffered_bytes();
+        self.ctx.counters.buffer_bytes.observe(buffered as u64);
+        if self.max_conn_buffer == 0
+            || buffered <= self.max_conn_buffer
+            || conn.broken
+            || conn.close_after_flush
+        {
+            return;
+        }
+        self.ctx.counters.conn_overflows.incr();
+        let failed = ServeResponse::Failed(ServeError {
+            code: ErrorCode::Overloaded,
+            message: "overloaded: connection buffer cap exceeded".to_owned(),
+            key: None,
+            verb: "conn".to_owned(),
+            latency_us: 0,
+        });
+        let mut bytes = failed.encode().into_bytes();
+        bytes.push(b'\n');
+        // Bypass the pending FIFO — whatever is parked there will
+        // never be pumped once the connection is closing.
+        conn.out.extend_from_slice(&bytes);
+        conn.read_done = true;
+        conn.close_after_flush = true;
+    }
+
     /// Flushes what the socket accepts, then either parks the
     /// connection back in the slab or closes it.
     fn finish(&mut self, idx: usize, mut conn: Conn) {
+        self.enforce_buffer_cap(&mut conn);
         flush(&mut conn);
         let flushed = conn.out_pos >= conn.out.len();
         let done = conn.broken
@@ -1367,7 +1744,10 @@ fn flush(conn: &mut Conn) {
                 conn.broken = true;
                 return;
             }
-            Ok(n) => conn.out_pos += n,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_write_progress = Instant::now();
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
@@ -1481,6 +1861,33 @@ fn entry_replies(key: u64, leader: Token, waiters: Vec<Token>, entry: &CachedRes
     replies
 }
 
+/// Replies for a job dropped at dequeue (shed by the queue-delay
+/// governor, or already past its deadline): the run never started, so
+/// nothing counts as a miss or an error — the typed retryable code is
+/// the whole story.
+fn drop_replies(
+    key: u64,
+    leader: Token,
+    waiters: Vec<Token>,
+    code: ErrorCode,
+    message: &Arc<str>,
+) -> Vec<Reply> {
+    let mut replies = Vec::with_capacity(1 + waiters.len());
+    for token in std::iter::once(leader).chain(waiters) {
+        replies.push(Reply {
+            token,
+            payload: ReplyPayload::Error {
+                code,
+                message: Arc::clone(message),
+                key,
+                count_miss: false,
+                count_error: false,
+            },
+        });
+    }
+    replies
+}
+
 /// Replies failing the leader (counted as the miss) and every waiter
 /// with the same transient error.
 fn fail_replies(
@@ -1524,7 +1931,43 @@ fn fail_replies(
 /// `serve.worker_restarts` counts the recycle, and the leader plus any
 /// parked waiters get a typed retryable error instead of hanging.
 fn worker_loop(ctx: &Ctx) {
-    while let Some(job) = ctx.queue.pop() {
+    while let Some((job, shed)) = ctx.queue.pop() {
+        // Jobs the queue-delay governor pulled from lower lanes while
+        // congested: answer `overloaded` without running them.
+        for victim in shed {
+            ctx.counters.qos_shed[victim.class.index()].incr();
+            ctx.counters.rejected.incr();
+            let Job { guard, leader, .. } = *victim;
+            let key = guard.key();
+            let waiters = guard.abandon();
+            let message = Arc::from("overloaded: shed after queue delay exceeded");
+            ctx.complete(drop_replies(
+                key,
+                leader,
+                waiters,
+                ErrorCode::Overloaded,
+                &message,
+            ));
+        }
+        // Deadline-aware early drop: a job whose deadline passed while
+        // it queued is answered `deadline` without burning a worker on
+        // a run the client has already given up on.
+        if job.cancel.as_ref().is_some_and(CancelToken::is_expired) {
+            ctx.counters.deadline_misses.incr();
+            ctx.counters.qos_expired.incr();
+            let Job { guard, leader, .. } = *job;
+            let key = guard.key();
+            let waiters = guard.abandon();
+            let message = Arc::from("deadline expired before the run started");
+            ctx.complete(drop_replies(
+                key,
+                leader,
+                waiters,
+                ErrorCode::Deadline,
+                &message,
+            ));
+            continue;
+        }
         let Job {
             resolved,
             kind,
@@ -1532,8 +1975,10 @@ fn worker_loop(ctx: &Ctx) {
             cancel,
             guard,
             leader,
+            ..
         } = *job;
         let flight_key = guard.key();
+        ctx.inflight.fetch_add(1, Ordering::Relaxed);
         let caught = supervised_run(ctx, &resolved, kind, cancel, !degraded);
         let replies = match caught {
             Err(()) => {
@@ -1606,12 +2051,14 @@ fn worker_loop(ctx: &Ctx) {
             }
         };
         ctx.complete(replies);
+        ctx.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 /// Resolves a `schedule` request into pipeline inputs plus its
 /// canonical key.
 fn resolve(spec: ScheduleSpec) -> Result<Resolved, String> {
+    let class = spec.qos();
     let kind: SchedulerKind = spec
         .scheduler
         .as_deref()
@@ -1649,5 +2096,147 @@ fn resolve(spec: ScheduleSpec) -> Result<Resolved, String> {
         key,
         structure_key: skey,
         deadline_ms: spec.deadline_ms,
+        class,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::Lookup;
+
+    /// A queued job aged `age_ms` into the past, leading a fresh flight
+    /// on its own key so the guard is real (dropping it parks orphans,
+    /// which these tests never read back).
+    fn job(cache: &Arc<OutcomeCache>, key: u64, class: QosClass, age_ms: u64) -> Box<Job> {
+        let resolved = Arc::new(resolve(ScheduleSpec::workload("e1")).expect("catalog resolves"));
+        let Lookup::Lead(guard) = cache.lookup(key, key) else {
+            panic!("a fresh key always leads");
+        };
+        Box::new(Job {
+            resolved,
+            kind: SchedulerKind::Cds,
+            degraded: false,
+            cancel: None,
+            guard,
+            leader: key,
+            class,
+            enqueued: Instant::now()
+                .checked_sub(Duration::from_millis(age_ms))
+                .expect("test ages fit in the clock"),
+        })
+    }
+
+    #[test]
+    fn lanes_pop_in_strict_priority_order() {
+        let cache = OutcomeCache::new();
+        let queue = JobQueue::new([4, 4, 4], None);
+        queue
+            .try_push(job(&cache, 1, QosClass::Batch, 0))
+            .map_err(|_| ())
+            .expect("admitted");
+        queue
+            .try_push(job(&cache, 2, QosClass::Standard, 0))
+            .map_err(|_| ())
+            .expect("admitted");
+        queue
+            .try_push(job(&cache, 3, QosClass::Priority, 0))
+            .map_err(|_| ())
+            .expect("admitted");
+        assert_eq!(queue.depths(), [1, 1, 1]);
+        let order: Vec<QosClass> = (0..3)
+            .map(|_| {
+                let (job, shed) = queue.pop().expect("a job is queued");
+                assert!(shed.is_empty(), "fresh jobs never trip the governor");
+                job.class
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![QosClass::Priority, QosClass::Standard, QosClass::Batch]
+        );
+        assert_eq!(queue.depths(), [0, 0, 0]);
+    }
+
+    #[test]
+    fn lane_quotas_reject_independently_and_close_is_distinguished() {
+        let cache = OutcomeCache::new();
+        let queue = JobQueue::new([1, 1, 1], None);
+        queue
+            .try_push(job(&cache, 10, QosClass::Standard, 0))
+            .map_err(|_| ())
+            .expect("first standard admitted");
+        let (_, closed) = queue
+            .try_push(job(&cache, 11, QosClass::Standard, 0))
+            .expect_err("standard lane is full");
+        assert!(!closed, "a full lane is not a closed queue");
+        // A full standard lane does not steal the other lanes' quota.
+        queue
+            .try_push(job(&cache, 12, QosClass::Priority, 0))
+            .map_err(|_| ())
+            .expect("priority lane has its own quota");
+        queue
+            .try_push(job(&cache, 13, QosClass::Batch, 0))
+            .map_err(|_| ())
+            .expect("batch lane has its own quota");
+        queue.close();
+        let (_, closed) = queue
+            .try_push(job(&cache, 14, QosClass::Priority, 0))
+            .expect_err("closed queue admits nothing");
+        assert!(closed, "shutdown rejections are typed as such");
+    }
+
+    #[test]
+    fn congested_pop_sheds_stale_lower_lane_heads_lowest_class_first() {
+        let cache = OutcomeCache::new();
+        let queue = JobQueue::new([8, 8, 8], Some(Duration::from_millis(50)));
+        queue
+            .try_push(job(&cache, 20, QosClass::Priority, 200))
+            .map_err(|_| ())
+            .expect("admitted");
+        queue
+            .try_push(job(&cache, 21, QosClass::Standard, 200))
+            .map_err(|_| ())
+            .expect("admitted");
+        queue
+            .try_push(job(&cache, 22, QosClass::Batch, 200))
+            .map_err(|_| ())
+            .expect("admitted");
+        queue
+            .try_push(job(&cache, 23, QosClass::Batch, 0))
+            .map_err(|_| ())
+            .expect("admitted");
+        // The popped priority job waited 200ms > 50ms: the governor
+        // sheds the stale heads of the lanes below it, batch before
+        // standard, and stops at the first fresh head.
+        let (popped, shed) = queue.pop().expect("a job is queued");
+        assert_eq!(popped.class, QosClass::Priority, "priority is never shed");
+        let shed_classes: Vec<QosClass> = shed.iter().map(|j| j.class).collect();
+        assert_eq!(shed_classes, vec![QosClass::Batch, QosClass::Standard]);
+        assert_eq!(
+            queue.depths(),
+            [0, 0, 1],
+            "the fresh batch job rode out the purge"
+        );
+    }
+
+    #[test]
+    fn uncongested_pop_never_sheds_even_with_stale_lower_jobs() {
+        let cache = OutcomeCache::new();
+        let queue = JobQueue::new([8, 8, 8], Some(Duration::from_millis(50)));
+        queue
+            .try_push(job(&cache, 30, QosClass::Priority, 0))
+            .map_err(|_| ())
+            .expect("admitted");
+        queue
+            .try_push(job(&cache, 31, QosClass::Batch, 200))
+            .map_err(|_| ())
+            .expect("admitted");
+        // The popped job itself flowed freely — the queue is keeping
+        // up, so nothing is shed no matter how old the batch head is.
+        let (popped, shed) = queue.pop().expect("a job is queued");
+        assert_eq!(popped.class, QosClass::Priority);
+        assert!(shed.is_empty(), "only the popped job's sojourn governs");
+        assert_eq!(queue.depths(), [0, 0, 1]);
+    }
 }

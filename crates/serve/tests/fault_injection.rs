@@ -322,6 +322,79 @@ fn oversized_and_malformed_frames_get_typed_errors() {
 }
 
 #[test]
+fn injected_tick_panic_restarts_the_reactor_on_the_retained_listener() {
+    // A seed whose reactor-tick seam stays quiet for the first frame,
+    // panics on the second, then stays quiet long enough for the
+    // retry and the shutdown handshake.
+    let make = |s| FaultConfig::new(s).with_rate(Seam::TickPanic, 250_000);
+    let mut wanted = vec![None, Some(Fault::TickPanic)];
+    wanted.extend([None; 10]);
+    let seed = probe_seed(make, Seam::TickPanic, &wanted);
+    let (addr, handle) = start(ServeConfig {
+        workers: 1,
+        faults: Some(Arc::new(FaultPlan::new(make(seed)))),
+        ..ServeConfig::default()
+    });
+
+    // Frame 1 computes and caches the outcome before any fault fires.
+    let mut client = ClientConfig::new(addr.to_string())
+        .with_retry(3)
+        .connect()
+        .expect("connect");
+    let first = client
+        .schedule(&ScheduleSpec::workload("e1"))
+        .expect("the first request computes cleanly");
+    assert!(!first.cache_hit);
+
+    // Frame 2 panics the reactor mid-tick. The supervisor catches the
+    // unwind and restarts the tick loop on the *same* listener; the
+    // in-flight request surfaces as a retryable transport error, the
+    // client reconnects and resends, and the warm cache — which lives
+    // outside the reactor — answers byte-identically.
+    let second = client
+        .schedule(&ScheduleSpec::workload("e1"))
+        .expect("the retry lands on the restarted reactor");
+    assert!(second.cache_hit, "the outcome cache survived the restart");
+    assert_eq!(
+        second.outcome, first.outcome,
+        "byte-identical after restart"
+    );
+    assert_eq!(second.key, first.key);
+
+    let summary = shutdown(addr, handle);
+    assert_eq!(summary.reactor_restarts, 1, "exactly the injected panic");
+    assert_eq!(
+        summary.worker_restarts, 0,
+        "workers kept running through the reactor restart"
+    );
+}
+
+#[test]
+fn wrong_typed_class_is_a_typed_error_that_spares_the_connection() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = connect(addr);
+    let bad = client
+        .raw_roundtrip(r#"{"v":1,"verb":"schedule","workload":"e1","class":7}"#)
+        .expect("typed reply, not a disconnect");
+    assert!(
+        matches!(&bad, ServeResponse::Failed(e) if e.code == ErrorCode::BadRequest),
+        "wrong-typed class: {bad:?}"
+    );
+    // The same connection keeps working, and an unknown class *string*
+    // sails through on the standard lane.
+    let lossy = client
+        .raw_roundtrip(r#"{"v":1,"verb":"schedule","workload":"e1","class":"gold-plated"}"#)
+        .expect("typed reply");
+    assert!(
+        matches!(&lossy, ServeResponse::Scheduled(_)),
+        "unknown class name degrades to standard: {lossy:?}"
+    );
+    client.ping().expect("connection survived both frames");
+    let summary = shutdown(addr, handle);
+    assert_eq!(summary.errors, 1);
+}
+
+#[test]
 fn chaos_preset_soak_stays_consistent_through_retries() {
     let chaos_seed = 11;
     let (addr, handle) = start(ServeConfig {

@@ -7,8 +7,8 @@
 //! than `1` or absent must produce a *typed* rejection, never a panic.
 
 use mcds_serve::{
-    decode_request, ErrorCode, FrameBuffer, FrameError, RequestError, ScheduleSpec, ServeRequest,
-    ServeResponse, WireVersion,
+    decode_request, ErrorCode, FrameBuffer, FrameError, QosClass, RequestError, ScheduleSpec,
+    ServeRequest, ServeResponse, WireVersion,
 };
 use proptest::prelude::*;
 
@@ -167,6 +167,85 @@ proptest! {
         let result = decode_request(&line);
         prop_assert!(result.is_err(), "future version must not decode");
         prop_assert_eq!(result.unwrap_err().code(), ErrorCode::UnsupportedVersion);
+    }
+
+    /// QoS lane resolution is total over class *strings*: the three
+    /// known names map to their lanes, and every other string — on v1
+    /// and legacy frames alike — degrades to the standard lane rather
+    /// than an error, so a newer client's future class name can never
+    /// get its request rejected by an older server.
+    #[test]
+    fn any_class_string_resolves_to_a_lane(
+        name in prop_oneof![
+            Just("priority".to_owned()),
+            Just("standard".to_owned()),
+            Just("batch".to_owned()),
+            any::<u32>().prop_map(|v| format!("lane-{v}")),
+            Just(String::new()),
+            Just("PRIORITY".to_owned()), // case-sensitive: unknown
+        ],
+        legacy in any::<bool>(),
+    ) {
+        let v = if legacy { "" } else { r#""v":1,"# };
+        let line = format!(r#"{{{v}"verb":"schedule","workload":"e1","class":"{name}"}}"#);
+        let (request, version) = decode_request(&line).expect("a class string never fails decode");
+        prop_assert_eq!(
+            version,
+            if legacy { WireVersion::Legacy } else { WireVersion::V1 }
+        );
+        let ServeRequest::Schedule(spec) = request else {
+            panic!("schedule frames decode to Schedule");
+        };
+        match QosClass::from_wire(&name) {
+            Some(known) => prop_assert_eq!(spec.qos(), known),
+            None => prop_assert_eq!(spec.qos(), QosClass::Standard),
+        }
+    }
+
+    /// Frames that omit `class` entirely (the whole pre-lane installed
+    /// base, v1 and legacy alike) land on the standard lane with no
+    /// error, whatever else the spec carries.
+    #[test]
+    fn absent_class_is_standard_on_every_frame_shape(
+        iterations in prop_oneof![Just(None), (1u64..64).prop_map(Some)],
+        deadline in prop_oneof![Just(None), (1u64..10_000).prop_map(Some)],
+        legacy in any::<bool>(),
+    ) {
+        let v = if legacy { "" } else { r#""v":1,"# };
+        let mut body = format!(r#"{{{v}"verb":"schedule","workload":"e1""#);
+        if let Some(i) = iterations {
+            body.push_str(&format!(r#","iterations":{i}"#));
+        }
+        if let Some(d) = deadline {
+            body.push_str(&format!(r#","deadline_ms":{d}"#));
+        }
+        body.push('}');
+        let (request, _) = decode_request(&body).expect("classless frames decode");
+        let ServeRequest::Schedule(spec) = request else {
+            panic!("schedule frames decode to Schedule");
+        };
+        prop_assert_eq!(spec.class, None, "no class is invented");
+        prop_assert_eq!(spec.qos(), QosClass::Standard);
+    }
+
+    /// A wrong-*typed* `class` field (number, bool, array, object —
+    /// anything but a string or null) is a typed `bad_request`, never a
+    /// panic and never a silently-defaulted lane.
+    #[test]
+    fn wrong_typed_class_fields_are_typed_bad_requests(
+        value in prop_oneof![
+            any::<u64>().prop_map(|v| v.to_string()),
+            any::<i64>().prop_map(|v| v.to_string()),
+            any::<bool>().prop_map(|v| v.to_string()),
+            Just("[\"priority\"]".to_owned()),
+            Just("{\"lane\":\"priority\"}".to_owned()),
+            Just("3.5".to_owned()),
+        ],
+    ) {
+        let line = format!(r#"{{"v":1,"verb":"schedule","workload":"e1","class":{value}}}"#);
+        let err = decode_request(&line).expect_err("a wrong-typed class must not decode");
+        prop_assert!(matches!(err, RequestError::Malformed(_)), "typed rejection: {:?}", err);
+        prop_assert_eq!(err.code(), ErrorCode::BadRequest);
     }
 
     /// Truncating a *valid* v1 request frame at any byte boundary must
