@@ -16,10 +16,11 @@
 //! mcds chaos    [options]                  # deterministic fault-injection soak; prints JSON per seed
 //! mcds overload [options]                  # adversarial overload drill; prints a JSON evidence report
 //! mcds hotpath  [options]                  # hot-path micro-benchmarks; prints a JSON evidence report
+//! mcds search-bench [options]              # beam-search vs greedy CDS benchmark; prints a JSON evidence report
 //!
 //! options:
 //!   --clusters "0,1;2;3"   kernel ids per cluster, ';'-separated (default: one per kernel)
-//!   --scheduler basic|ds|cds               (default: cds)
+//!   --scheduler basic|ds|cds|search[:beam[:cap]]   (default: cds)
 //!   --fb-kw N              FB set size in kilowords (default: 1)
 //!   --cross-set            enable the dual-ported-FB extension
 //!   --gantt                print the execution Gantt chart
@@ -34,6 +35,9 @@
 //!   --fb-kw-list 1,2,3,8   FB sizes to cross every workload with
 //!   --threads N            worker threads (default: all cores; 1 = serial)
 //!   --format table|json|csv                (default: table)
+//!   --schedulers a,b,…     scheduler axis, comma-separated kind names
+//!                          (default: basic,ds,cds; e.g. add search:1,search:8
+//!                          for the five-scheduler grid)
 //!
 //! serve options:
 //!   --addr A:P             bind address (default: 127.0.0.1:7171; port 0 picks a free port)
@@ -63,7 +67,7 @@
 //!   --distinct-keys K      distinct request keys; cold phase touches each once (default: 24)
 //!   --pipeline W           in-flight requests per connection (default: 32; 1 = lockstep)
 //!   --seed S               warm-phase sampling seed (default: 1)
-//!   --scheduler basic|ds|cds               (default: server default)
+//!   --scheduler basic|ds|cds|search[:beam[:cap]]   (default: server default)
 //!   --deadline-ms D        per-request deadline (default: none)
 //!   --retries N            re-queues per failed request (default: 3)
 //!   --class C              admission class: priority|standard|batch (default: standard)
@@ -97,6 +101,13 @@
 //!   --out F.json           also write the report to F.json
 //!   --check BASELINE.json  fail if any speedup regresses >10% below the baseline's
 //!   --repeats N            timing repeats per probe; minima are reported (default: 5)
+//!
+//! search-bench options:
+//!   --beam N               beam width of the searched variant (default: 32)
+//!   --max-expansions N     expansion cap per rung, 0 = unlimited (default: 100000)
+//!   --fb-kw-list 1,2,3,8   FB sizes for the Table-1 family
+//!   --seeds N              synthetic workloads per FB size (default: 12)
+//!   --out F.json           also write the report to F.json
 //!
 //! `mcds sweep` without application files sweeps the paper's Table-1
 //! workloads.
@@ -134,7 +145,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
         return Err(McdsError::spec(
-            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|load|chaos|overload|hotpath> …",
+            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|load|chaos|overload|hotpath|search-bench> …",
         ));
     };
     match cmd.as_str() {
@@ -153,6 +164,7 @@ fn run(args: &[String]) -> Result<(), McdsError> {
         "chaos" => chaos(&args[1..]),
         "overload" => overload(&args[1..]),
         "hotpath" => hotpath(&args[1..]),
+        "search-bench" => search_bench(&args[1..]),
         other => Err(McdsError::spec(format!("unknown command `{other}`"))),
     }
 }
@@ -465,6 +477,15 @@ fn sweep(args: &[String]) -> Result<(), McdsError> {
                 .workload(SweepWorkload::new(app.name().to_owned(), app).partition("cli", sched));
         }
         spec
+    };
+
+    let spec = match opt(args, "--schedulers") {
+        Some(list) => spec.schedulers(
+            list.split(',')
+                .map(|v| v.trim().parse::<SchedulerKind>())
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        None => spec,
     };
 
     let spec = spec.threads(threads);
@@ -1347,6 +1368,264 @@ fn hotpath(args: &[String]) -> Result<(), McdsError> {
             .map_err(|e| McdsError::spec(format!("parsing {path}: {e}")))?;
         check_hotpath(&report, &baseline)?;
         eprintln!("hotpath check passed against {path}");
+    }
+    Ok(())
+}
+
+/// One grid point of the `search-bench` evidence report: greedy CDS
+/// and the beam-search scheduler on the same (workload, partition,
+/// architecture), with the traffic/cycle deltas and the per-point
+/// search counters.
+#[derive(serde::Serialize)]
+struct SearchPoint {
+    point: String,
+    fb_words: u64,
+    cds_cycles: u64,
+    search_cycles: u64,
+    cds_avoided_per_iter: u64,
+    search_avoided_per_iter: u64,
+    /// Extra external-traffic words the search avoids per iteration
+    /// over greedy CDS (never negative by construction).
+    traffic_saved_per_iter: u64,
+    /// Cycles saved over greedy CDS (never negative by construction).
+    cycles_saved: u64,
+    /// `true` when every RF rung was searched exhaustively (no beam
+    /// overflow, no expansion cap) *and* the search matched greedy —
+    /// i.e. the greedy walk is provably traffic-optimal here.
+    greedy_optimal_proven: bool,
+    expansions: u64,
+    prunes: u64,
+    rollbacks: u64,
+}
+
+#[derive(serde::Serialize)]
+struct SearchBenchSummary {
+    points: usize,
+    infeasible_points: usize,
+    /// Points where the search avoided strictly more traffic.
+    search_wins: usize,
+    /// Points where search and greedy tied on both axes.
+    greedy_matched: usize,
+    /// Ties that were additionally proven optimal (exhaustive search).
+    greedy_optimal_proven: usize,
+    traffic_saved_per_iter_total: u64,
+    cycles_saved_total: u64,
+}
+
+#[derive(serde::Serialize)]
+struct SearchBenchReport {
+    beam_width: u32,
+    max_expansions: u32,
+    summary: SearchBenchSummary,
+    /// The paper's Table-1 design space (9 cells × the FB-size list).
+    table1: Vec<SearchPoint>,
+    /// Seeded synthetic workloads with heavy sharing.
+    synthetic: Vec<SearchPoint>,
+    /// Crafted knapsack-trap workload where greedy's TF order is
+    /// provably suboptimal, swept across FB sizes.
+    adversarial: Vec<SearchPoint>,
+}
+
+/// Evaluates greedy CDS and the beam search on one grid point.
+/// `None` when the point is infeasible (for both schedulers alike —
+/// they share the feasibility predicate).
+fn search_point(
+    point: String,
+    app: &Application,
+    sched: &ClusterSchedule,
+    arch: &ArchParams,
+    beam: u32,
+    cap: u32,
+) -> Option<SearchPoint> {
+    use mcds_core::{evaluate, CdsScheduler, DataScheduler, Observer, ScheduleAnalysis};
+
+    let analysis = ScheduleAnalysis::new(app, sched);
+    let cds = CdsScheduler::new()
+        .plan_with_analysis(app, sched, arch, &analysis)
+        .ok()?;
+    let metrics = MetricsRegistry::new();
+    let search = mcds_core::SearchScheduler::new(beam, cap)
+        .plan_observed(
+            app,
+            sched,
+            arch,
+            &analysis,
+            Observer::new(None, Some(&metrics)),
+        )
+        .expect("search feasibility equals greedy CDS feasibility");
+    let cds_cycles = evaluate(&cds, arch)
+        .expect("planned schedules simulate")
+        .total()
+        .get();
+    let search_cycles = evaluate(&search, arch)
+        .expect("planned schedules simulate")
+        .total()
+        .get();
+    let snap = metrics.snapshot();
+    let counter = |n: &str| snap.iter().find(|(k, _)| k == n).map_or(0, |&(_, v)| v);
+    let rungs = counter("search.rungs");
+    let proven = rungs > 0 && counter("search.rungs_proven") == rungs;
+    let cds_avoided = cds.dt_avoided_per_iter().get();
+    let search_avoided = search.dt_avoided_per_iter().get();
+    Some(SearchPoint {
+        point,
+        fb_words: arch.fb_set_words().get(),
+        cds_cycles,
+        search_cycles,
+        cds_avoided_per_iter: cds_avoided,
+        search_avoided_per_iter: search_avoided,
+        traffic_saved_per_iter: search_avoided.saturating_sub(cds_avoided),
+        cycles_saved: cds_cycles.saturating_sub(search_cycles),
+        greedy_optimal_proven: proven
+            && search_avoided == cds_avoided
+            && search_cycles == cds_cycles,
+        expansions: counter("search.expansions"),
+        prunes: counter("search.prunes"),
+        rollbacks: counter("search.rollbacks"),
+    })
+}
+
+/// The knapsack trap: clusters C0/C4 (set 0) share one 60-word and two
+/// 40-word inputs while the intermediate set-0 cluster C2 carries a
+/// 150-word private working set. TF ranks the 60-word input first, so
+/// at the right FB size greedy retains 60 avoided words where the
+/// 40+40 pair would avoid 80.
+fn knapsack_trap() -> Result<(Application, ClusterSchedule), McdsError> {
+    let mut b = ApplicationBuilder::new("trap");
+    let big = b.data("big", Words::new(60), DataKind::ExternalInput);
+    let b1 = b.data("b1", Words::new(40), DataKind::ExternalInput);
+    let b2 = b.data("b2", Words::new(40), DataKind::ExternalInput);
+    let bulk = b.data("bulk", Words::new(150), DataKind::ExternalInput);
+    let m0 = b.data("m0", Words::new(10), DataKind::Intermediate);
+    let m1 = b.data("m1", Words::new(10), DataKind::Intermediate);
+    let m2 = b.data("m2", Words::new(10), DataKind::Intermediate);
+    let m3 = b.data("m3", Words::new(10), DataKind::Intermediate);
+    let f = b.data("f", Words::new(10), DataKind::FinalResult);
+    let k0 = b.kernel("k0", 8, Cycles::new(100), &[big, b1, b2], &[m0]);
+    let k1 = b.kernel("k1", 8, Cycles::new(100), &[m0], &[m1]);
+    let k2 = b.kernel("k2", 8, Cycles::new(100), &[bulk, m1], &[m2]);
+    let k3 = b.kernel("k3", 8, Cycles::new(100), &[m2], &[m3]);
+    let k4 = b.kernel("k4", 8, Cycles::new(100), &[big, b1, b2, m3], &[f]);
+    let app = b.iterations(4).build()?;
+    let sched = ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2], vec![k3], vec![k4]])?;
+    Ok((app, sched))
+}
+
+fn search_bench(args: &[String]) -> Result<(), McdsError> {
+    use mcds_workloads::synthetic::{SyntheticConfig, SyntheticGenerator};
+    use mcds_workloads::table1::table1_experiments;
+
+    let beam: u32 = parsed_opt(args, "--beam")?.unwrap_or(32);
+    let cap: u32 = parsed_opt(args, "--max-expansions")?.unwrap_or(100_000);
+    let seeds: u64 = parsed_opt(args, "--seeds")?.unwrap_or(12);
+    let fb_kw: Vec<u64> = opt(args, "--fb-kw-list")
+        .unwrap_or("1,2,3,8")
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|e| McdsError::spec(format!("--fb-kw-list `{v}`: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut infeasible = 0usize;
+    let mut measure = |family: &mut Vec<SearchPoint>,
+                       point: String,
+                       app: &Application,
+                       sched: &ClusterSchedule,
+                       arch: &ArchParams| {
+        match search_point(point, app, sched, arch, beam, cap) {
+            Some(p) => family.push(p),
+            None => infeasible += 1,
+        }
+    };
+
+    // Family 1: the Table-1 design space (distinct (app, partition)
+    // pairs as in `table1_sweep`) × the FB-size list.
+    let mut cells: Vec<(String, Application, ClusterSchedule)> = Vec::new();
+    for e in table1_experiments() {
+        if cells
+            .iter()
+            .any(|(_, app, sched)| *app == e.app && *sched == e.sched)
+        {
+            continue;
+        }
+        cells.push((e.name.to_owned(), e.app, e.sched));
+    }
+    let mut table1 = Vec::new();
+    for (name, app, sched) in &cells {
+        for &kw in &fb_kw {
+            let arch = ArchParams::m1_with_fb(Words::kilo(kw));
+            measure(&mut table1, format!("{name}@{kw}K"), app, sched, &arch);
+        }
+    }
+
+    // Family 2: seeded synthetic workloads biased toward heavy sharing,
+    // at a tight and a comfortable FB.
+    let config = SyntheticConfig {
+        clusters: 6,
+        share_probability: 0.9,
+        cross_probability: 0.6,
+        data_words: (64, 512),
+        ..SyntheticConfig::default()
+    };
+    let mut synthetic = Vec::new();
+    for seed in 1..=seeds {
+        let (app, sched) = SyntheticGenerator::new(seed)
+            .generate(&config)
+            .map_err(|e| McdsError::spec(format!("synthetic seed {seed}: {e}")))?;
+        for &kw in &[1u64, 2] {
+            let arch = ArchParams::m1_with_fb(Words::kilo(kw));
+            measure(
+                &mut synthetic,
+                format!("synthetic-{seed}@{kw}K"),
+                &app,
+                &sched,
+                &arch,
+            );
+        }
+    }
+
+    // Family 3: the adversarial knapsack trap across a fine FB range
+    // bracketing the window where greedy's TF order loses.
+    let (trap_app, trap_sched) = knapsack_trap()?;
+    let mut adversarial = Vec::new();
+    for fb in (200u64..=320).step_by(10) {
+        let arch = ArchParams::m1_with_fb(Words::new(fb));
+        measure(
+            &mut adversarial,
+            format!("trap@{fb}w"),
+            &trap_app,
+            &trap_sched,
+            &arch,
+        );
+    }
+
+    let all = table1.iter().chain(&synthetic).chain(&adversarial);
+    let summary = SearchBenchSummary {
+        points: table1.len() + synthetic.len() + adversarial.len(),
+        infeasible_points: infeasible,
+        search_wins: all.clone().filter(|p| p.traffic_saved_per_iter > 0).count(),
+        greedy_matched: all
+            .clone()
+            .filter(|p| p.traffic_saved_per_iter == 0 && p.cycles_saved == 0)
+            .count(),
+        greedy_optimal_proven: all.clone().filter(|p| p.greedy_optimal_proven).count(),
+        traffic_saved_per_iter_total: all.clone().map(|p| p.traffic_saved_per_iter).sum(),
+        cycles_saved_total: all.clone().map(|p| p.cycles_saved).sum(),
+    };
+    let report = SearchBenchReport {
+        beam_width: beam,
+        max_expansions: cap,
+        summary,
+        table1,
+        synthetic,
+        adversarial,
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| McdsError::spec(e.to_string()))?;
+    println!("{json}");
+    if let Some(path) = opt(args, "--out") {
+        std::fs::write(path, format!("{json}\n"))?;
     }
     Ok(())
 }

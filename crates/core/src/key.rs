@@ -129,12 +129,28 @@ pub fn structure_key(app: &Application, sched: Option<&ClusterSchedule>) -> u64 
 /// and allocation phases consume beyond the workload structure.
 #[must_use]
 pub fn arch_key(arch: &ArchParams, kind: SchedulerKind, config: &SchedulerConfig) -> u64 {
-    let tree = Value::Seq(vec![
-        Value::Str(kind.name().to_owned()),
-        arch.to_value(),
-        config.to_value(),
-    ]);
+    let tree = Value::Seq(vec![kind_value(kind), arch.to_value(), config.to_value()]);
     canonical_value_hash(&tree)
+}
+
+/// Canonical encoding of a scheduler kind inside a request key. The
+/// paper's three schedulers keep their historical plain-string
+/// encoding (so keys — and every cache built on them — are unchanged);
+/// the parameterized `Search` kind hashes its parameters too, so two
+/// search requests differing only in beam width or expansion cap get
+/// distinct keys.
+fn kind_value(kind: SchedulerKind) -> Value {
+    match kind {
+        SchedulerKind::Search {
+            beam_width,
+            max_expansions,
+        } => Value::Seq(vec![
+            Value::Str("search".to_owned()),
+            Value::UInt(u64::from(beam_width)),
+            Value::UInt(u64::from(max_expansions)),
+        ]),
+        other => Value::Str(other.name().to_owned()),
+    }
 }
 
 /// Combines a [`structure_key`] and an [`arch_key`] into the full
@@ -260,5 +276,30 @@ mod tests {
         assert_ne!(ak, arch_key(&arch, SchedulerKind::Ds, &config));
         // Composition is order-sensitive: swapped halves change the key.
         assert_ne!(compose_key(s, ak), compose_key(ak, s));
+    }
+
+    #[test]
+    fn search_parameters_live_on_the_arch_half() {
+        let config = SchedulerConfig::default();
+        let arch = ArchParams::m1();
+        let search = |beam_width, max_expansions| {
+            arch_key(
+                &arch,
+                SchedulerKind::Search {
+                    beam_width,
+                    max_expansions,
+                },
+                &config,
+            )
+        };
+        let base = search(8, 10_000);
+        assert_eq!(base, search(8, 10_000), "pure function of the params");
+        assert_ne!(base, search(1, 10_000), "beam width perturbation");
+        assert_ne!(base, search(8, 5_000), "expansion cap perturbation");
+        assert_ne!(
+            base,
+            arch_key(&arch, SchedulerKind::Cds, &config),
+            "search is not cds"
+        );
     }
 }

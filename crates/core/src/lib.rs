@@ -107,7 +107,7 @@ pub use retention::{select_greedy, select_greedy_with, RetentionRanking, Retenti
 pub use rf::max_common_rf;
 pub use scheduler::{
     evaluate, evaluate_observed, evaluate_with_analysis, BasicScheduler, CdsScheduler,
-    ContextPolicy, DataScheduler, DsScheduler, SchedulerConfig,
+    ContextPolicy, DataScheduler, DsScheduler, SchedulerConfig, SearchScheduler,
 };
 pub use sharing::{find_candidates, find_candidates_with, Candidate, RetainedKind};
 pub use trace::{

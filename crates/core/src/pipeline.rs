@@ -39,7 +39,7 @@ use crate::{
     evaluate_with_analysis, render_explain, BasicScheduler, CancelToken, CdsScheduler, Comparison,
     DataScheduler, DsScheduler, ExperimentRow, Fault, FaultDecider, FaultPlan, FaultScope,
     McdsError, MetricsRegistry, Observer, ScheduleAnalysis, SchedulePlan, SchedulerConfig, Seam,
-    TraceSink, VecSink,
+    SearchScheduler, TraceSink, VecSink,
 };
 
 /// How a pipeline consumes fault decisions: straight off the shared
@@ -109,20 +109,49 @@ pub enum SchedulerKind {
     Ds,
     /// The Complete Data Scheduler — the paper's contribution.
     Cds,
+    /// Beam-search / branch-and-bound retention over the CDS candidate
+    /// list (`mcds-search`). Never returns a worse schedule than
+    /// [`Cds`](SchedulerKind::Cds); with `beam_width <= 1` it *is*
+    /// greedy CDS, byte-identical outcomes and all.
+    Search {
+        /// Beam nodes kept per candidate depth (`1` reproduces greedy).
+        beam_width: u32,
+        /// Hard cap on node expansions (`0` means unlimited).
+        max_expansions: u32,
+    },
 }
 
 impl SchedulerKind {
-    /// All three schedulers, in baseline-to-best order.
+    /// The paper's three schedulers, in baseline-to-best order. The
+    /// search extension is deliberately not part of this set — it is
+    /// parameterized, so grids opt into specific `Search` points (see
+    /// [`SchedulerKind::search_default`]).
     pub const ALL: [SchedulerKind; 3] =
         [SchedulerKind::Basic, SchedulerKind::Ds, SchedulerKind::Cds];
 
-    /// The scheduler's short name (`basic` / `ds` / `cds`).
+    /// Default beam width of the `Search` scheduler.
+    pub const DEFAULT_SEARCH_BEAM: u32 = 8;
+    /// Default expansion cap of the `Search` scheduler.
+    pub const DEFAULT_SEARCH_EXPANSIONS: u32 = 10_000;
+
+    /// The `Search` variant with its default parameters (beam width 8,
+    /// 10 000 expansions) — what `"search"` parses to.
+    #[must_use]
+    pub fn search_default() -> SchedulerKind {
+        SchedulerKind::Search {
+            beam_width: Self::DEFAULT_SEARCH_BEAM,
+            max_expansions: Self::DEFAULT_SEARCH_EXPANSIONS,
+        }
+    }
+
+    /// The scheduler's short name (`basic` / `ds` / `cds` / `search`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             SchedulerKind::Basic => "basic",
             SchedulerKind::Ds => "ds",
             SchedulerKind::Cds => "cds",
+            SchedulerKind::Search { .. } => "search",
         }
     }
 
@@ -133,13 +162,23 @@ impl SchedulerKind {
             SchedulerKind::Basic => Box::new(BasicScheduler::with_config(config)),
             SchedulerKind::Ds => Box::new(DsScheduler::with_config(config)),
             SchedulerKind::Cds => Box::new(CdsScheduler::with_config(config)),
+            SchedulerKind::Search {
+                beam_width,
+                max_expansions,
+            } => Box::new(SearchScheduler::new(beam_width, max_expansions).with_config(config)),
         }
     }
 }
 
 impl fmt::Display for SchedulerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        match *self {
+            SchedulerKind::Search {
+                beam_width,
+                max_expansions,
+            } => write!(f, "search:{beam_width}:{max_expansions}"),
+            _ => f.write_str(self.name()),
+        }
     }
 }
 
@@ -147,13 +186,36 @@ impl FromStr for SchedulerKind {
     type Err = McdsError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn bad(s: &str) -> McdsError {
+            McdsError::spec(format!(
+                "unknown scheduler `{s}` (expected basic, ds, cds, search, \
+                 search:<beam>, or search:<beam>:<max-expansions>)"
+            ))
+        }
         match s {
             "basic" => Ok(SchedulerKind::Basic),
             "ds" => Ok(SchedulerKind::Ds),
             "cds" => Ok(SchedulerKind::Cds),
-            other => Err(McdsError::spec(format!(
-                "unknown scheduler `{other}` (expected basic, ds, or cds)"
-            ))),
+            "search" => Ok(SchedulerKind::search_default()),
+            other => {
+                // Parameterized search: `search:<beam>[:<max-expansions>]`.
+                let Some(params) = other.strip_prefix("search:") else {
+                    return Err(bad(other));
+                };
+                let mut parts = params.splitn(2, ':');
+                let beam = parts
+                    .next()
+                    .and_then(|p| p.parse::<u32>().ok())
+                    .ok_or_else(|| bad(other))?;
+                let cap = match parts.next() {
+                    Some(p) => p.parse::<u32>().map_err(|_| bad(other))?,
+                    None => Self::DEFAULT_SEARCH_EXPANSIONS,
+                };
+                Ok(SchedulerKind::Search {
+                    beam_width: beam,
+                    max_expansions: cap,
+                })
+            }
         }
     }
 }
@@ -889,5 +951,37 @@ mod tests {
         }
         let err = "dds".parse::<SchedulerKind>().unwrap_err();
         assert!(err.to_string().contains("unknown scheduler"));
+    }
+
+    #[test]
+    fn search_kind_parses_prints_and_round_trips() {
+        assert_eq!(
+            "search".parse::<SchedulerKind>().expect("parses"),
+            SchedulerKind::search_default()
+        );
+        let custom = SchedulerKind::Search {
+            beam_width: 4,
+            max_expansions: 500,
+        };
+        assert_eq!(
+            "search:4:500".parse::<SchedulerKind>().expect("parses"),
+            custom
+        );
+        assert_eq!(
+            custom.to_string().parse::<SchedulerKind>().expect("parses"),
+            custom
+        );
+        assert_eq!(
+            "search:4".parse::<SchedulerKind>().expect("parses"),
+            SchedulerKind::Search {
+                beam_width: 4,
+                max_expansions: SchedulerKind::DEFAULT_SEARCH_EXPANSIONS,
+            }
+        );
+        assert_eq!(custom.name(), "search");
+        for garbage in ["search:", "search:x", "search:4:", "search:4:x", "searchy"] {
+            let err = garbage.parse::<SchedulerKind>().unwrap_err();
+            assert!(err.to_string().contains("unknown scheduler"), "{garbage}");
+        }
     }
 }

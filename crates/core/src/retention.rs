@@ -193,19 +193,15 @@ pub fn select_greedy(
     select_greedy_with(candidates, ranking, sizes, fits, |_, _, _| {})
 }
 
-/// [`select_greedy`] with a decision callback for tracing: after each
-/// fit check, `decision(candidate, tentative, accepted)` is called with
-/// the tentative set *still containing* the candidate (it is popped
-/// afterwards on rejection), so observers can inspect the footprint the
-/// verdict was based on.
-#[must_use]
-pub fn select_greedy_with(
-    candidates: &[Candidate],
+/// Applies a [`RetentionRanking`] to the candidate list, returning the
+/// evaluation order shared by the greedy selector and the search
+/// scheduler (which must walk the identical order for `beam_width = 1`
+/// to reproduce greedy byte-for-byte).
+pub(crate) fn rank_candidates<'a>(
+    candidates: &'a [Candidate],
     ranking: RetentionRanking,
-    sizes: impl Fn(DataId) -> Words,
-    mut fits: impl FnMut(&RetentionSet) -> bool,
-    mut decision: impl FnMut(&Candidate, &RetentionSet, bool),
-) -> RetentionSet {
+    sizes: &impl Fn(DataId) -> Words,
+) -> Vec<&'a Candidate> {
     let mut ordered: Vec<&Candidate> = candidates.iter().collect();
     match ranking {
         RetentionRanking::Tf => { /* already sorted by find_candidates */ }
@@ -220,6 +216,23 @@ pub fn select_greedy_with(
             ordered.sort_by(|a, b| a.data().cmp(&b.data()).then(a.set().cmp(&b.set())));
         }
     }
+    ordered
+}
+
+/// [`select_greedy`] with a decision callback for tracing: after each
+/// fit check, `decision(candidate, tentative, accepted)` is called with
+/// the tentative set *still containing* the candidate (it is popped
+/// afterwards on rejection), so observers can inspect the footprint the
+/// verdict was based on.
+#[must_use]
+pub fn select_greedy_with(
+    candidates: &[Candidate],
+    ranking: RetentionRanking,
+    sizes: impl Fn(DataId) -> Words,
+    mut fits: impl FnMut(&RetentionSet) -> bool,
+    mut decision: impl FnMut(&Candidate, &RetentionSet, bool),
+) -> RetentionSet {
+    let ordered = rank_candidates(candidates, ranking, &sizes);
 
     let mut set = RetentionSet::empty();
     let mut taken: HashSet<(DataId, FbSet)> = HashSet::new();

@@ -7,12 +7,17 @@ use mcds_model::{Application, ArchParams, ClusterSchedule, Words};
 use mcds_sim::{SimReport, Simulator};
 use serde::{Deserialize, Serialize, Value};
 
+use mcds_search::{
+    search_retention, PruneReason, SearchConfig, SearchEvent, SearchItem, SearchOutcome,
+};
+
 use crate::emit::emit_ops;
 use crate::plan::build_stages;
+use crate::retention::rank_candidates;
 use crate::{
     all_fit, canonical_value_hash, cluster_peak, first_unfit, select_greedy, select_greedy_with,
-    AllocationWalk, Event, FootprintModel, LadderEval, Observer, RetentionRanking, RetentionSet,
-    ScheduleAnalysis, ScheduleError, SchedulePlan,
+    AllocationWalk, Candidate, Event, FootprintModel, LadderEval, Lifetimes, Observer,
+    RetentionRanking, RetentionSet, ScheduleAnalysis, ScheduleError, SchedulePlan,
 };
 
 /// How context loads are planned per stage.
@@ -345,6 +350,107 @@ impl DataScheduler for CdsScheduler {
     }
 }
 
+/// The beam-search / branch-and-bound retention scheduler — the
+/// `mcds-search` extension beyond the paper. It runs the same RF
+/// ladder, footprint model, and TF-ranked candidate list as the
+/// [`CdsScheduler`], but instead of committing to the greedy walk it
+/// explores accept/reject alternatives per RF rung (allocator state
+/// checkpointed per expansion, infeasible branches pruned on the
+/// paper's `DS(C_c) <= FBS` constraint, an admissible bound pruning
+/// against the greedy incumbent) and keeps a rung's search retention
+/// only when it avoids strictly more external traffic without costing
+/// cycles. `beam_width <= 1` bypasses the search entirely and runs the
+/// literal greedy path, making outcomes byte-identical to CDS.
+#[derive(Debug, Clone)]
+pub struct SearchScheduler {
+    config: SchedulerConfig,
+    beam_width: u32,
+    max_expansions: u32,
+}
+
+impl SearchScheduler {
+    /// A search scheduler with the given beam width and expansion cap
+    /// (`0` = unlimited) and default configuration.
+    #[must_use]
+    pub fn new(beam_width: u32, max_expansions: u32) -> Self {
+        SearchScheduler {
+            config: SchedulerConfig::default(),
+            beam_width,
+            max_expansions,
+        }
+    }
+
+    /// Returns the scheduler with an explicit configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl DataScheduler for SearchScheduler {
+    fn name(&self) -> &'static str {
+        "search"
+    }
+
+    fn plan(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_with_analysis(app, sched, arch, &ScheduleAnalysis::new(app, sched))
+    }
+
+    fn plan_with_analysis(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        self.plan_observed(app, sched, arch, analysis, Observer::none())
+    }
+
+    fn plan_observed(
+        &self,
+        app: &Application,
+        sched: &ClusterSchedule,
+        arch: &ArchParams,
+        analysis: &ScheduleAnalysis,
+        observer: Observer<'_>,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        if self.beam_width <= 1 {
+            // Width-1 beam *is* the greedy walk; run the literal CDS
+            // path (under this scheduler's name) so outcomes and trace
+            // streams are byte-identical to `CdsScheduler`.
+            return plan_common(
+                self.name(),
+                app,
+                sched,
+                arch,
+                &self.config,
+                analysis,
+                FootprintModel::Replacement,
+                ForcedRf::Max,
+                Retain::Yes,
+                observer,
+            );
+        }
+        plan_search(
+            self.name(),
+            app,
+            sched,
+            arch,
+            &self.config,
+            analysis,
+            self.beam_width,
+            self.max_expansions,
+            observer,
+        )
+    }
+}
+
 enum ForcedRf {
     One,
     Max,
@@ -455,26 +561,18 @@ fn plan_common(
         //      the memo key (which the FB capacity is *not* part of),
         //      so arch-only variants replay the rung from the shared
         //      analysis instead of re-simulating it.
-        let eval = analysis.ladder_eval(
-            ladder_eval_key(rf, &retention, config, arch),
-            || -> Result<LadderEval, ScheduleError> {
-                let rounds = app.iterations().div_ceil(rf);
-                let stage_clusters: Vec<usize> = (0..rounds).flat_map(|_| 0..sched.len()).collect();
-                let ctx_plan = match config.context_policy {
-                    ContextPolicy::ReloadPerActivation => {
-                        cs.plan_reload_always(&cluster_contexts, &stage_clusters)
-                    }
-                    ContextPolicy::LruResidency => cs.plan(&cluster_contexts, &stage_clusters),
-                };
-                let stages = build_stages(app, sched, lifetimes, &retention, rf, ctx_plan.loads());
-                let ops = emit_ops(app, sched, &stages)?;
-                let report = simulator.run(&ops)?;
-                Ok(LadderEval {
-                    stages,
-                    ops,
-                    report,
-                })
-            },
+        let eval = eval_rung(
+            app,
+            sched,
+            lifetimes,
+            analysis,
+            config,
+            arch,
+            &cluster_contexts,
+            &cs,
+            &simulator,
+            rf,
+            &retention,
         )?;
         let total = eval.report.total();
         observer.count("plan.rf_evaluated", 1);
@@ -562,6 +660,396 @@ fn plan_common(
         eval.ops.clone(),
         allocation,
     ))
+}
+
+/// One rung of the RF ladder: context plan, stages, ops, simulated
+/// makespan — memoized on the owning [`ScheduleAnalysis`] under
+/// [`ladder_eval_key`], so the greedy and search planners (and arch-only
+/// sweep variants) share evaluations of identical retentions.
+#[allow(clippy::too_many_arguments)]
+fn eval_rung(
+    app: &Application,
+    sched: &ClusterSchedule,
+    lifetimes: &Lifetimes,
+    analysis: &ScheduleAnalysis,
+    config: &SchedulerConfig,
+    arch: &ArchParams,
+    cluster_contexts: &[u32],
+    cs: &ContextScheduler,
+    simulator: &Simulator,
+    rf: u64,
+    retention: &RetentionSet,
+) -> Result<Arc<LadderEval>, ScheduleError> {
+    analysis.ladder_eval(
+        ladder_eval_key(rf, retention, config, arch),
+        || -> Result<LadderEval, ScheduleError> {
+            let rounds = app.iterations().div_ceil(rf);
+            let stage_clusters: Vec<usize> = (0..rounds).flat_map(|_| 0..sched.len()).collect();
+            let ctx_plan = match config.context_policy {
+                ContextPolicy::ReloadPerActivation => {
+                    cs.plan_reload_always(cluster_contexts, &stage_clusters)
+                }
+                ContextPolicy::LruResidency => cs.plan(cluster_contexts, &stage_clusters),
+            };
+            let stages = build_stages(app, sched, lifetimes, retention, rf, ctx_plan.loads());
+            let ops = emit_ops(app, sched, &stages)?;
+            let report = simulator.run(&ops)?;
+            Ok(LadderEval {
+                stages,
+                ops,
+                report,
+            })
+        },
+    )
+}
+
+/// The search planner behind [`SearchScheduler`] for beam widths above
+/// one. Mirrors [`plan_common`]'s CDS path — same Replacement footprint
+/// model, same RF ladder, same simulator-driven rung selection — but at
+/// every rung it runs both the paper's greedy acceptance walk and the
+/// checkpoint/rollback beam search, and keeps the searched retention
+/// only when it avoids strictly more external traffic *and* simulates
+/// at least as fast. A final guard falls back to the pure-greedy plan
+/// if the searched pick would tie on cycles while avoiding less
+/// traffic, so the search scheduler never loses to greedy CDS on
+/// either axis.
+#[allow(clippy::too_many_arguments)]
+fn plan_search(
+    name: &str,
+    app: &Application,
+    sched: &ClusterSchedule,
+    arch: &ArchParams,
+    config: &SchedulerConfig,
+    analysis: &ScheduleAnalysis,
+    beam_width: u32,
+    max_expansions: u32,
+    observer: Observer<'_>,
+) -> Result<SchedulePlan, ScheduleError> {
+    arch.check_kernels_fit(app)?;
+    let lifetimes = analysis.lifetimes();
+    let fbs = arch.fb_set_words();
+    let model = FootprintModel::Replacement;
+    observer.count("plan.count", 1);
+    observer.emit(|| Event::PlanStarted {
+        scheduler: name.to_owned(),
+        application: app.name().to_owned(),
+        clusters: sched.len(),
+        fbs: fbs.get(),
+    });
+
+    // Same RF ladder as the greedy CDS path (ForcedRf::Max).
+    let rf_max = analysis
+        .max_common_rf_empty(app, sched, model, fbs)
+        .ok_or_else(|| {
+            observer.count("plan.infeasible", 1);
+            infeasible(name, app, sched, analysis, model, fbs)
+        })?;
+    let rf_max = config.max_rf.map_or(rf_max, |cap| rf_max.min(cap)).max(1);
+    let rf_candidates: Vec<u64> = if rf_max <= 64 {
+        (1..=rf_max).collect()
+    } else {
+        let mut c = Vec::new();
+        let mut rf = 1;
+        while rf < rf_max {
+            c.push(rf);
+            rf *= 2;
+        }
+        c.push(rf_max);
+        c
+    };
+
+    let cluster_contexts: Vec<u32> = sched
+        .clusters()
+        .iter()
+        .map(|c| c.kernels().iter().map(|&k| app.kernel(k).contexts()).sum())
+        .collect();
+    let cs = ContextScheduler::new(arch.cm_context_words());
+    let simulator = Simulator::new(*arch);
+    let candidates = analysis.sharing_candidates(app, sched, arch.fb_cross_set_access());
+
+    // `best` tracks the planner's pick (greedy or searched per rung);
+    // `best_greedy` shadows what plain CDS would have picked, for the
+    // never-worse guard after the ladder.
+    let mut best: Option<(u64, RetentionSet, Arc<LadderEval>, bool)> = None;
+    let mut best_greedy: Option<(u64, RetentionSet, Arc<LadderEval>)> = None;
+    for rf in rf_candidates {
+        let greedy = select_greedy(
+            candidates,
+            config.retention_ranking,
+            |d| app.size_of(d),
+            |tentative| all_fit(app, sched, lifetimes, tentative, rf, model, fbs),
+        );
+        let (searched, outcome) = select_search(
+            candidates,
+            config.retention_ranking,
+            fbs,
+            beam_width,
+            max_expansions,
+            rf,
+            app,
+            |tentative| all_fit(app, sched, lifetimes, tentative, rf, model, fbs),
+            observer,
+        );
+        observer.count("search.rungs", 1);
+        observer.count("search.expansions", outcome.stats.expansions);
+        observer.count("search.prunes", outcome.stats.prunes);
+        observer.count("search.rollbacks", outcome.stats.rollbacks);
+        if outcome.optimal_proven {
+            observer.count("search.rungs_proven", 1);
+        }
+
+        let greedy_eval = eval_rung(
+            app,
+            sched,
+            lifetimes,
+            analysis,
+            config,
+            arch,
+            &cluster_contexts,
+            &cs,
+            &simulator,
+            rf,
+            &greedy,
+        )?;
+        // When the search found nothing better, its accept mask is
+        // exactly the greedy walk's, so the greedy rung IS the search
+        // rung — one evaluation covers both.
+        let (retention, eval, from_search) = if outcome.gain > outcome.greedy_gain {
+            observer.count("search.rungs_improved", 1);
+            let search_eval = eval_rung(
+                app,
+                sched,
+                lifetimes,
+                analysis,
+                config,
+                arch,
+                &cluster_contexts,
+                &cs,
+                &simulator,
+                rf,
+                &searched,
+            )?;
+            if search_eval.report.total() <= greedy_eval.report.total() {
+                (searched, Arc::clone(&search_eval), true)
+            } else {
+                // More retention but a slower simulated schedule (the
+                // exposed first load grew): time is the primary
+                // objective, keep greedy for this rung.
+                (greedy.clone(), Arc::clone(&greedy_eval), false)
+            }
+        } else {
+            (greedy.clone(), Arc::clone(&greedy_eval), false)
+        };
+
+        let total = eval.report.total();
+        observer.count("plan.rf_evaluated", 1);
+        observer.emit(|| Event::RfEvaluated {
+            scheduler: name.to_owned(),
+            rf,
+            total_cycles: total.get(),
+            retained: retention.candidates().len(),
+        });
+        let better = match &best {
+            None => true,
+            Some((best_rf, _, best_eval, _)) => {
+                total < best_eval.report.total()
+                    || (total == best_eval.report.total() && rf > *best_rf)
+            }
+        };
+        if better {
+            best = Some((rf, retention, eval, from_search));
+        }
+        let greedy_total = greedy_eval.report.total();
+        let greedy_better = match &best_greedy {
+            None => true,
+            Some((best_rf, _, best_eval)) => {
+                greedy_total < best_eval.report.total()
+                    || (greedy_total == best_eval.report.total() && rf > *best_rf)
+            }
+        };
+        if greedy_better {
+            best_greedy = Some((rf, greedy, greedy_eval));
+        }
+    }
+    let (mut rf, mut retention, mut eval, mut from_search) =
+        best.expect("at least one RF candidate");
+    if let Some((g_rf, g_retention, g_eval)) = best_greedy {
+        // Never-worse guard: a searched rung can win the ladder on the
+        // larger-RF tie-break while avoiding less traffic than greedy
+        // CDS's own pick. Equal cycles and less retention is a loss —
+        // fall back to the greedy plan.
+        if from_search
+            && eval.report.total() == g_eval.report.total()
+            && retention.avoided_per_iter() < g_retention.avoided_per_iter()
+        {
+            observer.count("search.fallback_greedy", 1);
+            (rf, retention, eval, from_search) = (g_rf, g_retention, g_eval, false);
+        }
+    }
+    let best_total = eval.report.total();
+    observer.observe("plan.rf", rf);
+    observer.emit(|| Event::RfChosen {
+        scheduler: name.to_owned(),
+        rf,
+        total_cycles: best_total.get(),
+    });
+
+    if observer.engaged() {
+        if from_search {
+            // Narrate the searched set by replaying its accepts in
+            // ranking order. Rejections are *choices* here, not
+            // constraint violations — the Search* events already told
+            // that story — so only the accepted verdicts are emitted
+            // (the reject arm of `retention_event` names the violated
+            // cluster, which a search rejection does not have).
+            let mut tentative = RetentionSet::empty();
+            for cand in retention.candidates() {
+                tentative.add(cand.clone());
+                observer.count("retention.accepted", 1);
+                observer.count("retention.words_avoided", cand.avoided_per_iter().get());
+                observer.emit(|| {
+                    retention_event(
+                        app, sched, lifetimes, cand, &tentative, true, rf, model, fbs,
+                    )
+                });
+            }
+        } else {
+            let _ = select_greedy_with(
+                candidates,
+                config.retention_ranking,
+                |d| app.size_of(d),
+                |tentative| all_fit(app, sched, lifetimes, tentative, rf, model, fbs),
+                |cand, tentative, accepted| {
+                    if accepted {
+                        observer.count("retention.accepted", 1);
+                        observer.count("retention.words_avoided", cand.avoided_per_iter().get());
+                    } else {
+                        observer.count("retention.rejected", 1);
+                    }
+                    observer.emit(|| {
+                        retention_event(
+                            app, sched, lifetimes, cand, tentative, accepted, rf, model, fbs,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    if observer.active() {
+        for cl in sched.clusters() {
+            let ds = cluster_peak(app, sched, lifetimes, &retention, cl.id(), rf, model);
+            observer.emit(|| Event::ClusterFootprint {
+                cluster: id_u32(cl.id()),
+                rf,
+                ds: ds.get(),
+                fbs: fbs.get(),
+            });
+        }
+    }
+
+    let walk =
+        AllocationWalk::new(app, sched, lifetimes, &retention, rf, fbs, model).observed(observer);
+    let allocation = walk.run(2, false)?;
+    observer.emit(|| Event::AllocationChecked {
+        peak_set0: allocation.peak()[0].get(),
+        peak_set1: allocation.peak()[1].get(),
+        allocs: allocation.allocs(),
+        splits: allocation.splits(),
+    });
+
+    Ok(SchedulePlan::new(
+        name.to_owned(),
+        rf,
+        eval.stages.clone(),
+        retention,
+        eval.ops.clone(),
+        allocation,
+    ))
+}
+
+/// Runs the beam search over the TF-ranked candidate list and rebuilds
+/// the winning accept mask as a [`RetentionSet`]. Candidates are ranked
+/// exactly as the greedy walk ranks them ([`rank_candidates`]), so a
+/// width-1 search reproduces greedy's set byte for byte.
+#[allow(clippy::too_many_arguments)]
+fn select_search(
+    candidates: &[Candidate],
+    ranking: RetentionRanking,
+    fbs: Words,
+    beam_width: u32,
+    max_expansions: u32,
+    rf: u64,
+    app: &Application,
+    mut fits: impl FnMut(&RetentionSet) -> bool,
+    observer: Observer<'_>,
+) -> (RetentionSet, SearchOutcome) {
+    let sizes = |d| app.size_of(d);
+    let ordered = rank_candidates(candidates, ranking, &sizes);
+    let items: Vec<SearchItem> = ordered
+        .iter()
+        .map(|c| SearchItem {
+            key: (u64::from(id_u32(c.data())), c.set().index() as u64),
+            set: c.set().index(),
+            size: sizes(c.data()),
+            gain: c.avoided_per_iter().get(),
+        })
+        .collect();
+    let mut feasible = |mask: &[bool]| {
+        let mut tentative = RetentionSet::empty();
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                tentative.add(ordered[i].clone());
+            }
+        }
+        fits(&tentative)
+    };
+    let mut emit = |event: SearchEvent| match event {
+        SearchEvent::Expand { depth, gain, bound } => {
+            observer.emit(|| Event::SearchExpand {
+                rf,
+                depth,
+                gain,
+                bound,
+            });
+        }
+        SearchEvent::Prune {
+            depth,
+            bound,
+            reason,
+        } => {
+            observer.emit(|| Event::SearchPrune {
+                rf,
+                depth,
+                bound,
+                reason: match reason {
+                    PruneReason::Infeasible => "infeasible",
+                    PruneReason::Bounded => "bounded",
+                }
+                .to_owned(),
+            });
+        }
+        SearchEvent::Rollback { depth } => {
+            observer.emit(|| Event::SearchRollback { rf, depth });
+        }
+    };
+    let outcome = search_retention(
+        &items,
+        2,
+        fbs,
+        &SearchConfig {
+            beam_width,
+            max_expansions,
+        },
+        &mut feasible,
+        &mut emit,
+    );
+    let mut set = RetentionSet::empty();
+    for (i, &accepted) in outcome.accept.iter().enumerate() {
+        if accepted {
+            set.add(ordered[i].clone());
+        }
+    }
+    (set, outcome)
 }
 
 /// The memo key of one RF-ladder rung: a canonical hash over every
@@ -954,5 +1442,128 @@ mod tests {
             .expect("fits");
         assert_eq!(plan.allocation().splits(), 0);
         let _ = KernelId::new(0);
+    }
+
+    /// A knapsack trap for the greedy TF walk: clusters C0 and C4 (both
+    /// set 0) share three external inputs `big` (60w), `b1`/`b2` (40w
+    /// each), while the intermediate set-0 cluster C2 carries a private
+    /// `bulk` working set the retained copies must coexist with. TF
+    /// ranks `big` first, so greedy retains 60 avoided words and then
+    /// rejects both 40w candidates — but the pair avoids 80.
+    fn trap_app() -> (Application, ClusterSchedule) {
+        let mut b = ApplicationBuilder::new("trap");
+        let big = b.data("big", Words::new(60), DataKind::ExternalInput);
+        let b1 = b.data("b1", Words::new(40), DataKind::ExternalInput);
+        let b2 = b.data("b2", Words::new(40), DataKind::ExternalInput);
+        let bulk = b.data("bulk", Words::new(150), DataKind::ExternalInput);
+        let m0 = b.data("m0", Words::new(10), DataKind::Intermediate);
+        let m1 = b.data("m1", Words::new(10), DataKind::Intermediate);
+        let m2 = b.data("m2", Words::new(10), DataKind::Intermediate);
+        let m3 = b.data("m3", Words::new(10), DataKind::Intermediate);
+        let f = b.data("f", Words::new(10), DataKind::FinalResult);
+        let k0 = b.kernel("k0", 8, Cycles::new(100), &[big, b1, b2], &[m0]);
+        let k1 = b.kernel("k1", 8, Cycles::new(100), &[m0], &[m1]);
+        let k2 = b.kernel("k2", 8, Cycles::new(100), &[bulk, m1], &[m2]);
+        let k3 = b.kernel("k3", 8, Cycles::new(100), &[m2], &[m3]);
+        let k4 = b.kernel("k4", 8, Cycles::new(100), &[big, b1, b2, m3], &[f]);
+        let app = b.iterations(4).build().expect("valid");
+        let sched =
+            ClusterSchedule::new(&app, vec![vec![k0], vec![k1], vec![k2], vec![k3], vec![k4]])
+                .expect("valid");
+        (app, sched)
+    }
+
+    #[test]
+    fn search_beam_one_matches_cds() {
+        let (app, sched) = shared_app(16);
+        for fb in [384, 512, 1024, 2048, 4096] {
+            let a = arch(fb);
+            let cds = CdsScheduler::new().plan(&app, &sched, &a).expect("fits");
+            let search = SearchScheduler::new(1, 10_000)
+                .plan(&app, &sched, &a)
+                .expect("fits");
+            assert_eq!(search.scheduler(), "search");
+            assert_eq!(search.rf(), cds.rf(), "fb={fb}");
+            assert_eq!(
+                search.retention().candidates(),
+                cds.retention().candidates(),
+                "fb={fb}"
+            );
+            assert_eq!(search.stages(), cds.stages(), "fb={fb}");
+            assert_eq!(search.dt_avoided_per_iter(), cds.dt_avoided_per_iter());
+            assert_eq!(search.total_data_words(), cds.total_data_words());
+            let tc = evaluate(&cds, &a).expect("runs").total();
+            let ts = evaluate(&search, &a).expect("runs").total();
+            assert_eq!(ts, tc, "fb={fb}");
+        }
+    }
+
+    #[test]
+    fn search_never_loses_and_beats_greedy_somewhere() {
+        let (app, sched) = trap_app();
+        let config = SchedulerConfig {
+            max_rf: Some(1),
+            ..SchedulerConfig::default()
+        };
+        let mut won_at = Vec::new();
+        for fb in (180..=320).step_by(5) {
+            let a = arch(fb);
+            let cds = CdsScheduler::with_config(config).plan(&app, &sched, &a);
+            let search = SearchScheduler::new(8, 10_000)
+                .with_config(config)
+                .plan(&app, &sched, &a);
+            match (cds, search) {
+                (Ok(c), Ok(s)) => {
+                    assert!(
+                        s.dt_avoided_per_iter() >= c.dt_avoided_per_iter(),
+                        "fb={fb}: search avoided {} < greedy {}",
+                        s.dt_avoided_per_iter(),
+                        c.dt_avoided_per_iter()
+                    );
+                    let tc = evaluate(&c, &a).expect("runs").total();
+                    let ts = evaluate(&s, &a).expect("runs").total();
+                    assert!(ts <= tc, "fb={fb}: search {ts} cycles > greedy {tc}");
+                    if s.dt_avoided_per_iter() > c.dt_avoided_per_iter() {
+                        won_at.push(fb);
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (c, s) => panic!("feasibility must agree at fb={fb}: cds={c:?} search={s:?}"),
+            }
+        }
+        assert!(
+            !won_at.is_empty(),
+            "no FB size let the search beat the greedy walk"
+        );
+    }
+
+    #[test]
+    fn search_metrics_and_events_are_recorded() {
+        let (app, sched) = trap_app();
+        let a = arch(250);
+        let config = SchedulerConfig {
+            max_rf: Some(1),
+            ..SchedulerConfig::default()
+        };
+        let metrics = crate::MetricsRegistry::new();
+        let sink = crate::VecSink::new();
+        let analysis = ScheduleAnalysis::new(&app, &sched);
+        let observer = Observer::new(Some(&sink), Some(&metrics));
+        SearchScheduler::new(8, 10_000)
+            .with_config(config)
+            .plan_observed(&app, &sched, &a, &analysis, observer)
+            .expect("fits");
+        let snap = metrics.snapshot();
+        let counter = |name: &str| snap.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v);
+        assert!(counter("search.expansions") > 0);
+        assert!(counter("search.rungs") > 0);
+        assert!(counter("search.rollbacks") > 0);
+        let events = sink.take();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::SearchExpand { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::SearchRollback { .. })));
     }
 }

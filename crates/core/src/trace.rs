@@ -223,6 +223,37 @@ pub enum Event {
         /// Cycles the RC array was busy.
         rc_busy: u64,
     },
+    /// The search scheduler expanded a retention-tree node (emitted
+    /// only by `SchedulerKind::Search`).
+    SearchExpand {
+        /// RF rung the search runs at.
+        rf: u64,
+        /// Candidate index (TF order) the node decides next.
+        depth: usize,
+        /// Avoided words/iteration accumulated by the node's prefix.
+        gain: u64,
+        /// Admissible bound on the node's best completion.
+        bound: u64,
+    },
+    /// The search scheduler cut a branch.
+    SearchPrune {
+        /// RF rung the search runs at.
+        rf: u64,
+        /// Candidate index the cut child decided.
+        depth: usize,
+        /// The child's bound when cut.
+        bound: u64,
+        /// `infeasible` (DS(C_c) > FBS or no FB fit) or `bounded`
+        /// (could not beat the incumbent).
+        reason: String,
+    },
+    /// The search scheduler rewound allocator state to a checkpoint.
+    SearchRollback {
+        /// RF rung the search runs at.
+        rf: u64,
+        /// Candidate index whose tentative accept was undone.
+        depth: usize,
+    },
 }
 
 /// A consumer of [`Event`]s. Implementations must be cheap and
@@ -838,6 +869,31 @@ pub fn render_explain(events: &[Event]) -> String {
                 );
             }
             Event::SimOp { .. } => { /* feature-dependent volume: excluded */ }
+            Event::SearchExpand {
+                rf,
+                depth,
+                gain,
+                bound,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  search rf={rf}: expand depth {depth} (gain {gain}w/iter, bound {bound})"
+                );
+            }
+            Event::SearchPrune {
+                rf,
+                depth,
+                bound,
+                reason,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  search rf={rf}: prune depth {depth} ({reason}, bound {bound})"
+                );
+            }
+            Event::SearchRollback { rf, depth } => {
+                let _ = writeln!(out, "  search rf={rf}: rollback depth {depth}");
+            }
             Event::SimCompleted {
                 scheduler,
                 total_cycles,

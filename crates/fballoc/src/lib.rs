@@ -53,7 +53,9 @@ mod regularity;
 mod stats;
 mod trace;
 
-pub use allocator::{AllocHandle, Allocation, Direction, FbAllocator, FitPolicy, Segment};
+pub use allocator::{
+    AllocHandle, Allocation, Checkpoint, Direction, FbAllocator, FitPolicy, Segment,
+};
 pub use error::AllocError;
 pub use free_list::{FreeList, LinearFreeList};
 pub use regularity::PlacementMemory;

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use mcds_fballoc::{
-    AllocError, Allocation, Direction, FbAllocator, FreeList, TraceEvent, TraceKind,
+    AllocError, Allocation, Direction, FbAllocator, FreeList, LinearFreeList, TraceEvent, TraceKind,
 };
 use mcds_model::Words;
 use proptest::prelude::*;
@@ -162,6 +162,64 @@ fn verify_replay(events: &[TraceEvent], capacity: Words) {
     }
 }
 
+/// Asserts two allocators are observably identical: free-list hash,
+/// stats, and the full live table (labels → sorted segment layouts).
+fn assert_allocators_identical(a: &FbAllocator, b: &FbAllocator) {
+    assert_eq!(a.free_list_hash(), b.free_list_hash(), "free list diverged");
+    assert_eq!(a.stats(), b.stats(), "stats diverged");
+    assert_eq!(a.used(), b.used());
+    assert_eq!(a.free_space(), b.free_space());
+    assert_eq!(a.largest_free_block(), b.largest_free_block());
+    let layout = |fb: &FbAllocator| {
+        let mut v: Vec<_> = fb
+            .live()
+            .map(|al| {
+                let segs: Vec<(u64, u64)> = al
+                    .segments()
+                    .iter()
+                    .map(|s| (s.start, s.len.get()))
+                    .collect();
+                (al.label().to_owned(), segs)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(layout(a), layout(b), "live segment layout diverged");
+}
+
+/// Mirrors allocator trace events from `cursor` onwards onto a linear
+/// free-list oracle, then checks the allocator's indexed free list
+/// still hashes identically to the oracle. Returns the new cursor.
+fn mirror_onto_linear(fb: &FbAllocator, linear: &mut LinearFreeList, cursor: usize) -> usize {
+    let events = fb.trace().expect("tracing enabled");
+    for ev in &events[cursor..] {
+        match ev.kind() {
+            TraceKind::Alloc | TraceKind::Extend => {
+                for seg in ev.segments() {
+                    assert!(
+                        linear.take_at(seg.start, seg.len),
+                        "oracle could not carve {}..{}",
+                        seg.start,
+                        seg.end()
+                    );
+                }
+            }
+            TraceKind::Free => {
+                for seg in ev.segments() {
+                    linear.insert(seg.start, seg.len);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        fb.free_list_hash(),
+        linear.state_hash(),
+        "indexed free list diverged from the linear oracle"
+    );
+    events.len()
+}
+
 /// Checks that no two live allocations overlap and that accounting adds
 /// up.
 fn check_invariants(fb: &FbAllocator, live: &[Allocation]) {
@@ -219,6 +277,87 @@ proptest! {
         }
         let events = fb.trace().expect("tracing enabled").to_vec();
         verify_replay(&events, Words::new(cap));
+    }
+
+    /// Checkpoint → arbitrary alloc/free/extend interleavings →
+    /// rollback must be bit-identical to never having mutated: every
+    /// observable is restored, and the rolled-back allocator then
+    /// behaves step-for-step like a clone that never saw the branch.
+    #[test]
+    fn checkpoint_rollback_is_bit_identical_to_never_mutating(
+        cap in 16u64..256,
+        prefix in prop::collection::vec(action_strategy(64), 0..24),
+        branch in prop::collection::vec(action_strategy(64), 1..32),
+        suffix in prop::collection::vec(action_strategy(64), 0..24),
+    ) {
+        let mut fb = FbAllocator::new(Words::new(cap));
+        let mut live: Vec<Allocation> = Vec::new();
+        for (i, action) in prefix.into_iter().enumerate() {
+            apply(&mut fb, &mut live, i, action);
+        }
+        // The oracle: a full clone that never sees the branch.
+        let pristine = fb.clone();
+        let cp = fb.checkpoint();
+        let live_cp = live.clone();
+        for (i, action) in branch.into_iter().enumerate() {
+            apply(&mut fb, &mut live, 1000 + i, action);
+            check_invariants(&fb, &live);
+        }
+        fb.rollback(cp);
+        live = live_cp;
+        assert_allocators_identical(&fb, &pristine);
+        // Post-rollback divergence check: replay an identical suffix
+        // on both; placements and observables must stay in lockstep.
+        let mut oracle = pristine;
+        let mut oracle_live = live.clone();
+        for (i, action) in suffix.into_iter().enumerate() {
+            apply(&mut fb, &mut live, 2000 + i, action.clone());
+            apply(&mut oracle, &mut oracle_live, 2000 + i, action);
+            assert_allocators_identical(&fb, &oracle);
+        }
+    }
+
+    /// Differential form of the round-trip: the allocator's indexed
+    /// free list is mirrored (via its trace) onto the retained
+    /// [`LinearFreeList`] oracle. Checkpointing the allocator while
+    /// cloning the oracle, mutating, then rolling one back and
+    /// restoring the other must leave the pair in lockstep — same
+    /// `state_hash` after every subsequent step.
+    #[test]
+    fn rollback_keeps_lockstep_with_the_linear_oracle(
+        cap in 16u64..256,
+        prefix in prop::collection::vec(action_strategy(64), 0..24),
+        branch in prop::collection::vec(action_strategy(64), 1..32),
+        suffix in prop::collection::vec(action_strategy(64), 0..24),
+    ) {
+        let mut fb = FbAllocator::with_trace(Words::new(cap));
+        let mut linear = LinearFreeList::new(Words::new(cap));
+        let mut live: Vec<Allocation> = Vec::new();
+        let mut cursor = 0;
+        for (i, action) in prefix.into_iter().enumerate() {
+            apply(&mut fb, &mut live, i, action);
+            cursor = mirror_onto_linear(&fb, &mut linear, cursor);
+        }
+        let cp = fb.checkpoint();
+        let linear_cp = linear.clone();
+        let live_cp = live.clone();
+        for (i, action) in branch.into_iter().enumerate() {
+            apply(&mut fb, &mut live, 1000 + i, action);
+            cursor = mirror_onto_linear(&fb, &mut linear, cursor);
+        }
+        fb.rollback(cp);
+        linear = linear_cp;
+        live = live_cp;
+        // Rollback also rewound the trace, so the mirror cursor moves
+        // back with it.
+        cursor = fb.trace().expect("tracing survives rollback").len();
+        prop_assert_eq!(fb.free_list_hash(), linear.state_hash());
+        for (i, action) in suffix.into_iter().enumerate() {
+            apply(&mut fb, &mut live, 2000 + i, action);
+            cursor = mirror_onto_linear(&fb, &mut linear, cursor);
+        }
+        let _ = cursor;
+        check_invariants(&fb, &live);
     }
 
     #[test]

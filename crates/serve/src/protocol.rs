@@ -350,7 +350,8 @@ pub struct ScheduleSpec {
     /// Frame Buffer set size in kilowords over the M1 baseline
     /// (default 1).
     pub fb_kw: Option<u64>,
-    /// Scheduler name (`basic`, `ds`, `cds`; default `cds`).
+    /// Scheduler name (`basic`, `ds`, `cds`, `search`,
+    /// `search:<beam>[:<max-expansions>]`; default `cds`).
     pub scheduler: Option<String>,
     /// Per-request deadline in milliseconds; the pipeline abandons the
     /// run at the next stage boundary once it expires.

@@ -159,6 +159,52 @@ fn failure_code(response: &mcds_serve::ServeResponse) -> Option<ErrorCode> {
 }
 
 #[test]
+fn search_scheduler_over_the_wire() {
+    let (addr, handle) = start(ServeConfig::default());
+    let mut client = connect(addr);
+
+    let with_scheduler = |name: &str| ScheduleSpec {
+        scheduler: Some(name.to_owned()),
+        iterations: Some(8),
+        ..ScheduleSpec::workload("e1")
+    };
+    let cds = client
+        .schedule(&with_scheduler("cds"))
+        .expect("cds baseline runs");
+    for name in ["search", "search:1", "search:8:500"] {
+        let scheduled = client.schedule(&with_scheduler(name)).expect("runs");
+        assert_eq!(scheduled.outcome.scheduler, "search", "{name}");
+        assert!(
+            scheduled.outcome.total_cycles <= cds.outcome.total_cycles,
+            "{name} must not cost cycles over cds"
+        );
+        assert!(
+            scheduled.outcome.dt_avoided_words >= cds.outcome.dt_avoided_words,
+            "{name} must not lose retention to cds"
+        );
+    }
+    // Distinct search parameters are distinct cache keys.
+    let narrow = client.schedule(&with_scheduler("search:1")).expect("runs");
+    let wide = client.schedule(&with_scheduler("search:8")).expect("runs");
+    assert_ne!(narrow.key, wide.key, "beam width is part of the key");
+    assert_ne!(narrow.key, cds.key, "search never shares cds's key");
+
+    // Unknown scheduler names are typed bad requests, not crashes.
+    for bogus in ["searchy", "search:", "search:x", "quantum"] {
+        let error = expect_server_error(client.schedule(&with_scheduler(bogus)));
+        assert_eq!(error.code, ErrorCode::BadRequest, "{bogus}");
+        assert!(
+            error.message.contains("unknown scheduler"),
+            "message names the failure: {}",
+            error.message
+        );
+    }
+
+    client.shutdown().expect("drain");
+    handle.join().expect("no panic").expect("clean drain");
+}
+
+#[test]
 fn expired_deadlines_abandon_the_run_without_poisoning_the_cache() {
     // Degraded fallback off: a missed deadline surfaces as an error.
     let (addr, handle) = start(ServeConfig {

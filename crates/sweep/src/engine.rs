@@ -236,6 +236,7 @@ pub(crate) fn run(spec: &SweepSpec) -> Result<SweepReport, McdsError> {
                         scheduler: kind,
                         rf: r.as_ref().ok().map(|m| m.rf),
                         total_cycles: r.as_ref().ok().map(|m| m.total.get()),
+                        dt_avoided: r.as_ref().ok().map(|m| m.dt_avoided.get()),
                         error: r.as_ref().err().map(ToString::to_string),
                         explain: r.as_ref().ok().and_then(|m| m.explain.clone()),
                     }

@@ -21,6 +21,9 @@ pub struct SchedulerOutcome {
     pub rf: Option<u64>,
     /// Simulated execution time in cycles, if feasible.
     pub total_cycles: Option<u64>,
+    /// External data words avoided per iteration by this scheduler's
+    /// retention, if feasible (`DT` in Table 1; always 0 for Basic/DS).
+    pub dt_avoided: Option<u64>,
     /// The failure, rendered, when the point was infeasible.
     pub error: Option<String>,
     /// The rendered decision log for this point, when the sweep ran

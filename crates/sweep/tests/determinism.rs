@@ -203,6 +203,52 @@ fn empty_grids_are_spec_errors() {
 }
 
 #[test]
+fn five_scheduler_axis_with_search_variants() {
+    let kinds = [
+        SchedulerKind::Basic,
+        SchedulerKind::Ds,
+        SchedulerKind::Cds,
+        SchedulerKind::Search {
+            beam_width: 1,
+            max_expansions: 10_000,
+        },
+        SchedulerKind::Search {
+            beam_width: 8,
+            max_expansions: 10_000,
+        },
+    ];
+    let run = |workers: usize| {
+        spec()
+            .schedulers(kinds)
+            .threads(Some(workers))
+            .run()
+            .expect("runs")
+    };
+    let report = run(1);
+    assert_eq!(report.points(), 45);
+    for r in &report.rows {
+        assert_eq!(r.outcomes.len(), 5);
+        let cycles = |i: usize| r.outcomes[i].total_cycles;
+        let avoided = |i: usize| r.outcomes[i].dt_avoided;
+        // Both search variants agree with CDS on feasibility; width 1
+        // is greedy exactly, width 8 never loses on either axis.
+        assert_eq!(cycles(3), cycles(2), "width-1 search is greedy CDS");
+        assert_eq!(avoided(3), avoided(2));
+        if let (Some(cds), Some(s8)) = (cycles(2), cycles(4)) {
+            assert!(s8 <= cds, "search must not cost cycles");
+            assert!(avoided(4) >= avoided(2));
+        } else {
+            assert_eq!(cycles(2), cycles(4), "feasibility agrees");
+        }
+    }
+    // The widened axis is as deterministic as the paper's three.
+    assert_eq!(
+        report.to_json().expect("serializes"),
+        run(8).to_json().expect("serializes")
+    );
+}
+
+#[test]
 fn scheduler_axis_subset() {
     let report = spec().schedulers([SchedulerKind::Cds]).run().expect("runs");
     assert_eq!(report.points(), 9);
