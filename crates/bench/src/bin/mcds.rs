@@ -14,6 +14,7 @@
 //! mcds client   [options]                  # single-process load client; prints a JSON report
 //! mcds load     [options]                  # scaled multi-process load harness; prints a merged JSON report
 //! mcds chaos    [options]                  # deterministic fault-injection soak; prints JSON per seed
+//! mcds crashdrill [options]                # kill -9 durability drill; prints a JSON evidence report
 //! mcds overload [options]                  # adversarial overload drill; prints a JSON evidence report
 //! mcds hotpath  [options]                  # hot-path micro-benchmarks; prints a JSON evidence report
 //! mcds search-bench [options]              # beam-search vs greedy CDS benchmark; prints a JSON evidence report
@@ -59,6 +60,11 @@
 //!   --conn-buffer-kb N     per-connection buffered-output cap in KiB; past it
 //!                          the peer gets `overloaded` and is disconnected
 //!                          (0 = off; default: 1024)
+//!   --store-dir DIR        journal committed outcomes to a durable store in
+//!                          DIR (WAL + snapshot) and warm-start the cache from
+//!                          it on boot (default: no persistence)
+//!   --fsync P              store sync policy: always | interval[:ms] | never
+//!                          (default: always; requires --store-dir)
 //!
 //! client options:
 //!   --addr A:P             server address (default: 127.0.0.1:7171)
@@ -83,6 +89,15 @@
 //!   --seeds N              soak N consecutive seeds S, S+1, … (default: 1)
 //!   --requests M           requests per seed (default: 200)
 //!   --workers N            server worker threads per seed (default: 2)
+//!
+//! crashdrill options:
+//!   --seed S               deterministic drill seed (default: 7)
+//!   --keys K               outcomes committed (acked + fsynced) before the
+//!                          kill -9 (default: 12)
+//!   --requests M           background requests racing the kill (default: 64)
+//!   --dir D                store directory (default: a fresh temp directory,
+//!                          removed when the drill passes)
+//!   --out F.json           also write the evidence report to F.json
 //!
 //! overload options:
 //!   --addr A:P             attack an already-running server (default: self-host
@@ -125,8 +140,9 @@ use mcds_model::{
     Application, ApplicationBuilder, ArchParams, ClusterSchedule, Cycles, DataKind, KernelId, Words,
 };
 use mcds_serve::{
-    run_abuse, run_load, AbuseConfig, AbuseMode, AbuseReport, ClientConfig, LoadConfig, LoadReport,
-    QosClass, ScheduleSpec, Scheduled, ServeConfig, ServeSummary, Server, StatEntry,
+    run_abuse, run_load, scan, AbuseConfig, AbuseMode, AbuseReport, ClientConfig, FsyncPolicy,
+    LoadConfig, LoadReport, QosClass, Record, ScheduleSpec, Scheduled, ServeConfig, ServeSummary,
+    Server, StatEntry, StoreConfig, JOURNAL_FILE,
 };
 use mcds_sim::{bottleneck, render_gantt, Simulator};
 use mcds_sweep::{SweepReport, SweepSpec, SweepWorkload};
@@ -145,7 +161,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), McdsError> {
     let Some(cmd) = args.first() else {
         return Err(McdsError::spec(
-            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|load|chaos|overload|hotpath|search-bench> …",
+            "usage: mcds <sample-app|inspect|plan|run|explore|sweep|serve|client|load|chaos|crashdrill|overload|hotpath|search-bench> …",
         ));
     };
     match cmd.as_str() {
@@ -162,6 +178,7 @@ fn run(args: &[String]) -> Result<(), McdsError> {
         "client" => client(&args[1..]),
         "load" => load(&args[1..]),
         "chaos" => chaos(&args[1..]),
+        "crashdrill" => crashdrill(&args[1..]),
         "overload" => overload(&args[1..]),
         "hotpath" => hotpath(&args[1..]),
         "search-bench" => search_bench(&args[1..]),
@@ -551,6 +568,19 @@ fn serve(args: &[String]) -> Result<(), McdsError> {
     if let Some(kb) = parsed_opt::<usize>(args, "--conn-buffer-kb")? {
         config.max_conn_buffer_bytes = kb.saturating_mul(1024);
     }
+    match opt(args, "--store-dir") {
+        Some(dir) => {
+            let mut store = StoreConfig::new(dir);
+            if let Some(policy) = parsed_opt::<FsyncPolicy>(args, "--fsync")? {
+                store.fsync = policy;
+            }
+            config.store = Some(store);
+        }
+        None if opt(args, "--fsync").is_some() => {
+            return Err(McdsError::spec("--fsync requires --store-dir"));
+        }
+        None => {}
+    }
     let server = Server::bind(config)?;
     println!("mcds-serve listening on {}", server.local_addr());
     let summary = server.run()?;
@@ -618,9 +648,45 @@ fn load_config_from(args: &[String]) -> Result<LoadConfig, McdsError> {
     Ok(config)
 }
 
+/// `mcds client` output: the load report's fields flattened at the top
+/// level (shape-compatible with earlier releases) plus the server's
+/// `serve.store.*` persistence counters when a durable store is
+/// attached.
+#[derive(serde::Serialize)]
+struct ClientReport {
+    #[serde(flatten)]
+    load: LoadReport,
+    /// `serve.store.*` counters snapshotted over the wire after the
+    /// run — journal bytes, snapshot epoch, recovery counts. Empty
+    /// when the server runs without `--store-dir`.
+    store: Vec<StatEntry>,
+}
+
+/// Snapshots the server's `serve.store.*` counters over the wire.
+/// Best-effort: an unreachable server or failed `stats` verb yields an
+/// empty list rather than failing the report.
+fn store_stats(addr: &str) -> Vec<StatEntry> {
+    let Ok(mut client) = ClientConfig::new(addr).connect() else {
+        return Vec::new();
+    };
+    match client.stats() {
+        Ok(reply) => reply
+            .entries
+            .into_iter()
+            .filter(|e| e.name.starts_with("serve.store."))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
 fn client(args: &[String]) -> Result<(), McdsError> {
-    let mut report = run_load(&load_config_from(args)?)?;
+    let config = load_config_from(args)?;
+    let mut report = run_load(&config)?;
     report.strip_raw();
+    let report = ClientReport {
+        store: store_stats(&config.addr),
+        load: report,
+    };
     println!(
         "{}",
         serde_json::to_string_pretty(&report).map_err(|e| McdsError::spec(e.to_string()))?
@@ -720,6 +786,12 @@ struct ChaosSeedSummary {
     audited_workloads: u64,
     cache_poisoned: bool,
     worker_restarts: u64,
+    /// Journal records written by the soak's durable store — lockstep
+    /// driving makes the commit sequence (and so this count) a pure
+    /// function of the seed.
+    store_appends: u64,
+    /// `1` when the drained server wrote its clean-shutdown marker.
+    store_clean_shutdown: u64,
     faults: mcds_core::FaultSnapshot,
 }
 
@@ -805,11 +877,18 @@ fn chaos(args: &[String]) -> Result<(), McdsError> {
     for seed in first_seed..first_seed.saturating_add(seeds) {
         let started = std::time::Instant::now();
         let plan = Arc::new(FaultPlan::new(FaultConfig::chaos(seed)));
+        // A throwaway durable store so the `store.append` /
+        // `store.fsync` disk seams are part of every soak; `always`
+        // keeps the per-append seam-query sequence deterministic.
+        let store_dir =
+            std::env::temp_dir().join(format!("mcds-chaos-store-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
         let server = Server::bind(ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers,
             queue_depth: 64,
             faults: Some(Arc::clone(&plan)),
+            store: Some(StoreConfig::new(&store_dir)),
             ..ServeConfig::default()
         })?;
         let addr = server.local_addr().to_string();
@@ -901,8 +980,11 @@ fn chaos(args: &[String]) -> Result<(), McdsError> {
             audited_workloads: audited,
             cache_poisoned: poisoned,
             worker_restarts: summary.worker_restarts,
+            store_appends: summary.store_appends,
+            store_clean_shutdown: summary.store_clean_shutdown,
             faults: snapshot,
         };
+        let _ = std::fs::remove_dir_all(&store_dir);
         println!(
             "{}",
             serde_json::to_string(&verdict).map_err(|e| McdsError::spec(e.to_string()))?
@@ -923,6 +1005,277 @@ fn chaos(args: &[String]) -> Result<(), McdsError> {
         return Err(McdsError::spec(
             "chaos soak detected cache poisoning or inconsistent outcomes",
         ));
+    }
+    Ok(())
+}
+
+/// One crash drill's evidence. Every field is a pure function of the
+/// seed — two drills with the same seed must print byte-identical
+/// JSON (timing and paths go to stderr), which is what the CI
+/// determinism diff pins.
+#[derive(serde::Serialize)]
+struct CrashDrillReport {
+    seed: u64,
+    /// Distinct outcomes committed — acked to the client with
+    /// `--fsync always` — before the `kill -9`.
+    committed_keys: u64,
+    /// Committed outcomes the restarted server answered as cache hits.
+    recovered_served: u64,
+    /// `true` when every committed outcome came back byte-identical
+    /// (same serialized JSON) after the restart.
+    byte_identical: bool,
+    /// Committed outcomes the restarted server recomputed instead of
+    /// serving from the warm-started cache — must be zero.
+    recomputes_for_recovered: u64,
+    /// `true` when the restart tolerated the garbage appended to the
+    /// journal tail (booted, served, and counted the dropped bytes).
+    tail_garbage_tolerated: bool,
+    /// `true` when the post-drill graceful shutdown left a journal
+    /// whose last record is a clean-shutdown marker.
+    clean_restart_verified: bool,
+}
+
+/// A `mcds serve` child process with its banner-parsed address. The
+/// stdout pipe is held open for the child's lifetime so a graceful
+/// exit can print its summary without hitting a closed pipe.
+struct ServeChild {
+    child: std::process::Child,
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+}
+
+/// Spawns `mcds serve --store-dir DIR --fsync always` on a free port
+/// and parses the listen address from its banner line.
+fn spawn_store_server(dir: &std::path::Path) -> Result<ServeChild, McdsError> {
+    use std::io::BufRead;
+    let exe = std::env::current_exe()?;
+    let mut child = std::process::Command::new(&exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--fsync",
+            "always",
+        ])
+        .arg("--store-dir")
+        .arg(dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()?;
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("stdout is piped"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner)?;
+    let Some(addr) = banner
+        .strip_prefix("mcds-serve listening on ")
+        .map(|a| a.trim().to_owned())
+    else {
+        let _ = child.kill();
+        return Err(McdsError::spec(format!(
+            "unexpected serve banner: {banner:?}"
+        )));
+    };
+    Ok(ServeChild {
+        child,
+        stdout,
+        addr,
+    })
+}
+
+/// Drains a gracefully-shut-down serve child and parses the summary
+/// JSON it prints on exit.
+fn reap_serve_child(mut server: ServeChild) -> Result<ServeSummary, McdsError> {
+    use std::io::Read;
+    let status = server.child.wait()?;
+    if !status.success() {
+        return Err(McdsError::spec("serve child exited unsuccessfully"));
+    }
+    let mut rest = String::new();
+    server.stdout.read_to_string(&mut rest)?;
+    serde_json::from_str(rest.trim())
+        .map_err(|e| McdsError::spec(format!("parsing serve summary: {e}")))
+}
+
+/// The kill -9 durability drill: commit a deterministic family of
+/// outcomes against a store-backed server (`--fsync always`, lockstep
+/// so every ack implies a fsynced journal record), SIGKILL the server
+/// mid-load, corrupt the journal tail the way a torn write would, then
+/// restart on the same directory and prove every committed outcome is
+/// served back byte-identical from the warm-started cache — zero
+/// pipeline re-runs. Exits non-zero unless all evidence holds.
+fn crashdrill(args: &[String]) -> Result<(), McdsError> {
+    let seed: u64 = parsed_opt(args, "--seed")?.unwrap_or(7);
+    let keys: usize = parsed_opt(args, "--keys")?.unwrap_or(12).max(1);
+    let requests: usize = parsed_opt(args, "--requests")?.unwrap_or(64);
+    let (dir, ephemeral) = match opt(args, "--dir") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("mcds-crashdrill-{}-{seed}", std::process::id())),
+            true,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    let started = std::time::Instant::now();
+
+    // Phase A: commit a seed-derived family of distinct outcomes in
+    // strict lockstep. With `--fsync always` the server journals and
+    // fsyncs each outcome before releasing the response, so an ack
+    // makes it crash-durable by contract.
+    let catalog = mcds_workloads::mix::CATALOG;
+    let specs: Vec<ScheduleSpec> = (0..keys)
+        .map(|i| {
+            let name = catalog[(seed as usize + i) % catalog.len()];
+            ScheduleSpec {
+                iterations: Some(i as u64 + 1),
+                fb_kw: Some(8),
+                ..ScheduleSpec::workload(name)
+            }
+        })
+        .collect();
+    let victim = spawn_store_server(&dir)?;
+    eprintln!(
+        "crashdrill seed {seed}: committing {keys} outcomes against {} (store {})",
+        victim.addr,
+        dir.display()
+    );
+    let mut committed: Vec<(u64, String)> = Vec::new();
+    {
+        let mut client = ClientConfig::new(&victim.addr)
+            .connect()
+            .map_err(|e| McdsError::spec(format!("commit connection: {e}")))?;
+        for spec in &specs {
+            let scheduled = client
+                .schedule(spec)
+                .map_err(|e| McdsError::spec(format!("commit schedule: {e}")))?;
+            let json = serde_json::to_string(&scheduled.outcome)
+                .map_err(|e| McdsError::spec(e.to_string()))?;
+            if !committed.iter().any(|(k, _)| *k == scheduled.key) {
+                committed.push((scheduled.key, json));
+            }
+        }
+    }
+
+    // Phase B: race background load against the kill so the process
+    // dies mid-commit, then simulate the torn write the kill may not
+    // have produced on its own: a frame header promising more payload
+    // bytes than exist.
+    let churn_addr = victim.addr.clone();
+    let churn = std::thread::spawn(move || {
+        let _ = run_load(&LoadConfig {
+            addr: churn_addr,
+            connections: 2,
+            pipeline: 8,
+            requests,
+            distinct_keys: 16,
+            seed,
+            retries: 0,
+            ..LoadConfig::default()
+        });
+    });
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let mut victim = victim;
+    victim.child.kill()?; // SIGKILL: no drop glue, no flush, no snapshot.
+    let _ = victim.child.wait();
+    let _ = churn.join();
+    let garbage: &[u8] = &[0x40, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, b'{', b'"'];
+    {
+        use std::io::Write;
+        let mut journal = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))?;
+        journal.write_all(garbage)?;
+    }
+    eprintln!(
+        "crashdrill seed {seed}: killed server, appended {} garbage bytes to the journal tail",
+        garbage.len()
+    );
+
+    // Phase C: restart on the same directory and replay the committed
+    // family. Every outcome must come back byte-identical and as a
+    // cache hit — the journal, not the pipeline, answers.
+    let survivor = spawn_store_server(&dir)?;
+    let mut recovered_served = 0u64;
+    let mut recomputes = 0u64;
+    let mut byte_identical = true;
+    {
+        let mut client = ClientConfig::new(&survivor.addr)
+            .connect()
+            .map_err(|e| McdsError::spec(format!("replay connection: {e}")))?;
+        for (spec, (key, json)) in specs.iter().zip(&committed) {
+            let scheduled = client
+                .schedule(spec)
+                .map_err(|e| McdsError::spec(format!("replay schedule: {e}")))?;
+            let replayed = serde_json::to_string(&scheduled.outcome)
+                .map_err(|e| McdsError::spec(e.to_string()))?;
+            if scheduled.key != *key || replayed != *json {
+                eprintln!(
+                    "crashdrill seed {seed}: MISMATCH key {key}: committed {json} replayed {replayed}"
+                );
+                byte_identical = false;
+                continue;
+            }
+            if scheduled.cache_hit {
+                recovered_served += 1;
+            } else {
+                recomputes += 1;
+            }
+        }
+    }
+    let stats = store_stats(&survivor.addr);
+    let stat = |name: &str| stats.iter().find(|e| e.name == name).map_or(0, |e| e.value);
+    let tail_garbage_tolerated = stat("serve.store.recovered") >= committed.len() as u64
+        && stat("serve.store.dropped") >= garbage.len() as u64
+        && stat("serve.store.corrupt") >= 1;
+
+    // Graceful drain: the survivor flushes, snapshots, and stamps the
+    // clean-shutdown marker; the journal on disk must end with it.
+    let watchdog = std::time::Instant::now();
+    while watchdog.elapsed() < std::time::Duration::from_secs(60) {
+        if chaos_shutdown(&survivor.addr, 5) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let summary = reap_serve_child(survivor)?;
+    let journal_bytes = std::fs::read(dir.join(JOURNAL_FILE))?;
+    let tail_scan = scan(&journal_bytes);
+    let clean_restart_verified = summary.store_clean_shutdown == 1
+        && !tail_scan.corrupt
+        && matches!(tail_scan.records.last(), Some(Record::CleanShutdown { .. }));
+
+    let report = CrashDrillReport {
+        seed,
+        committed_keys: committed.len() as u64,
+        recovered_served,
+        byte_identical,
+        recomputes_for_recovered: recomputes,
+        tail_garbage_tolerated,
+        clean_restart_verified,
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| McdsError::spec(e.to_string()))?;
+    println!("{json}");
+    if let Some(path) = opt(args, "--out") {
+        std::fs::write(path, format!("{json}\n"))?;
+    }
+    eprintln!(
+        "crashdrill seed {seed}: {}/{} recovered, {:.1}s",
+        report.recovered_served,
+        report.committed_keys,
+        started.elapsed().as_secs_f64()
+    );
+    let passed = report.byte_identical
+        && report.recovered_served == report.committed_keys
+        && report.recomputes_for_recovered == 0
+        && report.tail_garbage_tolerated
+        && report.clean_restart_verified;
+    if !passed {
+        return Err(McdsError::spec(
+            "crash drill failed: committed outcomes were lost, recomputed, or corrupted",
+        ));
+    }
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
     }
     Ok(())
 }

@@ -29,7 +29,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Number of distinct seams (length of [`Seam::ALL`]).
-const SEAMS: usize = 11;
+const SEAMS: usize = 14;
 
 /// A named injection point. Each seam owns an independent decision
 /// counter, so the faults fired at one seam never depend on how often
@@ -63,6 +63,16 @@ pub enum Seam {
     /// Reactor tick body panics (the supervisor must restart the
     /// reactor without dropping the listener).
     TickPanic,
+    /// Durability store about to append a journal record (short-write
+    /// injection: only a prefix of the frame reaches the file, leaving
+    /// a torn record for recovery to discard).
+    StoreAppend,
+    /// Durability store about to fsync the journal (the sync "fails";
+    /// the store keeps serving but counts the miss).
+    StoreFsync,
+    /// Durability store decoding a record during recovery (the record
+    /// is treated as CRC-corrupt; everything after it is dropped).
+    StoreLoad,
 }
 
 impl Seam {
@@ -79,6 +89,9 @@ impl Seam {
         Seam::AcceptFail,
         Seam::FdExhausted,
         Seam::TickPanic,
+        Seam::StoreAppend,
+        Seam::StoreFsync,
+        Seam::StoreLoad,
     ];
 
     /// Stable dotted name, used for `fault.<seam>` metrics and
@@ -97,6 +110,9 @@ impl Seam {
             Seam::AcceptFail => "serve.accept",
             Seam::FdExhausted => "serve.fds",
             Seam::TickPanic => "serve.tick",
+            Seam::StoreAppend => "store.append",
+            Seam::StoreFsync => "store.fsync",
+            Seam::StoreLoad => "store.load",
         }
     }
 
@@ -116,6 +132,9 @@ impl Seam {
             Seam::AcceptFail => "fault.serve.accept",
             Seam::FdExhausted => "fault.serve.fds",
             Seam::TickPanic => "fault.serve.tick",
+            Seam::StoreAppend => "fault.store.append",
+            Seam::StoreFsync => "fault.store.fsync",
+            Seam::StoreLoad => "fault.store.load",
         }
     }
 
@@ -132,6 +151,9 @@ impl Seam {
             Seam::AcceptFail => 8,
             Seam::FdExhausted => 9,
             Seam::TickPanic => 10,
+            Seam::StoreAppend => 11,
+            Seam::StoreFsync => 12,
+            Seam::StoreLoad => 13,
         }
     }
 }
@@ -179,6 +201,15 @@ pub enum Fault {
     /// The reactor tick body panics mid-frame; the supervisor catches
     /// the unwind and restarts the reactor.
     TickPanic,
+    /// The store writes only a prefix of the journal frame (torn
+    /// record on disk; the in-memory cache still has the entry).
+    ShortWrite,
+    /// The store's fsync fails (data may not be durable; serving
+    /// continues, the miss is counted).
+    FsyncFail,
+    /// A journal record reads back corrupt during recovery (treated as
+    /// a CRC mismatch: the record and everything after it is dropped).
+    CorruptRecord,
 }
 
 impl Fault {
@@ -195,6 +226,9 @@ impl Fault {
             Fault::PollFail => "poll-fail",
             Fault::FdExhausted => "fd-exhausted",
             Fault::TickPanic => "tick-panic",
+            Fault::ShortWrite => "short-write",
+            Fault::FsyncFail => "fsync-fail",
+            Fault::CorruptRecord => "corrupt-record",
         }
     }
 }
@@ -280,6 +314,9 @@ impl FaultConfig {
             .with_rate(Seam::AcceptFail, 8_000)
             .with_rate(Seam::FdExhausted, 4_000)
             .with_rate(Seam::TickPanic, 5_000)
+            .with_rate(Seam::StoreAppend, 20_000)
+            .with_rate(Seam::StoreFsync, 20_000)
+            .with_rate(Seam::StoreLoad, 10_000)
             .with_delay_us(200)
     }
 }
@@ -430,6 +467,9 @@ impl FaultPlan {
             Seam::PollError => Fault::PollFail,
             Seam::FdExhausted => Fault::FdExhausted,
             Seam::TickPanic => Fault::TickPanic,
+            Seam::StoreAppend => Fault::ShortWrite,
+            Seam::StoreFsync => Fault::FsyncFail,
+            Seam::StoreLoad => Fault::CorruptRecord,
         })
     }
 
@@ -710,6 +750,35 @@ mod tests {
         assert_eq!(snap.seams[5].seam, "serve.read");
         assert_eq!(snap.seams[10].seam, "serve.tick");
         assert_eq!((snap.seams[10].queries, snap.seams[10].fired), (1, 1));
+    }
+
+    #[test]
+    fn store_seams_map_to_their_flavors() {
+        let always = FaultPlan::new(
+            FaultConfig::new(3)
+                .with_rate(Seam::StoreAppend, 1_000_000)
+                .with_rate(Seam::StoreFsync, 1_000_000)
+                .with_rate(Seam::StoreLoad, 1_000_000),
+        );
+        assert!(matches!(
+            always.decide(Seam::StoreAppend),
+            Some(Fault::ShortWrite)
+        ));
+        assert!(matches!(
+            always.decide(Seam::StoreFsync),
+            Some(Fault::FsyncFail)
+        ));
+        assert!(matches!(
+            always.decide(Seam::StoreLoad),
+            Some(Fault::CorruptRecord)
+        ));
+        // The store seams extend the snapshot *after* the reactor
+        // seams, so historical seam indices stay stable.
+        let snap = always.snapshot();
+        assert_eq!(snap.seams[10].seam, "serve.tick");
+        assert_eq!(snap.seams[11].seam, "store.append");
+        assert_eq!(snap.seams[13].seam, "store.load");
+        assert_eq!((snap.seams[11].queries, snap.seams[11].fired), (1, 1));
     }
 
     #[test]

@@ -81,6 +81,19 @@ impl CachedEntry {
         }
     }
 
+    /// A successful entry rebuilt from its journaled JSON. The exact
+    /// journaled string is kept as the pre-serialized form, so a
+    /// recovered entry serves back the *same bytes* that were
+    /// originally published — the byte-identity contract the crash
+    /// drill pins.
+    pub fn from_json(json: String) -> Result<CachedEntry, serde_json::Error> {
+        let outcome: Outcome = serde_json::from_str(&json)?;
+        Ok(CachedEntry {
+            result: Ok(outcome),
+            outcome_json: Some(json),
+        })
+    }
+
     /// The pre-serialized outcome JSON (`None` for failure entries).
     #[must_use]
     pub fn outcome_json(&self) -> Option<&str> {
@@ -464,6 +477,30 @@ impl OutcomeCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Every published `(key, entry)` pair, sorted by key — the
+    /// snapshot-compaction dump. In-flight entries are skipped (they
+    /// have nothing durable to say yet); sorting makes the snapshot
+    /// file a deterministic function of the cache contents.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, CachedResult)> {
+        let mut all: Vec<(u64, CachedResult)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .iter()
+                    .filter_map(|(&k, e)| match e {
+                        Entry::Ready(r) => Some((k, Arc::clone(r))),
+                        Entry::InFlight(_) => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable_by_key(|&(k, _)| k);
+        all
     }
 
     fn remove_in_flight(&self, key: u64) -> Vec<Token> {

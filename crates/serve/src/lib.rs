@@ -21,6 +21,11 @@
 //!   [`CancelToken`](mcds_core::CancelToken) and on parked waiters by
 //!   reactor timers, a malformed request poisons only its own
 //!   connection, and `shutdown` drains gracefully.
+//! * **Durability** — an optional WAL-backed [`OutcomeStore`]
+//!   journals every committed cache entry (CRC32-framed, snapshot
+//!   compaction with atomic rename) and warm-starts the cache on boot,
+//!   tolerating torn writes and truncated tails by scanning to the
+//!   last valid record. See `DESIGN.md` §16.
 //! * **Observability** — the shared
 //!   [`MetricsRegistry`](mcds_core::MetricsRegistry) counts requests,
 //!   hits, misses, rejections, and latency, exposed over the wire via
@@ -51,6 +56,7 @@ mod client;
 mod load;
 mod protocol;
 mod server;
+mod store;
 mod sys;
 
 pub use cache::{
@@ -68,3 +74,8 @@ pub use protocol::{
     ServeError, ServeRequest, ServeResponse, StatEntry, StatsReply, WireVersion,
 };
 pub use server::{ServeConfig, ServeSummary, Server};
+pub use store::{
+    crc32, encode_frame, scan, FsyncPolicy, OutcomeStore, Record, RecoveryReport, Scan,
+    StoreConfig, DEFAULT_FSYNC_INTERVAL_MS, JOURNAL_FILE, MAX_RECORD_BYTES, SNAPSHOT_FILE,
+    SNAPSHOT_TMP,
+};

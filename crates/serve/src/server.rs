@@ -59,6 +59,7 @@ use crate::protocol::{
     ScheduleSpec, Scheduled, ServeError, ServeRequest, ServeResponse, StatEntry, StatsReply,
     WireVersion,
 };
+use crate::store::{OutcomeStore, StoreConfig};
 use crate::sys::{PollSet, Waker};
 
 /// Server tunables.
@@ -119,6 +120,11 @@ pub struct ServeConfig {
     /// memory stays bounded under frame floods and stalled readers.
     /// `0` disables.
     pub max_conn_buffer_bytes: usize,
+    /// WAL-backed durability ([`OutcomeStore`]): `Some` warm-starts
+    /// the outcome cache from the store directory before accepting and
+    /// journals every committed entry; `None` serves memory-only (the
+    /// pre-durability behavior).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +147,7 @@ impl Default for ServeConfig {
             idle_timeout_ms: 60_000,
             write_stall_ms: 10_000,
             max_conn_buffer_bytes: 1024 * 1024,
+            store: None,
         }
     }
 }
@@ -200,6 +207,25 @@ pub struct ServeSummary {
     /// Connections dropped by the write-stall timeout.
     #[serde(default)]
     pub write_stalls: u64,
+    /// Cache entries recovered from the durability store at startup
+    /// (warm start; 0 when no store is attached).
+    #[serde(default)]
+    pub store_recovered: u64,
+    /// Bytes recovery discarded after the last valid journal record.
+    #[serde(default)]
+    pub store_dropped: u64,
+    /// Invalid frames that cut a recovery scan.
+    #[serde(default)]
+    pub store_corrupt: u64,
+    /// Journal records appended this lifetime.
+    #[serde(default)]
+    pub store_appends: u64,
+    /// Snapshot compactions performed this lifetime.
+    #[serde(default)]
+    pub store_compactions: u64,
+    /// Clean-shutdown markers written (1 after a graceful drain).
+    #[serde(default)]
+    pub store_clean_shutdown: u64,
 }
 
 /// A `schedule` line resolved into pipeline inputs, shared between the
@@ -455,6 +481,8 @@ impl Counters {
 /// Shared state of one server lifetime (reactor + workers).
 struct Ctx {
     cache: Arc<OutcomeCache>,
+    /// WAL-backed durability; `None` = memory-only serving.
+    store: Option<Arc<OutcomeStore>>,
     metrics: Arc<MetricsRegistry>,
     queue: JobQueue,
     /// Worker → reactor completion queue; pushing wakes the reactor.
@@ -553,8 +581,24 @@ impl Server {
         } else {
             Some(Duration::from_millis(self.config.shed_after_ms))
         };
+        // Warm start: rebuild the cache from the durability store
+        // (snapshot + journal) before the first connection is
+        // accepted, so recovered keys serve as hits with zero pipeline
+        // re-runs. A store open failure is fatal — the operator asked
+        // for durability; running without it silently would be worse.
+        let cache = OutcomeCache::with_shards(self.config.shards);
+        let store = match &self.config.store {
+            Some(config) => Some(OutcomeStore::open(
+                config,
+                &cache,
+                &self.metrics,
+                self.config.faults.clone(),
+            )?),
+            None => None,
+        };
         let ctx = Ctx {
-            cache: OutcomeCache::with_shards(self.config.shards),
+            cache: Arc::clone(&cache),
+            store: store.clone(),
             metrics: Arc::clone(&self.metrics),
             queue: JobQueue::new(quotas, shed_after),
             completions: Mutex::new(Vec::new()),
@@ -597,6 +641,12 @@ impl Server {
             ctx.queue.close();
             result
         })?;
+        // Graceful drain finished (workers joined, listener closed):
+        // flush everything into a clean snapshot and mark the journal
+        // so the next recovery can prove nothing is torn.
+        if let Some(store) = &store {
+            store.clean_shutdown(&cache);
+        }
         let count = |name: &str| self.metrics.get(name).unwrap_or(0);
         Ok(ServeSummary {
             requests: count("serve.requests"),
@@ -624,6 +674,12 @@ impl Server {
             conn_overflows: count("serve.conn.overflow"),
             idle_reaped: count("serve.conn.idle_reaped"),
             write_stalls: count("serve.conn.write_stalls"),
+            store_recovered: count("serve.store.recovered"),
+            store_dropped: count("serve.store.dropped"),
+            store_corrupt: count("serve.store.corrupt"),
+            store_appends: count("serve.store.appends"),
+            store_compactions: count("serve.store.compactions"),
+            store_clean_shutdown: count("serve.store.clean_shutdown"),
         })
     }
 }
@@ -1221,6 +1277,20 @@ impl<'a> Reactor<'a> {
                     name: "serve.inflight".to_owned(),
                     value: self.ctx.inflight.load(Ordering::Relaxed),
                 });
+                // Durability gauges: journal growth and snapshot epoch
+                // are live store state, not counters. (Recovery totals
+                // like `serve.store.recovered` already ride in the
+                // registry snapshot above.)
+                if let Some(store) = &self.ctx.store {
+                    entries.push(StatEntry {
+                        name: "serve.store.journal_bytes".to_owned(),
+                        value: store.journal_bytes(),
+                    });
+                    entries.push(StatEntry {
+                        name: "serve.store.snapshot_epoch".to_owned(),
+                        value: store.snapshot_epoch(),
+                    });
+                }
                 entries.sort_by(|a, b| a.name.cmp(&b.name));
                 let latency_us = self.observed_latency(started);
                 self.queue_response(
@@ -1826,6 +1896,12 @@ fn supervised_run(
                     Ok(prepared) => {
                         let prepared = Arc::new(prepared);
                         lead.fulfill(Arc::clone(&prepared));
+                        // Analyses hold live graphs and are not
+                        // persisted; the index record accounts for
+                        // warm-start coverage.
+                        if let Some(store) = &ctx.store {
+                            store.append_analysis(resolved.structure_key);
+                        }
                         pipeline.run_prepared(&prepared)
                     }
                     Err(e) => Err(e),
@@ -1994,6 +2070,13 @@ fn worker_loop(ctx: &Ctx) {
                 }
                 let entry = CachedEntry::ok(outcome_of(&run, resolved.app.name(), kind, degraded));
                 let (shared, waiters) = guard.fulfill(entry);
+                // Journal after publish: the in-memory entry is the
+                // source of truth, the journal is what survives a
+                // process kill.
+                if let Some(store) = &ctx.store {
+                    store.append_entry(flight_key, &shared);
+                    store.maybe_compact(&ctx.cache);
+                }
                 entry_replies(flight_key, leader, waiters, &shared)
             }
             Ok(Err(McdsError::Cancelled(reason))) => {
@@ -2015,6 +2098,11 @@ fn worker_loop(ctx: &Ctx) {
                     let dkey = degraded_key(resolved.key);
                     let outcome = outcome_of(&run, resolved.app.name(), SchedulerKind::Ds, true);
                     let (shared, dwaiters) = ctx.cache.publish(dkey, CachedEntry::ok(outcome));
+                    if let Some(store) = &ctx.store {
+                        store.append_entry(dkey, &shared);
+                        store.append_degraded(resolved.key, dkey);
+                        store.maybe_compact(&ctx.cache);
+                    }
                     let pwaiters = guard.abandon();
                     let mut replies = entry_replies(dkey, leader, dwaiters, &shared);
                     for token in pwaiters {
@@ -2044,9 +2132,15 @@ fn worker_loop(ctx: &Ctx) {
                 fail_replies(flight_key, leader, waiters, ErrorCode::Faulted, &message)
             }
             Ok(Err(e)) => {
-                // Scheduling errors are deterministic → cacheable.
+                // Scheduling errors are deterministic → cacheable (and
+                // journaled: a recovered failure is served without
+                // re-running the pipeline just like a success).
                 let entry = CachedEntry::err(ErrorCode::BadRequest, e.to_string());
                 let (shared, waiters) = guard.fulfill(entry);
+                if let Some(store) = &ctx.store {
+                    store.append_entry(flight_key, &shared);
+                    store.maybe_compact(&ctx.cache);
+                }
                 entry_replies(flight_key, leader, waiters, &shared)
             }
         };

@@ -1,0 +1,231 @@
+//! End-to-end crash-restart coverage for the durable outcome store: a
+//! journal written under a seed-probed `store.append` short-write
+//! fault (the torn write a `kill -9` mid-append leaves behind) is
+//! recovered by a real server, which must serve every surviving
+//! outcome byte-identical from the warm-started cache, count exactly
+//! what the torn tail cost, and leave a clean-shutdown marker behind
+//! on drain that a third boot recovers everything from.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mcds_core::{
+    request_key, Fault, FaultConfig, FaultPlan, McdsError, MetricsRegistry, Pipeline,
+    SchedulerConfig, SchedulerKind, Seam,
+};
+use mcds_model::{ArchParams, Words};
+use mcds_serve::{
+    encode_frame, scan, CachedEntry, ClientConfig, Outcome, OutcomeCache, OutcomeStore, Record,
+    ScheduleSpec, ServeConfig, ServeSummary, Server, StoreConfig, JOURNAL_FILE,
+};
+
+/// First seed whose plan produces exactly the wanted decision prefix
+/// at one seam (the store queries its seams globally, unscoped).
+fn probe_seed(config: impl Fn(u64) -> FaultConfig, seam: Seam, wanted: &[Option<Fault>]) -> u64 {
+    (0..4_000)
+        .find(|&seed| {
+            let plan = FaultPlan::new(config(seed));
+            wanted
+                .iter()
+                .all(|w| plan.decide(seam).as_ref() == w.as_ref())
+        })
+        .expect("a matching seed exists in the probe range")
+}
+
+/// The outcome and canonical request key a default `schedule` request
+/// for `name` resolves to — computed with a clean local pipeline, so
+/// publishing it under this key is indistinguishable from the server
+/// having computed it.
+fn computed_outcome(name: &str) -> (u64, Outcome) {
+    let (app, sched) = mcds_workloads::mix::by_name(name, 16).expect("catalog workload");
+    let arch = ArchParams::m1()
+        .to_builder()
+        .fb_set_words(Words::kilo(1))
+        .build();
+    let key = request_key(
+        &app,
+        Some(&sched),
+        &arch,
+        SchedulerKind::Cds,
+        &SchedulerConfig::default(),
+    );
+    let run = Pipeline::new(app.clone())
+        .arch(arch)
+        .schedule(sched)
+        .scheduler(SchedulerKind::Cds)
+        .run()
+        .expect("catalog workloads schedule");
+    let plan = run.plan();
+    let outcome = Outcome {
+        app: app.name().to_owned(),
+        scheduler: SchedulerKind::Cds.name().to_owned(),
+        clusters: run.schedule().len() as u64,
+        rf: plan.rf(),
+        dt_avoided_words: plan.dt_avoided_per_iter().get(),
+        data_words: plan.total_data_words().get(),
+        context_words: plan.total_context_words(),
+        total_cycles: run.report().total().get(),
+        degraded: false,
+    };
+    (key, outcome)
+}
+
+fn start(config: ServeConfig) -> (SocketAddr, JoinHandle<Result<ServeSummary, McdsError>>) {
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<Result<ServeSummary, McdsError>>) -> ServeSummary {
+    let watchdog = Instant::now();
+    while !handle.is_finished() {
+        assert!(
+            watchdog.elapsed() < Duration::from_secs(30),
+            "server failed to drain: hang"
+        );
+        if let Ok(mut client) = ClientConfig::new(addr.to_string())
+            .with_reconnect(false)
+            .connect()
+        {
+            let _ = client.shutdown();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.join().expect("no panic").expect("clean drain")
+}
+
+#[test]
+fn torn_journal_recovers_byte_identical_with_exact_loss_accounting() {
+    let dir = std::env::temp_dir().join(format!("mcds-store-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let workloads = ["e1", "e2", "e3", "mpeg"];
+    let entries: Vec<(u64, Outcome)> = workloads.iter().map(|n| computed_outcome(n)).collect();
+
+    // Phase 1: journal the four outcomes with a plan probed so the
+    // third append tears mid-frame — the disk state a `kill -9` in the
+    // middle of a `write(2)` leaves. The fourth append lands *after*
+    // the garbage, so the framing is lost and recovery must drop it
+    // along with the torn frame.
+    let make = |s| FaultConfig::new(s).with_rate(Seam::StoreAppend, 500_000);
+    let seed = probe_seed(
+        make,
+        Seam::StoreAppend,
+        &[None, None, Some(Fault::ShortWrite), None],
+    );
+    {
+        let cache = OutcomeCache::new();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let store = OutcomeStore::open(
+            &StoreConfig::new(&dir),
+            &cache,
+            &metrics,
+            Some(Arc::new(FaultPlan::new(make(seed)))),
+        )
+        .expect("fresh store opens");
+        for (key, outcome) in &entries {
+            store.append_entry(*key, &CachedEntry::ok(outcome.clone()));
+        }
+        // Dropped without `clean_shutdown`: the process is "killed".
+    }
+    let journal_len = std::fs::metadata(dir.join(JOURNAL_FILE))
+        .expect("journal exists")
+        .len();
+    let durable_prefix: u64 = entries[..2]
+        .iter()
+        .map(|(key, outcome)| {
+            encode_frame(&Record::Outcome {
+                key: *key,
+                json: serde_json::to_string(outcome).expect("outcomes serialize"),
+            })
+            .len() as u64
+        })
+        .sum();
+    assert!(journal_len > durable_prefix, "the torn tail was written");
+
+    // Phase 2: a real server warm-starts from the torn journal. The
+    // two durable outcomes must be served byte-identical as cache hits
+    // with zero pipeline re-runs; the torn and post-torn outcomes are
+    // honest misses that recompute to the same values.
+    let (addr, handle) = start(ServeConfig {
+        workers: 1,
+        store: Some(StoreConfig::new(&dir)),
+        ..ServeConfig::default()
+    });
+    let mut client = ClientConfig::new(addr.to_string())
+        .connect()
+        .expect("connect");
+    for (i, (name, (key, outcome))) in workloads.iter().zip(&entries).enumerate() {
+        let scheduled = client
+            .schedule(&ScheduleSpec::workload(name))
+            .expect("schedule");
+        assert_eq!(scheduled.key, *key, "{name}: canonical key");
+        assert_eq!(
+            serde_json::to_string(&scheduled.outcome).expect("serializes"),
+            serde_json::to_string(outcome).expect("serializes"),
+            "{name}: byte-identical outcome"
+        );
+        assert_eq!(
+            scheduled.cache_hit,
+            i < 2,
+            "{name}: recovered entries hit, torn/lost entries recompute"
+        );
+    }
+    let stats = client.stats().expect("stats verb");
+    let stat = |name: &str| {
+        stats
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0, |e| e.value)
+    };
+    assert_eq!(stat("serve.store.recovered"), 2, "both durable outcomes");
+    assert_eq!(
+        stat("serve.store.dropped"),
+        journal_len - durable_prefix,
+        "every byte past the valid prefix is accounted as dropped"
+    );
+    assert_eq!(stat("serve.store.corrupt"), 1, "one frame cut the scan");
+    drop(client);
+
+    // Drain: the store compacts, truncates the journal, and stamps
+    // the clean-shutdown marker as its final record.
+    let summary = shutdown(addr, handle);
+    assert_eq!(summary.store_recovered, 2);
+    assert_eq!(summary.store_clean_shutdown, 1);
+    let journal = std::fs::read(dir.join(JOURNAL_FILE)).expect("journal readable");
+    let tail = scan(&journal);
+    assert!(!tail.corrupt, "the drained journal is pristine");
+    assert!(
+        matches!(tail.records.last(), Some(Record::CleanShutdown { .. })),
+        "the journal ends with the clean-shutdown marker: {:?}",
+        tail.records
+    );
+
+    // Phase 3: a clean restart recovers *all four* outcomes from the
+    // compacted snapshot — every request is now a warm hit.
+    let (addr, handle) = start(ServeConfig {
+        workers: 1,
+        store: Some(StoreConfig::new(&dir)),
+        ..ServeConfig::default()
+    });
+    let mut client = ClientConfig::new(addr.to_string())
+        .connect()
+        .expect("connect");
+    for (name, (key, outcome)) in workloads.iter().zip(&entries) {
+        let scheduled = client
+            .schedule(&ScheduleSpec::workload(name))
+            .expect("schedule");
+        assert!(scheduled.cache_hit, "{name}: clean warm start");
+        assert_eq!(scheduled.key, *key);
+        assert_eq!(&scheduled.outcome, outcome, "{name}: identical outcome");
+    }
+    drop(client);
+    let summary = shutdown(addr, handle);
+    assert_eq!(summary.store_recovered, 4, "snapshot carried everything");
+    assert_eq!(summary.store_dropped, 0, "nothing left to drop");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
